@@ -1,0 +1,168 @@
+// Command consensusctl answers consensus queries over a probabilistic
+// database given as and/xor tree JSON (see workloadgen for a generator and
+// Tree.MarshalJSON for the format).
+//
+// Usage:
+//
+//	consensusctl -db db.json mean-world
+//	consensusctl -db db.json median-world
+//	consensusctl -db db.json size-dist
+//	consensusctl -db db.json topk -k 5 -metric footrule
+//	consensusctl -db db.json topk-median -k 5
+//	consensusctl -db db.json rank -k 5
+//	consensusctl -db db.json cluster -restarts 20
+//	consensusctl -db db.json groupby
+//
+// With -db - the tree is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	consensus "consensus"
+	"math/rand"
+)
+
+func main() {
+	db := flag.String("db", "-", "path to and/xor tree JSON, or - for stdin")
+	k := flag.Int("k", 5, "k for top-k queries")
+	metric := flag.String("metric", "symdiff", "top-k metric: symdiff | intersection | footrule | kendall")
+	restarts := flag.Int("restarts", 20, "pivot restarts for clustering")
+	seed := flag.Int64("seed", 1, "random seed for randomized algorithms")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+	// Allow flags after the subcommand too (flag parsing stops at the
+	// first positional argument).
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			usage()
+		}
+	}
+	tree, err := loadTree(*db)
+	if err != nil {
+		fail(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch cmd {
+	case "mean-world":
+		w := consensus.MeanWorld(tree)
+		fmt.Printf("mean world: %v\n", w)
+		fmt.Printf("E[symmetric difference] = %.6g\n", consensus.ExpectedSymmetricDifference(tree, w))
+	case "median-world":
+		w := consensus.MedianWorld(tree)
+		fmt.Printf("median world: %v (probability %.6g)\n", w, consensus.WorldProbability(tree, w))
+		fmt.Printf("E[symmetric difference] = %.6g\n", consensus.ExpectedSymmetricDifference(tree, w))
+	case "size-dist":
+		dist := consensus.WorldSizeDistribution(tree)
+		fmt.Println("size  probability")
+		for i, p := range dist {
+			if p != 0 {
+				fmt.Printf("%4d  %.6g\n", i, p)
+			}
+		}
+	case "topk":
+		m, err := parseMetric(*metric)
+		if err != nil {
+			fail(err)
+		}
+		tau, err := consensus.TopKMean(tree, *k, m)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("mean top-%d (%s): %v\n", *k, m, tau)
+	case "topk-median":
+		tau, err := consensus.TopKMedian(tree, *k)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("median top-%d: %v\n", *k, tau)
+	case "rank":
+		rd, err := consensus.RankDistribution(tree, *k)
+		if err != nil {
+			fail(err)
+		}
+		keys := append([]string(nil), rd.Keys()...)
+		sort.SliceStable(keys, func(i, j int) bool { return rd.PrTopK(keys[i]) > rd.PrTopK(keys[j]) })
+		fmt.Printf("%-12s Pr(r<=%d)\n", "tuple", *k)
+		for _, key := range keys {
+			fmt.Printf("%-12s %.6g\n", key, rd.PrTopK(key))
+		}
+	case "cluster":
+		ins, c, e := consensus.ConsensusClustering(tree, rng, *restarts)
+		fmt.Printf("expected pair disagreements: %.6g\n", e)
+		byCluster := map[int][]string{}
+		for i, id := range c {
+			byCluster[id] = append(byCluster[id], ins.Keys[i])
+		}
+		for id := 0; id < len(byCluster); id++ {
+			fmt.Printf("cluster %d: %v\n", id, byCluster[id])
+		}
+	case "groupby":
+		p, groups, err := consensus.GroupMatrixFromTree(tree)
+		if err != nil {
+			fail(err)
+		}
+		mean, err := consensus.GroupByCountMean(p)
+		if err != nil {
+			fail(err)
+		}
+		median, _, err := consensus.GroupByCountMedian(p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-12s %-10s %s\n", "group", "mean", "median (4-approx)")
+		for j, g := range groups {
+			fmt.Printf("%-12s %-10.4g %d\n", g, mean[j], median[j])
+		}
+	default:
+		usage()
+	}
+}
+
+func parseMetric(s string) (consensus.Metric, error) {
+	switch s {
+	case "symdiff":
+		return consensus.MetricSymmetricDifference, nil
+	case "intersection":
+		return consensus.MetricIntersection, nil
+	case "footrule":
+		return consensus.MetricFootrule, nil
+	case "kendall":
+		return consensus.MetricKendall, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", s)
+	}
+}
+
+func loadTree(path string) (*consensus.Tree, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return consensus.ParseTree(data)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: consensusctl -db <file|-> <mean-world|median-world|size-dist|topk|topk-median|rank|cluster|groupby>")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "consensusctl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	consensus "consensus"
+)
+
+func TestParseMetric(t *testing.T) {
+	cases := map[string]consensus.Metric{
+		"symdiff":      consensus.MetricSymmetricDifference,
+		"intersection": consensus.MetricIntersection,
+		"footrule":     consensus.MetricFootrule,
+		"kendall":      consensus.MetricKendall,
+	}
+	for name, want := range cases {
+		got, err := parseMetric(name)
+		if err != nil || got != want {
+			t.Fatalf("parseMetric(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMetric("nope"); err == nil {
+		t.Fatal("unknown metric must error")
+	}
+}
+
+func TestLoadTree(t *testing.T) {
+	db, err := consensus.Independent([]consensus.TupleProb{
+		{Leaf: consensus.Leaf{Key: "a", Score: 1}, Prob: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := db.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := loadTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Keys()) != 1 || tree.Keys()[0] != "a" {
+		t.Fatalf("loaded keys %v", tree.Keys())
+	}
+	if _, err := loadTree(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,60 @@
+// Command repro regenerates every experiment of the reproduction: the two
+// figures of the paper (F1a, F1b, F2 for the Figure 2 identity) and the
+// theorem-level claims (E1..E15).  Each experiment is deterministic and
+// prints a paper-vs-measured summary; the process exits non-zero if any
+// experiment fails, so this binary doubles as the reproduction gate used
+// to produce EXPERIMENTS.md.
+//
+// Usage:
+//
+//	repro            run everything
+//	repro -id E7     run a single experiment
+//	repro -list      list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"consensus/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run only the experiment with this id (e.g. F1a, E7)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, exp := range all {
+			r := exp()
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	failed := 0
+	ran := 0
+	start := time.Now()
+	for _, exp := range all {
+		r := exp()
+		if *id != "" && r.ID != *id {
+			continue
+		}
+		ran++
+		fmt.Println(r.Format())
+		if !r.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "repro: no experiment with id %q\n", *id)
+		os.Exit(2)
+	}
+	fmt.Printf("%d experiments, %d failed, %.2fs\n", ran, failed, time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Command workloadgen emits synthetic probabilistic databases as and/xor
+// tree JSON on stdout, in the format consensusctl consumes.
+//
+// Usage:
+//
+//	workloadgen -kind independent -n 100 -seed 7
+//	workloadgen -kind bid -n 50 -alts 3
+//	workloadgen -kind nested -n 30
+//	workloadgen -kind labeled -n 40 -alts 2 -labels 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"consensus/internal/andxor"
+	"consensus/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "independent", "workload kind: independent | bid | nested | labeled")
+	n := flag.Int("n", 20, "number of tuples")
+	alts := flag.Int("alts", 2, "max alternatives per tuple (bid/nested/labeled)")
+	labels := flag.Int("labels", 3, "number of group labels (labeled)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var tree *andxor.Tree
+	switch *kind {
+	case "independent":
+		tree = workload.Independent(rng, *n)
+	case "bid":
+		tree = workload.BID(rng, *n, *alts)
+	case "nested":
+		tree = workload.Nested(rng, *n, *alts)
+	case "labeled":
+		tree = workload.Labeled(rng, *n, *alts, *labels)
+	default:
+		fmt.Fprintf(os.Stderr, "workloadgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	data, err := tree.MarshalJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

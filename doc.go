@@ -1,0 +1,41 @@
+// Package consensus is a Go implementation of "Consensus Answers for
+// Queries over Probabilistic Databases" (Jian Li and Amol Deshpande, PODS
+// 2009, arXiv:0812.2049).
+//
+// A probabilistic database defines a distribution over deterministic
+// databases ("possible worlds"), so every query defines a distribution
+// over deterministic answers.  A consensus answer is a single
+// deterministic answer minimizing the expected distance to the answer of a
+// random world: the "mean" answer when any answer is allowed, the "median"
+// answer when it must be the answer of some possible world.
+//
+// The package exposes:
+//
+//   - the probabilistic and/xor tree model (Section 3.2), which
+//     generalizes tuple-independent databases, x-tuples and the
+//     block-independent disjoint (BID) scheme with hierarchical mutual
+//     exclusion and coexistence;
+//   - the generating-function toolkit (Section 3.3) for world-size,
+//     membership and rank-distribution probabilities;
+//   - consensus worlds under the symmetric-difference and Jaccard set
+//     distances (Section 4);
+//   - consensus top-k answers under the symmetric difference,
+//     intersection, Spearman-footrule and Kendall distances (Section 5),
+//     together with the prior ranking semantics (U-top-k, PT-k, global
+//     top-k, expected rank, expected score) as baselines;
+//   - consensus group-by count answers (Section 6.1) and consensus
+//     clusterings (Section 6.2).
+//
+// # Quick start
+//
+//	db, _ := consensus.Independent([]consensus.TupleProb{
+//		{Leaf: consensus.Leaf{Key: "a", Score: 9}, Prob: 0.9},
+//		{Leaf: consensus.Leaf{Key: "b", Score: 7}, Prob: 0.6},
+//		{Leaf: consensus.Leaf{Key: "c", Score: 5}, Prob: 0.4},
+//	})
+//	top2, _ := consensus.TopKMean(db, 2, consensus.MetricSymmetricDifference)
+//	world := consensus.MeanWorld(db)
+//
+// See examples/ for runnable end-to-end programs, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured record.
+package consensus

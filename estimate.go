@@ -1,0 +1,48 @@
+package consensus
+
+import (
+	"math/rand"
+
+	"consensus/internal/genfunc"
+	"consensus/internal/montecarlo"
+)
+
+// Estimate is a Monte Carlo estimate of an expectation (mean, standard
+// error, sample count).
+type Estimate = montecarlo.Estimate
+
+// Comparison is a paired Monte Carlo comparison of two candidate answers.
+type Comparison = montecarlo.Comparison
+
+// EstimateExpected estimates E[f(pw)] by sampling possible worlds; use it
+// for quantities without a closed form or on databases too large to
+// enumerate.
+func EstimateExpected(t *Tree, f func(*World) float64, samples int, rng *rand.Rand) (Estimate, error) {
+	return montecarlo.ExpectedValue(t, f, samples, rng)
+}
+
+// CompareAnswers estimates E[fA(pw)] and E[fB(pw)] with common random
+// numbers, which typically gives a far tighter estimate of the difference
+// than independent runs.
+func CompareAnswers(t *Tree, fA, fB func(*World) float64, samples int, rng *rand.Rand) (Comparison, error) {
+	return montecarlo.Compare(t, fA, fB, samples, rng)
+}
+
+// HoeffdingSamples returns a sample count sufficient for a (1-delta)
+// confidence half-width of eps when the estimated quantity lies in
+// [lo, hi].
+func HoeffdingSamples(eps, lo, hi, delta float64) (int, error) {
+	return montecarlo.HoeffdingSamples(eps, lo, hi, delta)
+}
+
+// RankDistributionParallel is RankDistribution computed with a worker
+// pool (workers <= 0 selects GOMAXPROCS); results are identical.
+func RankDistributionParallel(t *Tree, k, workers int) (*RankDist, error) {
+	return genfunc.RanksParallel(t, k, workers)
+}
+
+// TopKFromWorld returns the top-k answer of a deterministic world,
+// deterministic under score ties.
+func TopKFromWorld(w *World, k int) TopKList {
+	return TopKList(w.TopK(k))
+}

@@ -1,0 +1,96 @@
+package consensus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+)
+
+func TestEstimateExpectedMatchesExact(t *testing.T) {
+	db := quickDB(t)
+	// Exact expected world size = sum of marginals = 0.9+0.6+0.4.
+	est, err := EstimateExpected(db, func(w *World) float64 { return float64(w.Len()) }, 30000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-1.9) > 0.03 {
+		t.Fatalf("estimate %v, want ~1.9", est)
+	}
+}
+
+func TestCompareAnswersOrdersCandidates(t *testing.T) {
+	db := quickDB(t)
+	k := 2
+	good, err := TopKMean(db, k, MetricSymmetricDifference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := TopKList{"c", "b"} // drops the near-certain "a"
+	fGood := func(w *World) float64 {
+		return float64(len(good)) - overlap(good, TopKFromWorld(w, k))
+	}
+	fBad := func(w *World) float64 {
+		return float64(len(bad)) - overlap(bad, TopKFromWorld(w, k))
+	}
+	cmp, err := CompareAnswers(db, fGood, fBad, 20000, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Diff.Mean >= 0 {
+		t.Fatalf("the Theorem 3 answer should dominate: %+v", cmp)
+	}
+}
+
+func overlap(a, b TopKList) float64 {
+	n := 0.0
+	for _, x := range a {
+		if b.Contains(x) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHoeffdingSamplesFacade(t *testing.T) {
+	n, err := HoeffdingSamples(0.05, 0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 500 || n > 1000 {
+		t.Fatalf("n = %d out of expected range", n)
+	}
+}
+
+func TestRankDistributionParallelFacade(t *testing.T) {
+	db := quickDB(t)
+	seq, err := RankDistribution(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RankDistributionParallel(db, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range seq.Keys() {
+		if !numeric.AlmostEqual(seq.PrTopK(key), par.PrTopK(key), 1e-12) {
+			t.Fatalf("parallel mismatch for %s", key)
+		}
+	}
+}
+
+func TestTopKFromWorld(t *testing.T) {
+	w, err := NewWorld(
+		Leaf{Key: "x", Score: 1},
+		Leaf{Key: "y", Score: 9},
+		Leaf{Key: "z", Score: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TopKFromWorld(w, 2)
+	if !got.Equal(TopKList{"y", "z"}) {
+		t.Fatalf("got %v", got)
+	}
+}

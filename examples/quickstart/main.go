@@ -1,0 +1,76 @@
+// Quickstart: build a small probabilistic database, inspect its
+// possible-world distribution, and compute consensus answers for set,
+// top-k, aggregate and clustering queries.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	consensus "consensus"
+)
+
+func main() {
+	// Three independent probabilistic tuples: key, score (for ranking)
+	// and label (for group-by/clustering).
+	db, err := consensus.Independent([]consensus.TupleProb{
+		{Leaf: consensus.Leaf{Key: "a", Score: 9, Label: "red"}, Prob: 0.9},
+		{Leaf: consensus.Leaf{Key: "b", Score: 7, Label: "blue"}, Prob: 0.6},
+		{Leaf: consensus.Leaf{Key: "c", Score: 5, Label: "red"}, Prob: 0.4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The distribution over possible worlds (2^3 = 8 worlds here).
+	worlds, err := consensus.EnumerateWorlds(db, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("possible worlds:")
+	for _, ww := range worlds {
+		fmt.Printf("  %-28v %.3f\n", ww.World, ww.Prob)
+	}
+
+	// World-size distribution via the generating-function framework.
+	fmt.Println("\nworld-size distribution (Example 1 of the paper):")
+	for size, p := range consensus.WorldSizeDistribution(db) {
+		fmt.Printf("  Pr(|pw| = %d) = %.3f\n", size, p)
+	}
+
+	// Consensus worlds under the symmetric difference distance.
+	mean := consensus.MeanWorld(db)
+	median := consensus.MedianWorld(db)
+	fmt.Printf("\nmean world   (Theorem 2):   %v  E[d] = %.3f\n",
+		mean, consensus.ExpectedSymmetricDifference(db, mean))
+	fmt.Printf("median world (Corollary 1): %v  Pr = %.3f\n",
+		median, consensus.WorldProbability(db, median))
+
+	// Consensus top-2 answers under each metric.
+	fmt.Println("\ntop-2 consensus answers:")
+	for _, m := range []consensus.Metric{
+		consensus.MetricSymmetricDifference,
+		consensus.MetricIntersection,
+		consensus.MetricFootrule,
+		consensus.MetricKendall,
+	} {
+		tau, err := consensus.TopKMean(db, 2, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  mean under %-22s %v\n", m.String()+":", tau)
+	}
+	medTau, err := consensus.TopKMedian(db, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  median under symmetric-difference: %v\n", medTau)
+
+	// Consensus clustering from the co-clustering probabilities.
+	_, clustering, eDist := consensus.ConsensusClustering(db, rand.New(rand.NewSource(1)), 20)
+	fmt.Printf("\nconsensus clustering: %v  (expected pair disagreements %.3f)\n",
+		clustering, eDist)
+}

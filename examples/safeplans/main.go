@@ -1,0 +1,122 @@
+// Safe plans and why they do not make consensus answers free.
+//
+// The Dalvi–Suciu dichotomy (discussed in Section 2 of the paper) says a
+// self-join-free boolean conjunctive query over tuple-independent tables
+// is either computable extensionally ("safe", when hierarchical) or
+// #P-hard.  The paper's observation is that even when a query HAS a safe
+// plan, its result tuples are generally correlated, so finding consensus
+// (especially median) answers remains a separate problem — Section 4.1
+// makes that concrete with a MAX-2-SAT reduction.
+//
+// This example (1) classifies queries as safe/unsafe, (2) evaluates a safe
+// query both extensionally and via lineage and shows they agree, (3) shows
+// two result tuples of a safe query that are correlated, and (4) runs the
+// MAX-2-SAT reduction end to end.
+//
+// Run with: go run ./examples/safeplans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	consensus "consensus"
+	"consensus/internal/spj"
+	"consensus/internal/workload"
+)
+
+func main() {
+	db := consensus.ProbDatabase{
+		"R": {Name: "R", Rows: []consensus.ProbTableRow{
+			{Vals: []string{"a1"}, Prob: 0.5},
+			{Vals: []string{"a2"}, Prob: 0.8},
+		}},
+		"S": {Name: "S", Rows: []consensus.ProbTableRow{
+			{Vals: []string{"a1", "b1"}, Prob: 0.7},
+			{Vals: []string{"a2", "b1"}, Prob: 0.4},
+			{Vals: []string{"a2", "b2"}, Prob: 0.9},
+		}},
+		"T": {Name: "T", Rows: []consensus.ProbTableRow{
+			{Vals: []string{"b1"}, Prob: 0.6},
+			{Vals: []string{"b2"}, Prob: 0.3},
+		}},
+	}
+
+	safe := &consensus.CQ{Subgoals: []consensus.CQSubgoal{
+		{Relation: "R", Args: []consensus.CQTerm{consensus.CQVar("x")}},
+		{Relation: "S", Args: []consensus.CQTerm{consensus.CQVar("x"), consensus.CQVar("y")}},
+	}}
+	h0 := &consensus.CQ{Subgoals: []consensus.CQSubgoal{
+		{Relation: "R", Args: []consensus.CQTerm{consensus.CQVar("x")}},
+		{Relation: "S", Args: []consensus.CQTerm{consensus.CQVar("x"), consensus.CQVar("y")}},
+		{Relation: "T", Args: []consensus.CQTerm{consensus.CQVar("y")}},
+	}}
+
+	fmt.Printf("query %-24s safe? %v\n", safe, consensus.IsSafeQuery(safe))
+	fmt.Printf("query %-24s safe? %v (the canonical #P-hard H0)\n", h0, consensus.IsSafeQuery(h0))
+
+	pSafe, err := consensus.EvalSafeQuery(safe, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pLin, err := consensus.EvalQueryLineage(safe, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPr(%s): extensional plan %.6f, lineage %.6f\n", safe, pSafe, pLin)
+
+	pH0, err := consensus.EvalQueryLineage(h0, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pr(%s): lineage (no safe plan exists) %.6f\n", h0, pH0)
+
+	// Correlated result tuples of a safe query: the answers "y=b1" and
+	// "y=b2" of R(x),S(x,y) share the base tuple R(a2).
+	q1 := &consensus.CQ{Subgoals: []consensus.CQSubgoal{
+		{Relation: "R", Args: []consensus.CQTerm{consensus.CQVar("x")}},
+		{Relation: "S", Args: []consensus.CQTerm{consensus.CQVar("x"), consensus.CQConst("b1")}},
+	}}
+	q2 := &consensus.CQ{Subgoals: []consensus.CQSubgoal{
+		{Relation: "R", Args: []consensus.CQTerm{consensus.CQVar("x")}},
+		{Relation: "S", Args: []consensus.CQTerm{consensus.CQVar("x"), consensus.CQConst("b2")}},
+	}}
+	p1, _ := consensus.EvalSafeQuery(q1, db)
+	p2, _ := consensus.EvalSafeQuery(q2, db)
+	joint := &consensus.CQ{Subgoals: []consensus.CQSubgoal{
+		{Relation: "R", Args: []consensus.CQTerm{consensus.CQVar("x")}},
+		{Relation: "S", Args: []consensus.CQTerm{consensus.CQVar("x"), consensus.CQConst("b1")}},
+		{Relation: "S", Args: []consensus.CQTerm{consensus.CQVar("z"), consensus.CQConst("b2")}},
+	}}
+	pj, err := consensus.EvalQueryLineage(joint, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresult-tuple correlation under the safe query R(x),S(x,y):\n")
+	fmt.Printf("  Pr(answer b1) = %.4f, Pr(answer b2) = %.4f\n", p1, p2)
+	fmt.Printf("  Pr(both) = %.4f vs product %.4f -> correlated\n", pj, p1*p2)
+
+	// The Section 4.1 reduction: consensus MEDIAN answers of SPJ results
+	// encode MAX-2-SAT even though every result probability is trivial.
+	clauses := workload.Random2CNF(rand.New(rand.NewSource(42)), 6, 14)
+	rd, err := spj.BuildReduction(6, clauses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, probs, err := rd.MeanAnswer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	medianSize, err := rd.MedianAnswerSize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, _, err := spj.Max2SATBrute(6, clauses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMAX-2-SAT reduction (%d clauses over 6 variables):\n", len(clauses))
+	fmt.Printf("  every clause tuple has probability %.2f; mean answer keeps all %d\n", probs[0], len(names))
+	fmt.Printf("  median answer keeps %d = MAX-2-SAT optimum %d\n", medianSize, opt)
+}

@@ -1,0 +1,116 @@
+// Rank aggregation and probabilistic elections.
+//
+// The paper frames consensus answers as a generalization of classical
+// inconsistent-information aggregation (Kemeny 1959, Borda 1781,
+// Condorcet 1785).  This example shows both directions:
+//
+//  1. the classical substrate — aggregating a fixed set of ballots with
+//     Kemeny-optimal, footrule-optimal (2-approx of Kemeny), Borda and
+//     best-input aggregation;
+//  2. the probabilistic generalization — a poll gives a distribution over
+//     full ballots; encoding it as an and/xor tree of possible worlds
+//     makes the consensus top-k machinery answer "what ranking best
+//     represents the electorate in expectation".
+//
+// Run with: go run ./examples/voting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	consensus "consensus"
+)
+
+func main() {
+	candidates := []string{"alice", "bob", "carol", "dave"}
+
+	// Part 1: classical aggregation of deterministic ballots
+	// (permutations of candidate indices).
+	ballots := [][]int{
+		{0, 1, 2, 3},
+		{0, 2, 1, 3},
+		{1, 0, 3, 2},
+		{2, 0, 1, 3},
+		{0, 1, 3, 2},
+	}
+	kemeny, kemenyScore, err := consensus.KemenyExact(ballots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	footrule, _, err := consensus.FootruleAggregate(ballots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	borda := consensus.BordaAggregate(ballots)
+	bestIn, bestScore := consensus.BestInputRanking(ballots)
+	pivot := consensus.FASPivot(consensus.MajorityTournament(ballots), rand.New(rand.NewSource(3)))
+
+	fmt.Println("classical aggregation of 5 ballots:")
+	fmt.Printf("  kemeny-optimal: %v (kendall score %d)\n", names(kemeny, candidates), kemenyScore)
+	fmt.Printf("  footrule:       %v (kendall score %d, bound 2x optimum)\n",
+		names(footrule, candidates), consensus.KemenyScore(footrule, ballots))
+	fmt.Printf("  borda:          %v\n", names(borda, candidates))
+	fmt.Printf("  best input:     %v (kendall score %d)\n", names(bestIn, candidates), bestScore)
+	fmt.Printf("  fas-pivot:      %v\n", names(pivot, candidates))
+
+	// Part 2: a probabilistic election.  The poll predicts three possible
+	// outcomes for the final tally ordering, with probabilities.  Encode
+	// each outcome as a possible world whose scores induce the ranking.
+	outcome := func(order []string) *consensus.World {
+		var leaves []consensus.Leaf
+		for i, name := range order {
+			leaves = append(leaves, consensus.Leaf{Key: name, Score: float64(len(order) - i)})
+		}
+		w, err := consensus.NewWorld(leaves...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+	poll, err := consensus.FromWorlds([]consensus.WeightedWorld{
+		{World: outcome([]string{"alice", "bob", "carol", "dave"}), Prob: 0.40},
+		{World: outcome([]string{"bob", "alice", "dave", "carol"}), Prob: 0.35},
+		{World: outcome([]string{"carol", "alice", "bob", "dave"}), Prob: 0.25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nprobabilistic election (3 poll scenarios):")
+	for _, m := range []consensus.Metric{
+		consensus.MetricFootrule,
+		consensus.MetricIntersection,
+		consensus.MetricSymmetricDifference,
+	} {
+		tau, err := consensus.TopKMean(poll, 3, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  consensus podium under %-22s %v\n", m.String()+":", tau)
+	}
+	median, err := consensus.TopKMedian(poll, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  median podium (a real scenario's answer): %v\n", median)
+
+	// Winner-take-all view: who is most likely ranked first?
+	rd, err := consensus.RankDistribution(poll, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPr(candidate finishes first):")
+	for _, key := range rd.Keys() {
+		fmt.Printf("  %-6s %.2f\n", key, rd.PrEq(key, 1))
+	}
+}
+
+func names(perm []int, candidates []string) []string {
+	out := make([]string, len(perm))
+	for i, p := range perm {
+		out[i] = candidates[p]
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package consensus
+
+// Integration tests: drive every public query type end-to-end over shared
+// random workloads and assert the cross-module consistency guarantees the
+// paper's framework implies (mean dominates possible answers, closed forms
+// agree with sampling, PRF specializations coincide with their named
+// semantics, etc.).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+	"consensus/internal/workload"
+)
+
+func TestIntegrationEndToEnd(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		db := workload.NestedLabeled(rng, 8, 2, 3)
+
+		// --- set consensus ---
+		mean := MeanWorld(db)
+		median := MedianWorld(db)
+		if !IsPossibleWorld(db, median) {
+			t.Fatalf("seed %d: median world impossible", seed)
+		}
+		meanE := ExpectedSymmetricDifference(db, mean)
+		medianE := ExpectedSymmetricDifference(db, median)
+		if medianE < meanE-1e-9 {
+			t.Fatalf("seed %d: median E %g below mean E %g", seed, medianE, meanE)
+		}
+
+		// Monte Carlo agrees with the closed form.
+		est, err := EstimateExpected(db, func(w *World) float64 {
+			d := 0.0
+			for _, l := range mean.Leaves() {
+				if !w.Contains(l) {
+					d++
+				}
+			}
+			for _, l := range w.Leaves() {
+				if !mean.Contains(l) {
+					d++
+				}
+			}
+			return d
+		}, 20000, rand.New(rand.NewSource(seed*31)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.Mean-meanE) > 6*est.StdErr+0.02 {
+			t.Fatalf("seed %d: sampled %v vs closed form %g", seed, est, meanE)
+		}
+
+		// --- top-k consensus across metrics ---
+		k := 3
+		for _, m := range []Metric{MetricSymmetricDifference, MetricIntersection, MetricFootrule, MetricKendall} {
+			tau, err := TopKMean(db, k, m)
+			if err != nil {
+				t.Fatalf("seed %d metric %v: %v", seed, m, err)
+			}
+			if err := tau.Validate(); err != nil {
+				t.Fatalf("seed %d metric %v: %v", seed, m, err)
+			}
+			if len(tau) != k {
+				t.Fatalf("seed %d metric %v: len %d", seed, m, len(tau))
+			}
+		}
+		med, err := TopKMedian(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(med) > k {
+			t.Fatalf("seed %d: median answer too long", seed)
+		}
+
+		// PRF specializations agree with the named semantics (as sets;
+		// exact probability ties may reorder).
+		global, err := GlobalTopK(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prfStep, err := PRFTopK(db, StepWeight(k), k, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range global {
+			if !prfStep.Contains(key) {
+				t.Fatalf("seed %d: PRF step %v missing %s from global %v", seed, prfStep, key, global)
+			}
+		}
+		ups, err := TopKUpsilonH(db, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prfHarm, err := PRFTopK(db, HarmonicTailWeight(k), k, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range ups {
+			if !prfHarm.Contains(key) {
+				t.Fatalf("seed %d: PRF harmonic %v missing %s from UpsilonH %v", seed, prfHarm, key, ups)
+			}
+		}
+
+		// Precedence probabilities behave like a tournament over present
+		// pairs.
+		keys := db.Keys()
+		pab := PrecedenceProbability(db, keys[0], keys[1])
+		pba := PrecedenceProbability(db, keys[1], keys[0])
+		if pab < -1e-12 || pba < -1e-12 || pab+pba > 1+1e-9 {
+			t.Fatalf("seed %d: precedence pair (%g, %g) invalid", seed, pab, pba)
+		}
+
+		// --- clustering ---
+		ins, clustering, ce := ConsensusClustering(db, rand.New(rand.NewSource(seed*7)), 15)
+		if len(clustering) != len(ins.Keys) {
+			t.Fatalf("seed %d: clustering size mismatch", seed)
+		}
+		if ce < 0 {
+			t.Fatalf("seed %d: negative expected disagreement", seed)
+		}
+		// The all-singletons and all-together baselines cannot beat the
+		// chosen clustering by more than the pivot's constant factor; at
+		// minimum they must be valid to evaluate.
+		single := make(Clustering, len(ins.Keys))
+		for i := range single {
+			single[i] = i
+		}
+		if e := ins.ExpectedDistance(single); e < 0 {
+			t.Fatalf("seed %d: invalid singleton distance", seed)
+		}
+
+		// --- group-by counts over the correlated tree ---
+		labels := GroupLabels(db)
+		means := GroupCountMeanFromTree(db)
+		total := 0.0
+		for _, l := range labels {
+			dist := GroupCountDistribution(db, l)
+			sum, m := 0.0, 0.0
+			for c, p := range dist {
+				sum += p
+				m += float64(c) * p
+			}
+			if !numeric.AlmostEqual(sum, 1, 1e-9) {
+				t.Fatalf("seed %d label %s: distribution sums to %g", seed, l, sum)
+			}
+			if !numeric.AlmostEqual(m, means[l], 1e-9) {
+				t.Fatalf("seed %d label %s: distribution mean %g vs %g", seed, l, m, means[l])
+			}
+			total += m
+		}
+		// The mean count vector minimizes the expected squared distance
+		// among a few perturbations.
+		v := make([]float64, len(labels))
+		for j, l := range labels {
+			v[j] = means[l]
+		}
+		base := GroupCountExpectedSqDistFromTree(db, labels, v)
+		for j := range v {
+			v[j] += 0.75
+			if worse := GroupCountExpectedSqDistFromTree(db, labels, v); worse < base-1e-9 {
+				t.Fatalf("seed %d: perturbation improved the mean answer", seed)
+			}
+			v[j] -= 0.75
+		}
+
+		// --- serialization round trip preserves all answers ---
+		data, err := db.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseTree(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean2 := MeanWorld(back)
+		if !mean.Equal(mean2) {
+			t.Fatalf("seed %d: mean world changed across JSON round trip", seed)
+		}
+	}
+}
+
+// A large-scale smoke test: everything polynomial must comfortably handle
+// a 1000-tuple BID database.
+func TestIntegrationLargeInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	rng := rand.New(rand.NewSource(99))
+	db := workload.BID(rng, 1000, 2)
+	if w := MeanWorld(db); w.Len() < 0 {
+		t.Fatal("impossible")
+	}
+	tau, err := TopKMean(db, 10, MetricSymmetricDifference)
+	if err != nil || len(tau) != 10 {
+		t.Fatalf("top-k failed: %v %v", tau, err)
+	}
+	rd, err := RankDistributionParallel(db, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.PrTopK(tau[0]) < rd.PrTopK(tau[9])-1e-12 {
+		t.Fatal("mean answer not sorted by top-k probability")
+	}
+	est, err := EstimateExpected(db, func(w *World) float64 { return float64(w.Len()) }, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, m := range db.KeyMarginals() {
+		want += m
+	}
+	if math.Abs(est.Mean-want) > 10*est.StdErr+1 {
+		t.Fatalf("sampled size %v vs expected %g", est, want)
+	}
+}

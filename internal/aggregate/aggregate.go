@@ -1,0 +1,285 @@
+// Package aggregate implements Section 6.1 of the paper: consensus answers
+// for group-by count queries over probabilistic databases.
+//
+// The model: n independent tuples with attribute-level uncertainty over m
+// groups, specified by an n x m matrix P with rows on the probability
+// simplex (P[i][j] = Pr(tuple i takes group j)).  A query answer is the
+// m-vector of group counts, compared under squared Euclidean distance.
+//
+//   - The mean answer is rbar = 1P (column sums), by linearity of
+//     expectation; it minimizes the expected squared distance over all of
+//     R^m.
+//   - The closest possible answer to rbar is found exactly with a min-cost
+//     flow (Lemma 3 + Theorem 5): the optimum lies component-wise in
+//     {floor(rbar[j]), ceil(rbar[j])}, so each group needs only a
+//     mandatory floor edge and an optional +1 edge priced by the squared
+//     error delta.
+//   - Returning that closest possible answer is a deterministic
+//     4-approximation for the median answer (Corollary 2).
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"consensus/internal/flow"
+)
+
+// tolerance for treating a float as an integer when computing floors of
+// column sums (accumulated float error must not flip a floor).
+const intTol = 1e-9
+
+// Validate checks that P is rectangular with rows on the probability
+// simplex.
+func Validate(p [][]float64) error {
+	if len(p) == 0 {
+		return fmt.Errorf("aggregate: empty matrix")
+	}
+	m := len(p[0])
+	if m == 0 {
+		return fmt.Errorf("aggregate: zero groups")
+	}
+	for i, row := range p {
+		if len(row) != m {
+			return fmt.Errorf("aggregate: ragged row %d", i)
+		}
+		sum := 0.0
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("aggregate: invalid probability %v at (%d,%d)", v, i, j)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("aggregate: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// Mean returns the mean answer rbar = 1P: rbar[j] is the expected count of
+// group j.
+func Mean(p [][]float64) []float64 {
+	m := len(p[0])
+	out := make([]float64, m)
+	for _, row := range p {
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// ExpectedSqDist returns E[||r - v||^2] for a candidate (real-valued)
+// answer v: since tuples are independent, it decomposes as
+// sum_j Var(r_j) + (rbar_j - v_j)^2 with Var(r_j) = sum_i p_ij (1 - p_ij).
+// (The counts r_j are correlated across groups, but only marginal
+// variances enter the expected squared distance.)
+func ExpectedSqDist(p [][]float64, v []float64) float64 {
+	rbar := Mean(p)
+	e := 0.0
+	for j := range rbar {
+		varJ := 0.0
+		for i := range p {
+			varJ += p[i][j] * (1 - p[i][j])
+		}
+		d := rbar[j] - v[j]
+		e += varJ + d*d
+	}
+	return e
+}
+
+// floats converts an integer count vector for ExpectedSqDist.
+func floats(r []int) []float64 {
+	out := make([]float64, len(r))
+	for i, v := range r {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// ExpectedSqDistInt is ExpectedSqDist for integer answers.
+func ExpectedSqDistInt(p [][]float64, r []int) float64 {
+	return ExpectedSqDist(p, floats(r))
+}
+
+// ClosestPossible returns the possible answer r* minimizing ||r* - rbar||^2
+// (Theorem 5), via the min-cost flow construction of Section 6.1: source ->
+// tuple edges of capacity 1, tuple -> group edges where p_ij > 0, and per
+// group a mandatory edge of exactly floor(rbar_j) units plus, when rbar_j
+// is fractional, an optional unit edge costing
+// (ceil(rbar_j)-rbar_j)^2 - (floor(rbar_j)-rbar_j)^2 (possibly negative).
+// A return edge forces total flow n.
+func ClosestPossible(p [][]float64) ([]int, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	n, m := len(p), len(p[0])
+	rbar := Mean(p)
+
+	g := flow.NewGraph(n + m + 2)
+	s, t := n+m, n+m+1
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(s, i, 0, 1, 0); err != nil {
+			return nil, err
+		}
+		for j := 0; j < m; j++ {
+			if p[i][j] > 0 {
+				if _, err := g.AddEdge(i, n+j, 0, 1, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	e2 := make([]int, m)
+	floors := make([]int, m)
+	for j := 0; j < m; j++ {
+		e2[j] = -1
+		fl := int(math.Floor(rbar[j] + intTol))
+		frac := rbar[j] - float64(fl)
+		if frac < intTol || frac > 1-intTol {
+			// Integer column sum: the count is pinned to rbar[j] itself.
+			if frac > 1-intTol {
+				fl++
+			}
+			floors[j] = fl
+			if fl > 0 {
+				if _, err := g.AddEdge(n+j, t, fl, fl, 0); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		floors[j] = fl
+		if fl > 0 {
+			if _, err := g.AddEdge(n+j, t, fl, fl, 0); err != nil {
+				return nil, err
+			}
+		}
+		cost := (float64(fl)+1-rbar[j])*(float64(fl)+1-rbar[j]) - (float64(fl)-rbar[j])*(float64(fl)-rbar[j])
+		id, err := g.AddEdge(n+j, t, 0, 1, cost)
+		if err != nil {
+			return nil, err
+		}
+		e2[j] = id
+	}
+	if _, err := g.AddEdge(t, s, n, n, 0); err != nil {
+		return nil, err
+	}
+	res, err := g.Circulation()
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: %w (is some tuple's support empty?)", err)
+	}
+	out := make([]int, m)
+	for j := 0; j < m; j++ {
+		out[j] = floors[j]
+		if e2[j] >= 0 && res.Flow[e2[j]] > 0 {
+			out[j]++
+		}
+	}
+	return out, nil
+}
+
+// MedianApprox returns the 4-approximate median answer of Corollary 2 (the
+// closest possible answer to the mean) together with its expected squared
+// distance.
+func MedianApprox(p [][]float64) ([]int, float64, error) {
+	r, err := ClosestPossible(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, ExpectedSqDistInt(p, r), nil
+}
+
+// IsPossible reports whether the count vector r is realized by some
+// assignment of tuples to groups within their supports, checked with a
+// feasibility flow.
+func IsPossible(p [][]float64, r []int) (bool, error) {
+	if err := Validate(p); err != nil {
+		return false, err
+	}
+	n, m := len(p), len(p[0])
+	total := 0
+	for _, v := range r {
+		if v < 0 {
+			return false, nil
+		}
+		total += v
+	}
+	if total != n {
+		return false, nil
+	}
+	g := flow.NewGraph(n + m + 2)
+	s, t := n+m, n+m+1
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(s, i, 1, 1, 0); err != nil {
+			return false, err
+		}
+		for j := 0; j < m; j++ {
+			if p[i][j] > 0 {
+				if _, err := g.AddEdge(i, n+j, 0, 1, 0); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		if r[j] > 0 {
+			if _, err := g.AddEdge(n+j, t, r[j], r[j], 0); err != nil {
+				return false, err
+			}
+		}
+	}
+	if _, err := g.AddEdge(t, s, n, n, 0); err != nil {
+		return false, err
+	}
+	if _, err := g.Circulation(); err != nil {
+		return false, nil // infeasible
+	}
+	return true, nil
+}
+
+// ExactMedian exhaustively enumerates all m^n support-respecting
+// assignments, deduplicates their count vectors, and returns the possible
+// answer minimizing the expected squared distance.  Exponential; for
+// validation and experiments only.
+func ExactMedian(p [][]float64) ([]int, float64, error) {
+	if err := Validate(p); err != nil {
+		return nil, 0, err
+	}
+	n, m := len(p), len(p[0])
+	if n > 12 {
+		return nil, 0, fmt.Errorf("aggregate: exact median limited to 12 tuples, got %d", n)
+	}
+	counts := make([]int, m)
+	best := math.Inf(1)
+	var bestR []int
+	seen := map[string]bool{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			key := fmt.Sprint(counts)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			if e := ExpectedSqDistInt(p, counts); e < best {
+				best = e
+				bestR = append([]int(nil), counts...)
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if p[i][j] > 0 {
+				counts[j]++
+				rec(i + 1)
+				counts[j]--
+			}
+		}
+	}
+	rec(0)
+	if bestR == nil {
+		return nil, 0, fmt.Errorf("aggregate: no possible answer (a tuple has empty support)")
+	}
+	return bestR, best, nil
+}

@@ -1,0 +1,257 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+	"consensus/internal/workload"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate([][]float64{{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][][]float64{
+		{},
+		{{}},
+		{{0.5, 0.6}},
+		{{0.5, -0.1}},
+		{{0.5, 0.5}, {1}},
+		{{math.NaN(), 1}},
+	}
+	for i, p := range bad {
+		if err := Validate(p); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	p := [][]float64{
+		{0.2, 0.8},
+		{0.7, 0.3},
+	}
+	got := Mean(p)
+	if !numeric.AlmostEqual(got[0], 0.9, 1e-12) || !numeric.AlmostEqual(got[1], 1.1, 1e-12) {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+// E[||r - v||^2] via the variance decomposition must match direct
+// enumeration over all m^n assignments.
+func TestExpectedSqDistMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 20; trial++ {
+		n, m := 1+rng.Intn(5), 1+rng.Intn(3)
+		p := workload.GroupMatrix(rng, n, m)
+		v := make([]float64, m)
+		for j := range v {
+			v[j] = rng.Float64() * float64(n)
+		}
+		got := ExpectedSqDist(p, v)
+		want := 0.0
+		counts := make([]int, m)
+		var rec func(i int, prob float64)
+		rec = func(i int, prob float64) {
+			if prob == 0 {
+				return
+			}
+			if i == n {
+				d := 0.0
+				for j := range v {
+					diff := float64(counts[j]) - v[j]
+					d += diff * diff
+				}
+				want += prob * d
+				return
+			}
+			for j := 0; j < m; j++ {
+				if p[i][j] > 0 {
+					counts[j]++
+					rec(i+1, prob*p[i][j])
+					counts[j]--
+				}
+			}
+		}
+		rec(0, 1)
+		if !numeric.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: formula %g enum %g", trial, got, want)
+		}
+	}
+}
+
+// The mean answer minimizes E[||r - v||^2] over all real vectors (sanity:
+// against perturbations).
+func TestMeanMinimizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	p := workload.GroupMatrix(rng, 6, 3)
+	rbar := Mean(p)
+	e0 := ExpectedSqDist(p, rbar)
+	for trial := 0; trial < 50; trial++ {
+		v := append([]float64(nil), rbar...)
+		v[rng.Intn(len(v))] += rng.NormFloat64()
+		if e := ExpectedSqDist(p, v); e < e0-1e-12 {
+			t.Fatalf("perturbation %v beats the mean: %g < %g", v, e, e0)
+		}
+	}
+}
+
+// Lemma 3 + Theorem 5 (experiment E11): the flow answer is a possible
+// answer, lies within floor/ceil of the mean, and minimizes the distance
+// to the mean over all possible answers.
+func TestClosestPossibleIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	for trial := 0; trial < 40; trial++ {
+		n, m := 1+rng.Intn(7), 1+rng.Intn(4)
+		p := workload.GroupMatrix(rng, n, m)
+		r, err := ClosestPossible(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rbar := Mean(p)
+		for j := range r {
+			if float64(r[j]) < math.Floor(rbar[j]+intTol)-intTol || float64(r[j]) > math.Ceil(rbar[j]-intTol)+intTol {
+				t.Fatalf("trial %d: r[%d]=%d outside floor/ceil of %g", trial, j, r[j], rbar[j])
+			}
+		}
+		ok, err := IsPossible(p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: flow answer %v not possible", trial, r)
+		}
+		// Exhaustive check: no possible answer is closer to the mean.
+		bestD := math.Inf(1)
+		enumPossible(p, func(cand []int) {
+			d := 0.0
+			for j := range cand {
+				diff := float64(cand[j]) - rbar[j]
+				d += diff * diff
+			}
+			if d < bestD {
+				bestD = d
+			}
+		})
+		gotD := 0.0
+		for j := range r {
+			diff := float64(r[j]) - rbar[j]
+			gotD += diff * diff
+		}
+		if !numeric.AlmostEqual(gotD, bestD, 1e-9) {
+			t.Fatalf("trial %d: flow distance %g, exhaustive optimum %g (r=%v rbar=%v)", trial, gotD, bestD, r, rbar)
+		}
+	}
+}
+
+// enumPossible calls f on every distinct possible count vector.
+func enumPossible(p [][]float64, f func([]int)) {
+	n, m := len(p), len(p[0])
+	counts := make([]int, m)
+	seen := map[string]bool{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			key := ""
+			for _, c := range counts {
+				key += string(rune('0' + c))
+			}
+			if !seen[key] {
+				seen[key] = true
+				f(append([]int(nil), counts...))
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if p[i][j] > 0 {
+				counts[j]++
+				rec(i + 1)
+				counts[j]--
+			}
+		}
+	}
+	rec(0)
+}
+
+// Corollary 2 (experiment E12): the approximation is within factor 4 of
+// the exact median, and never better than it.
+func TestMedianApproxWithinFactor4(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	worst := 1.0
+	for trial := 0; trial < 40; trial++ {
+		n, m := 1+rng.Intn(6), 1+rng.Intn(4)
+		p := workload.GroupMatrix(rng, n, m)
+		_, approxE, err := MedianApprox(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, exactE, err := ExactMedian(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approxE < exactE-1e-9 {
+			t.Fatalf("trial %d: approximation %g beats exact median %g", trial, approxE, exactE)
+		}
+		if exactE > 1e-12 {
+			if ratio := approxE / exactE; ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst > 4+1e-9 {
+		t.Fatalf("4-approximation bound violated: worst ratio %g", worst)
+	}
+	t.Logf("measured worst ratio: %.4f (bound 4)", worst)
+}
+
+func TestIsPossible(t *testing.T) {
+	p := [][]float64{
+		{1, 0},
+		{0.5, 0.5},
+	}
+	cases := []struct {
+		r    []int
+		want bool
+	}{
+		{[]int{2, 0}, true},
+		{[]int{1, 1}, true},
+		{[]int{0, 2}, false}, // tuple 0 cannot take group 1
+		{[]int{1, 0}, false}, // wrong total
+		{[]int{-1, 3}, false},
+	}
+	for _, c := range cases {
+		got, err := IsPossible(p, c.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("IsPossible(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestExactMedianGuards(t *testing.T) {
+	big := workload.GroupMatrix(rand.New(rand.NewSource(1)), 13, 2)
+	if _, _, err := ExactMedian(big); err == nil {
+		t.Fatal("exact median must reject large instances")
+	}
+}
+
+func TestClosestPossibleIntegerMeans(t *testing.T) {
+	// Deterministic tuples: the mean is integral and must be returned
+	// exactly.
+	p := [][]float64{
+		{1, 0},
+		{1, 0},
+		{0, 1},
+	}
+	r, err := ClosestPossible(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 2 || r[1] != 1 {
+		t.Fatalf("r = %v, want [2 1]", r)
+	}
+}

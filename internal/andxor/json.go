@@ -1,0 +1,80 @@
+package andxor
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"consensus/internal/types"
+)
+
+// nodeJSON is the serialized shape of a tree node.  Leaves carry the tuple
+// alternative inline; inner nodes carry children (and, for or-nodes, the
+// parallel edge probabilities).
+type nodeJSON struct {
+	Kind     string     `json:"kind"` // "leaf" | "and" | "or"
+	Key      string     `json:"key,omitempty"`
+	Score    float64    `json:"score,omitempty"`
+	Label    string     `json:"label,omitempty"`
+	Children []nodeJSON `json:"children,omitempty"`
+	Probs    []float64  `json:"probs,omitempty"`
+}
+
+func toJSON(n *Node) nodeJSON {
+	switch n.kind {
+	case KindLeaf:
+		return nodeJSON{Kind: "leaf", Key: n.leaf.Key, Score: n.leaf.Score, Label: n.leaf.Label}
+	case KindAnd:
+		out := nodeJSON{Kind: "and", Children: make([]nodeJSON, len(n.children))}
+		for i, c := range n.children {
+			out.Children[i] = toJSON(c)
+		}
+		return out
+	default:
+		out := nodeJSON{Kind: "or", Children: make([]nodeJSON, len(n.children)), Probs: append([]float64(nil), n.probs...)}
+		for i, c := range n.children {
+			out.Children[i] = toJSON(c)
+		}
+		return out
+	}
+}
+
+func fromJSON(j nodeJSON) (*Node, error) {
+	switch j.Kind {
+	case "leaf":
+		return NewLeaf(types.Leaf{Key: j.Key, Score: j.Score, Label: j.Label}), nil
+	case "and", "or":
+		children := make([]*Node, len(j.Children))
+		for i, c := range j.Children {
+			n, err := fromJSON(c)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = n
+		}
+		if j.Kind == "and" {
+			return NewAnd(children...), nil
+		}
+		return NewOr(children, append([]float64(nil), j.Probs...)), nil
+	default:
+		return nil, fmt.Errorf("andxor: unknown node kind %q in JSON", j.Kind)
+	}
+}
+
+// MarshalJSON serializes the tree; the format round-trips through
+// UnmarshalTree.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSON(t.root))
+}
+
+// UnmarshalTree parses and validates a tree serialized by MarshalJSON.
+func UnmarshalTree(data []byte) (*Tree, error) {
+	var j nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("andxor: %w", err)
+	}
+	root, err := fromJSON(j)
+	if err != nil {
+		return nil, err
+	}
+	return New(root)
+}

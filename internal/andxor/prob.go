@@ -1,0 +1,98 @@
+package andxor
+
+import (
+	"consensus/internal/types"
+)
+
+// WorldProb returns the exact probability that the tree generates precisely
+// the given world, in time linear in the tree size.  A strictly positive
+// result certifies that w is a possible world; zero means it is not (or
+// that w contains alternatives foreign to the tree).
+//
+// The recursion follows the generative process of Definition 1.  Each
+// subtree must produce exactly the restriction of w to its own leaves (its
+// "requirement").  A leaf always produces itself, so its probability is 1
+// if required and 0 if it must vanish; an and-node multiplies its children
+// (their key sets are disjoint by validation, so the requirement splits
+// uniquely); an or-node producing an empty requirement sums its stop
+// probability with each branch's probability of producing nothing, while a
+// non-empty requirement must sit entirely under a single branch, which must
+// fire.
+func WorldProb(t *Tree, w *types.World) float64 {
+	// Reject worlds with alternatives the tree cannot generate: the leaf
+	// recursion only ever checks leaves present in the tree, so a foreign
+	// alternative would otherwise be silently ignored.
+	present := 0
+	for _, l := range t.leaves {
+		if w.Contains(l.leaf) {
+			present++
+		}
+	}
+	if present != w.Len() {
+		return 0
+	}
+	reqs := make(map[*Node]int)
+	countRequirements(t.root, w, reqs)
+	return worldProbNode(t.root, w, reqs)
+}
+
+// IsPossible reports whether w occurs with non-zero probability.
+func IsPossible(t *Tree, w *types.World) bool {
+	return WorldProb(t, w) > 0
+}
+
+// countRequirements fills reqs[n] with the number of alternatives of w
+// lying at leaves under n.
+func countRequirements(n *Node, w *types.World, reqs map[*Node]int) int {
+	c := 0
+	if n.kind == KindLeaf {
+		if w.Contains(n.leaf) {
+			c = 1
+		}
+	} else {
+		for _, ch := range n.children {
+			c += countRequirements(ch, w, reqs)
+		}
+	}
+	reqs[n] = c
+	return c
+}
+
+func worldProbNode(n *Node, w *types.World, reqs map[*Node]int) float64 {
+	switch n.kind {
+	case KindLeaf:
+		if reqs[n] == 1 {
+			return 1 // a leaf produces exactly itself
+		}
+		return 0 // a leaf can never produce the empty set
+	case KindAnd:
+		p := 1.0
+		for _, c := range n.children {
+			p *= worldProbNode(c, w, reqs)
+			if p == 0 {
+				return 0
+			}
+		}
+		return p
+	default: // KindOr
+		if reqs[n] == 0 {
+			// Produce nothing: stop, or fire a branch that itself
+			// produces nothing.
+			p := n.StopProb()
+			for i, c := range n.children {
+				if n.probs[i] > 0 {
+					p += n.probs[i] * worldProbNode(c, w, reqs)
+				}
+			}
+			return p
+		}
+		// A non-empty requirement must be covered by exactly one branch.
+		p := 0.0
+		for i, c := range n.children {
+			if n.probs[i] > 0 && reqs[c] == reqs[n] {
+				p += n.probs[i] * worldProbNode(c, w, reqs)
+			}
+		}
+		return p
+	}
+}

@@ -1,0 +1,161 @@
+package andxor
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+	"consensus/internal/types"
+)
+
+func TestWorldProbFigure1iii(t *testing.T) {
+	tr := Figure1iii()
+	for _, ww := range Figure1Worlds() {
+		if got := WorldProb(tr, ww.World); !numeric.AlmostEqual(got, ww.Prob, 1e-12) {
+			t.Errorf("Pr(%v) = %g, want %g", ww.World, got, ww.Prob)
+		}
+		if !IsPossible(tr, ww.World) {
+			t.Errorf("%v must be possible", ww.World)
+		}
+	}
+	// A world mixing alternatives of two different figure-worlds is
+	// impossible under the correlation.
+	impossible := types.MustWorld(types.Leaf{Key: "t3", Score: 6}, types.Leaf{Key: "t5", Score: 3})
+	if WorldProb(tr, impossible) != 0 {
+		t.Error("cross-world mixture must have probability 0")
+	}
+	// A world with a foreign alternative is impossible.
+	foreign := types.MustWorld(types.Leaf{Key: "tX", Score: 1})
+	if WorldProb(tr, foreign) != 0 {
+		t.Error("foreign alternative must have probability 0")
+	}
+	// The empty world has probability 0 here (some world always realizes).
+	if WorldProb(tr, &types.World{}) != 0 {
+		t.Error("empty world impossible for Figure 1(iii)")
+	}
+}
+
+func TestWorldProbFigure1i(t *testing.T) {
+	tr := Figure1i()
+	// Pr of the specific world {(t1,8),(t2,3),(t3,1),(t4,6)} is
+	// 0.1*0.4*0.2*0.5.
+	w := types.MustWorld(
+		types.Leaf{Key: "t1", Score: 8},
+		types.Leaf{Key: "t2", Score: 3},
+		types.Leaf{Key: "t3", Score: 1},
+		types.Leaf{Key: "t4", Score: 6},
+	)
+	if got, want := WorldProb(tr, w), 0.1*0.4*0.2*0.5; !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("Pr = %g, want %g", got, want)
+	}
+	// World missing t1 and t2: (1-0.6)*(1-0.8)*0.2*0.5.
+	w2 := types.MustWorld(types.Leaf{Key: "t3", Score: 1}, types.Leaf{Key: "t4", Score: 6})
+	if got, want := WorldProb(tr, w2), 0.4*0.2*0.2*0.5; !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("Pr = %g, want %g", got, want)
+	}
+}
+
+// Cross-check WorldProb against full enumeration on random nested trees:
+// every enumerated world must get its enumerated probability, and a few
+// perturbed worlds must get 0 unless they happen to be possible.
+func TestWorldProbMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		tr := nestedForTest(rng, 2+rng.Intn(5))
+		ws := enumerateForTest(t, tr)
+		for _, ww := range ws {
+			if got := WorldProb(tr, ww.World); !numeric.AlmostEqual(got, ww.Prob, 1e-9) {
+				t.Fatalf("trial %d: Pr(%v) = %g, enum %g (tree %s)", trial, ww.World, got, ww.Prob, tr)
+			}
+		}
+	}
+}
+
+// nestedForTest builds a random nested tree without importing workload
+// (which would create an import cycle through andxor).
+func nestedForTest(rng *rand.Rand, nKeys int) *Tree {
+	score := 0.0
+	nextScore := func() float64 { score++; return score }
+	var build func(keys []string) *Node
+	build = func(keys []string) *Node {
+		if len(keys) == 1 {
+			na := 1 + rng.Intn(2)
+			leaves := make([]*Node, na)
+			probs := make([]float64, na)
+			for i := range leaves {
+				leaves[i] = NewLeaf(types.Leaf{Key: keys[0], Score: nextScore()})
+				probs[i] = rng.Float64() / float64(na)
+			}
+			return NewOr(leaves, probs)
+		}
+		mid := 1 + rng.Intn(len(keys)-1)
+		a, b := build(keys[:mid]), build(keys[mid:])
+		if rng.Intn(2) == 0 {
+			return NewAnd(a, b)
+		}
+		pa := rng.Float64() / 2
+		pb := rng.Float64() / 2
+		return NewOr([]*Node{a, b}, []float64{pa, pb})
+	}
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = string(rune('a' + i))
+	}
+	return MustNew(build(keys))
+}
+
+// enumerateForTest enumerates worlds directly (duplicating the exact
+// package's logic in miniature to avoid an import cycle in tests).
+func enumerateForTest(t *testing.T, tr *Tree) []WeightedWorld {
+	t.Helper()
+	var rec func(n *Node) []WeightedWorld
+	rec = func(n *Node) []WeightedWorld {
+		switch n.kind {
+		case KindLeaf:
+			return []WeightedWorld{{World: types.MustWorld(n.leaf), Prob: 1}}
+		case KindOr:
+			out := []WeightedWorld{}
+			if sp := n.StopProb(); sp > 0 {
+				out = append(out, WeightedWorld{World: &types.World{}, Prob: sp})
+			}
+			for i, c := range n.children {
+				for _, ww := range rec(c) {
+					if p := ww.Prob * n.probs[i]; p > 0 {
+						out = append(out, WeightedWorld{World: ww.World, Prob: p})
+					}
+				}
+			}
+			return out
+		default:
+			acc := []WeightedWorld{{World: &types.World{}, Prob: 1}}
+			for _, c := range n.children {
+				sub := rec(c)
+				next := []WeightedWorld{}
+				for _, a := range acc {
+					for _, b := range sub {
+						m := a.World.Clone()
+						for _, l := range b.World.Leaves() {
+							m.Add(l)
+						}
+						next = append(next, WeightedWorld{World: m, Prob: a.Prob * b.Prob})
+					}
+				}
+				acc = next
+			}
+			return acc
+		}
+	}
+	raw := rec(tr.root)
+	merged := map[string]int{}
+	var out []WeightedWorld
+	for _, ww := range raw {
+		fp := ww.World.Fingerprint()
+		if i, ok := merged[fp]; ok {
+			out[i].Prob += ww.Prob
+			continue
+		}
+		merged[fp] = len(out)
+		out = append(out, ww)
+	}
+	return out
+}

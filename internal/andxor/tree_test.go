@@ -1,0 +1,248 @@
+package andxor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/types"
+)
+
+func leaf(key string, score float64) *Node {
+	return NewLeaf(types.Leaf{Key: key, Score: score})
+}
+
+func TestValidationProbabilityConstraint(t *testing.T) {
+	_, err := New(NewOr([]*Node{leaf("a", 1), leaf("b", 2)}, []float64{0.7, 0.6}))
+	if err == nil {
+		t.Fatal("edge probabilities summing to 1.3 must be rejected")
+	}
+	_, err = New(NewOr([]*Node{leaf("a", 1)}, []float64{-0.1}))
+	if err == nil {
+		t.Fatal("negative edge probability must be rejected")
+	}
+	_, err = New(NewOr([]*Node{leaf("a", 1)}, []float64{math.NaN()}))
+	if err == nil {
+		t.Fatal("NaN edge probability must be rejected")
+	}
+	if _, err = New(NewOr([]*Node{leaf("a", 1), leaf("b", 2)}, []float64{0.5, 0.5})); err != nil {
+		t.Fatalf("valid or-node rejected: %v", err)
+	}
+}
+
+func TestValidationKeyConstraint(t *testing.T) {
+	// Two leaves with the same key whose LCA is an and-node: invalid.
+	bad := NewAnd(
+		NewOr([]*Node{leaf("t1", 1)}, []float64{0.5}),
+		NewOr([]*Node{leaf("t1", 2)}, []float64{0.5}),
+	)
+	if _, err := New(bad); err == nil {
+		t.Fatal("key constraint violation must be rejected")
+	}
+	// Same key under a common or-node: valid (mutually exclusive).
+	good := NewOr([]*Node{leaf("t1", 1), leaf("t1", 2)}, []float64{0.5, 0.5})
+	if _, err := New(good); err != nil {
+		t.Fatalf("or-LCA for shared key should be accepted: %v", err)
+	}
+	// Nested: the shared key sits under different and-children deeper down.
+	nested := NewOr(
+		[]*Node{
+			NewAnd(NewOr([]*Node{leaf("t1", 1)}, []float64{1}), NewOr([]*Node{leaf("t2", 2)}, []float64{1})),
+			NewAnd(NewOr([]*Node{leaf("t1", 3)}, []float64{1}), NewOr([]*Node{leaf("t2", 4)}, []float64{1})),
+		},
+		[]float64{0.5, 0.5},
+	)
+	if _, err := New(nested); err != nil {
+		t.Fatalf("or-LCA above and-nodes should be accepted: %v", err)
+	}
+}
+
+func TestValidationRejectsSharing(t *testing.T) {
+	shared := leaf("a", 1)
+	_, err := New(NewOr([]*Node{shared, shared}, []float64{0.4, 0.4}))
+	if err == nil {
+		t.Fatal("node sharing (DAG) must be rejected")
+	}
+}
+
+func TestValidationRejectsMalformedNodes(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil root must be rejected")
+	}
+	if _, err := New(NewAnd()); err == nil {
+		t.Fatal("childless and-node must be rejected")
+	}
+	if _, err := New(NewOr(nil, nil)); err == nil {
+		t.Fatal("childless or-node must be rejected")
+	}
+	if _, err := New(NewOr([]*Node{leaf("a", 1)}, []float64{0.3, 0.3})); err == nil {
+		t.Fatal("children/probs length mismatch must be rejected")
+	}
+	if _, err := New(NewLeaf(types.Leaf{})); err == nil {
+		t.Fatal("empty key must be rejected")
+	}
+}
+
+func TestFigure1iShape(t *testing.T) {
+	tr := Figure1i()
+	if tr.NumLeaves() != 8 {
+		t.Fatalf("Figure 1(i) has 8 alternatives, got %d", tr.NumLeaves())
+	}
+	keys := tr.Keys()
+	want := []string{"t1", "t2", "t3", "t4"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+	km := tr.KeyMarginals()
+	// Pr(t1) = 0.1+0.5, Pr(t2)=0.8, Pr(t3)=1.0, Pr(t4)=1.0
+	wantM := map[string]float64{"t1": 0.6, "t2": 0.8, "t3": 1.0, "t4": 1.0}
+	for k, w := range wantM {
+		if math.Abs(km[k]-w) > 1e-12 {
+			t.Errorf("Pr(%s) = %g, want %g", k, km[k], w)
+		}
+	}
+}
+
+func TestMarginalProbsNested(t *testing.T) {
+	// or(0.5 -> and(or(1->a), or(0.4->b)))   =>  Pr(a)=0.5, Pr(b)=0.2
+	g, err := CoexistGroup(0.5, []Block{
+		{Alternatives: []types.Leaf{{Key: "a", Score: 1}}, Probs: []float64{1}},
+		{Alternatives: []types.Leaf{{Key: "b", Score: 2}}, Probs: []float64{0.4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := MustNew(g)
+	probs := tr.MarginalProbs()
+	leaves := tr.LeafAlternatives()
+	for i, l := range leaves {
+		want := 0.5
+		if l.Key == "b" {
+			want = 0.2
+		}
+		if math.Abs(probs[i]-want) > 1e-12 {
+			t.Errorf("Pr(%v) = %g, want %g", l, probs[i], want)
+		}
+	}
+}
+
+func TestSampleMatchesMarginals(t *testing.T) {
+	tr := Figure1i()
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	counts := map[types.Leaf]int{}
+	for i := 0; i < n; i++ {
+		w := tr.Sample(rng)
+		for _, l := range w.Leaves() {
+			counts[l]++
+		}
+	}
+	probs := tr.MarginalProbs()
+	for i, l := range tr.LeafAlternatives() {
+		got := float64(counts[l]) / n
+		if math.Abs(got-probs[i]) > 0.01 {
+			t.Errorf("sampled Pr(%v) = %g, want %g", l, got, probs[i])
+		}
+	}
+}
+
+func TestScoresDistinctAcrossKeys(t *testing.T) {
+	tr := Figure1i()
+	if !tr.ScoresDistinctAcrossKeys() {
+		t.Fatal("Figure 1(i) has distinct scores across keys")
+	}
+	clash, err := BID([]Block{
+		{Alternatives: []types.Leaf{{Key: "a", Score: 1}}, Probs: []float64{0.5}},
+		{Alternatives: []types.Leaf{{Key: "b", Score: 1}}, Probs: []float64{0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clash.ScoresDistinctAcrossKeys() {
+		t.Fatal("score clash across keys must be detected")
+	}
+	// Same key sharing a score across alternatives is fine.
+	same, err := BID([]Block{
+		{Alternatives: []types.Leaf{{Key: "a", Score: 1, Label: "x"}, {Key: "a", Score: 1, Label: "y"}}, Probs: []float64{0.5, 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.ScoresDistinctAcrossKeys() {
+		t.Fatal("same-key score sharing should be allowed")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tr := MustNew(NewOr([]*Node{leaf("a", 1)}, []float64{0.25}))
+	if got := tr.String(); got != "(or 0.25:a(1))" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, tr := range []*Tree{Figure1i(), Figure1iii()} {
+		data, err := tr.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalTree(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.String() != tr.String() {
+			t.Fatalf("round trip mismatch:\n got %s\nwant %s", back.String(), tr.String())
+		}
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := UnmarshalTree([]byte(`{"kind":"nope"}`)); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+	if _, err := UnmarshalTree([]byte(`{"kind":"or","children":[{"kind":"leaf","key":"a"}],"probs":[1.5]}`)); err == nil {
+		t.Fatal("invalid probabilities must be rejected after parse")
+	}
+	if _, err := UnmarshalTree([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON must be rejected")
+	}
+}
+
+func TestBIDValidation(t *testing.T) {
+	if _, err := BID(nil); err == nil {
+		t.Fatal("empty BID must be rejected")
+	}
+	_, err := BID([]Block{{Alternatives: []types.Leaf{{Key: "a"}, {Key: "b"}}, Probs: []float64{0.5, 0.5}}})
+	if err == nil {
+		t.Fatal("mixed keys within a block must be rejected")
+	}
+	_, err = BID([]Block{{Alternatives: []types.Leaf{{Key: "a"}}, Probs: []float64{0.5, 0.5}}})
+	if err == nil {
+		t.Fatal("alternatives/probs mismatch must be rejected")
+	}
+}
+
+func TestFromWorldsEmptyHandling(t *testing.T) {
+	// A distribution including an explicit empty world folds it into the
+	// or-node deficit.
+	ws := []WeightedWorld{
+		{World: types.MustWorld(types.Leaf{Key: "a", Score: 1}), Prob: 0.6},
+		{World: &types.World{}, Prob: 0.4},
+	}
+	tr, err := FromWorlds(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.KeyMarginals()
+	if math.Abs(m["a"]-0.6) > 1e-12 {
+		t.Fatalf("Pr(a) = %g, want 0.6", m["a"])
+	}
+	if _, err := FromWorlds([]WeightedWorld{{World: &types.World{}, Prob: 1}}); err == nil {
+		t.Fatal("only-empty-world distribution must be rejected")
+	}
+}

@@ -1,0 +1,150 @@
+package assignment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+)
+
+// bruteMin enumerates all injections rows -> cols.
+func bruteMin(cost [][]float64) float64 {
+	n := len(cost)
+	if n == 0 {
+		return 0
+	}
+	m := len(cost[0])
+	used := make([]bool, m)
+	best := math.Inf(1)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if i == n {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if !used[j] {
+				used[j] = true
+				rec(i+1, acc+cost[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestMinKnownCase(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	rowTo, total, err := Min(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(total, 5, 1e-12) { // 1 + 2 + 2
+		t.Fatalf("total = %g, want 5 (assign %v)", total, rowTo)
+	}
+	seen := map[int]bool{}
+	for _, j := range rowTo {
+		if seen[j] {
+			t.Fatal("column assigned twice")
+		}
+		seen[j] = true
+	}
+}
+
+func TestMinRectangular(t *testing.T) {
+	cost := [][]float64{
+		{10, 2, 8, 9},
+		{7, 3, 4, 2},
+	}
+	_, total, err := Min(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteMin(cost); !numeric.AlmostEqual(total, want, 1e-12) {
+		t.Fatalf("total = %g, want %g", total, want)
+	}
+}
+
+func TestMinRejectsBadInput(t *testing.T) {
+	if _, _, err := Min([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("rows > cols must be rejected")
+	}
+	if _, _, err := Min([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix must be rejected")
+	}
+	if _, _, err := Min([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("NaN cost must be rejected")
+	}
+	if _, total, err := Min(nil); err != nil || total != 0 {
+		t.Fatal("empty problem should solve trivially")
+	}
+}
+
+// Randomized cross-check against brute force, including negative costs.
+func TestMinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*41) - 20 // integers in [-20,20]
+			}
+		}
+		rowTo, total, err := Min(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The reported total must equal the cost of the reported assignment.
+		check := 0.0
+		seen := map[int]bool{}
+		for i, j := range rowTo {
+			if seen[j] {
+				t.Fatalf("trial %d: column %d assigned twice", trial, j)
+			}
+			seen[j] = true
+			check += cost[i][j]
+		}
+		if !numeric.AlmostEqual(check, total, 1e-9) {
+			t.Fatalf("trial %d: reported %g but assignment costs %g", trial, total, check)
+		}
+		if want := bruteMin(cost); !numeric.AlmostEqual(total, want, 1e-9) {
+			t.Fatalf("trial %d: total %g, brute force %g", trial, total, want)
+		}
+	}
+}
+
+func TestMaxIsNegatedMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(4)
+		m := n + rng.Intn(3)
+		profit := make([][]float64, n)
+		neg := make([][]float64, n)
+		for i := range profit {
+			profit[i] = make([]float64, m)
+			neg[i] = make([]float64, m)
+			for j := range profit[i] {
+				profit[i][j] = rng.Float64() * 10
+				neg[i][j] = -profit[i][j]
+			}
+		}
+		_, maxTotal, err := Max(profit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := -bruteMin(neg); !numeric.AlmostEqual(maxTotal, want, 1e-9) {
+			t.Fatalf("trial %d: max %g, want %g", trial, maxTotal, want)
+		}
+	}
+}

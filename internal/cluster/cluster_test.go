@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/exact"
+	"consensus/internal/numeric"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+func TestCanonicalAndPairDistance(t *testing.T) {
+	a := Clustering{5, 5, 2, 2}.Canonical()
+	if a[0] != 0 || a[1] != 0 || a[2] != 1 || a[3] != 1 {
+		t.Fatalf("canonical = %v", a)
+	}
+	b := Clustering{0, 1, 1, 0}
+	// pairs: (0,1): a together? no... a = [0 0 1 1]: (0,1) together in a,
+	// separated in b: 1. (0,2): sep in a, sep in b: 0. (0,3): sep in a,
+	// together in b: 1. (1,2): sep/together: 1. (1,3): sep/sep: 0.
+	// (2,3): together/sep: 1.  total 4.
+	if d := PairDistance(a, b); d != 4 {
+		t.Fatalf("distance = %d, want 4", d)
+	}
+	if d := PairDistance(a, a); d != 0 {
+		t.Fatal("identity distance must be 0")
+	}
+}
+
+// The w matrix from generating functions must match enumeration, including
+// the both-absent artificial cluster (experiment E13).
+func TestCoClusterMatrixMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 15; trial++ {
+		tr := workload.NestedLabeled(rng, 2+rng.Intn(4), 2, 2)
+		ins := FromTree(tr)
+		ws := exact.MustEnumerate(tr)
+		for i := range ins.Keys {
+			for j := range ins.Keys {
+				if i == j {
+					continue
+				}
+				ki, kj := ins.Keys[i], ins.Keys[j]
+				want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+					li, iok := w.Lookup(ki)
+					lj, jok := w.Lookup(kj)
+					if !iok && !jok {
+						return 1 // both in the artificial absent cluster
+					}
+					if iok && jok && li.Label == lj.Label {
+						return 1
+					}
+					return 0
+				})
+				if !numeric.AlmostEqual(ins.W[i][j], want, 1e-9) {
+					t.Fatalf("trial %d: w[%s][%s] = %g, enum %g (tree %s)", trial, ki, kj, ins.W[i][j], want, tr)
+				}
+			}
+		}
+	}
+}
+
+// ExpectedDistance from the w matrix must equal enumeration of the pair
+// metric over worlds.
+func TestExpectedDistanceMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	for trial := 0; trial < 15; trial++ {
+		tr := workload.NestedLabeled(rng, 2+rng.Intn(4), 2, 2)
+		ins := FromTree(tr)
+		ws := exact.MustEnumerate(tr)
+		// Try several candidate clusterings.
+		cands := []Clustering{
+			make(Clustering, len(ins.Keys)), // all together
+		}
+		sep := make(Clustering, len(ins.Keys))
+		for i := range sep {
+			sep[i] = i
+		}
+		cands = append(cands, sep, ins.CCPivot(rand.New(rand.NewSource(int64(trial)))))
+		for _, c := range cands {
+			got := ins.ExpectedDistance(c)
+			want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+				return float64(PairDistance(c, ins.FromWorld(w)))
+			})
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("trial %d cand %v: w-matrix %g enum %g", trial, c, got, want)
+			}
+		}
+	}
+}
+
+// Pivot clustering must never beat the exact optimum, and with restarts it
+// should stay within the constant-factor regime the paper cites (we assert
+// the worst measured ratio stays under 3, well inside CC-Pivot's
+// probability-constraint guarantee of 5).
+func TestPivotAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	worst := 1.0
+	for trial := 0; trial < 25; trial++ {
+		tr := workload.NestedLabeled(rng, 2+rng.Intn(5), 2, 2)
+		ins := FromTree(tr)
+		opt, optE, err := ins.Exact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pivotE := ins.CCPivotBest(rand.New(rand.NewSource(int64(trial))), 20)
+		if pivotE < optE-1e-9 {
+			t.Fatalf("trial %d: pivot %g beats exact %g (opt %v)", trial, pivotE, optE, opt)
+		}
+		if optE > 1e-9 {
+			if r := pivotE / optE; r > worst {
+				worst = r
+			}
+		}
+	}
+	if worst > 3 {
+		t.Fatalf("pivot-with-restarts ratio %g exceeded 3 on tiny instances", worst)
+	}
+	t.Logf("measured worst pivot ratio: %.4f", worst)
+}
+
+// BestOf over per-world clusterings is the classical 2-approximation: the
+// best input clustering is within twice the optimum.
+func TestBestOfWorldClusterings(t *testing.T) {
+	rng := rand.New(rand.NewSource(164))
+	for trial := 0; trial < 15; trial++ {
+		tr := workload.NestedLabeled(rng, 2+rng.Intn(4), 2, 2)
+		ins := FromTree(tr)
+		ws := exact.MustEnumerate(tr)
+		var cands []Clustering
+		for _, ww := range ws {
+			cands = append(cands, ins.FromWorld(ww.World))
+		}
+		_, bestE := ins.BestOf(cands)
+		_, optE, err := ins.Exact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestE < optE-1e-9 {
+			t.Fatalf("trial %d: candidate %g beats optimum %g", trial, bestE, optE)
+		}
+		if optE > 1e-9 && bestE > 2*optE+1e-9 {
+			t.Fatalf("trial %d: best input clustering ratio %g exceeds 2", trial, bestE/optE)
+		}
+	}
+}
+
+func TestExactGuards(t *testing.T) {
+	ins := &Instance{Keys: make([]string, MaxExact+1), W: make([][]float64, MaxExact+1)}
+	if _, _, err := ins.Exact(); err == nil {
+		t.Fatal("oversized exact search must be rejected")
+	}
+}
+
+func TestFromWorldAbsentCluster(t *testing.T) {
+	ins := &Instance{Keys: []string{"a", "b", "c"}}
+	w := types.MustWorld(types.Leaf{Key: "b", Score: 1, Label: "g"})
+	c := ins.FromWorld(w)
+	if !c.Together(0, 2) {
+		t.Fatal("absent tuples must share the artificial cluster")
+	}
+	if c.Together(0, 1) {
+		t.Fatal("absent and present tuples must not be clustered together")
+	}
+}
+
+func TestKeyIndex(t *testing.T) {
+	ins := &Instance{Keys: []string{"a", "b", "c"}}
+	if ins.KeyIndex("b") != 1 || ins.KeyIndex("z") != -1 {
+		t.Fatal("KeyIndex wrong")
+	}
+}

@@ -1,0 +1,213 @@
+// Package exact is the brute-force possible-worlds oracle used to validate
+// every polynomial-time algorithm in this repository.
+//
+// It enumerates the full distribution over possible worlds of an and/xor
+// tree (exponential in the worst case, so callers bound instance sizes),
+// computes exact expected distances by summation over that distribution,
+// and finds exact mean/median answers by exhaustive search over candidate
+// answer spaces.  Nothing in here is meant to be fast; it is meant to be
+// obviously correct.
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+)
+
+// DefaultLimit caps the number of (world, probability) pairs materialized
+// during enumeration before deduplication.
+const DefaultLimit = 1 << 20
+
+// Enumerate returns the exact distribution over possible worlds of the
+// tree: each distinct world paired with its total probability.  Worlds are
+// deduplicated (distinct or-branches may generate the same world) and
+// returned in a deterministic order (decreasing probability, then by
+// fingerprint).  Probabilities sum to 1 up to float error.  It returns an
+// error if more than limit raw worlds would be materialized; pass 0 for
+// DefaultLimit.
+func Enumerate(t *andxor.Tree, limit int) ([]andxor.WeightedWorld, error) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	raw, err := enumerateNode(t.Root(), limit)
+	if err != nil {
+		return nil, err
+	}
+	// Deduplicate by fingerprint, dropping zero-probability worlds.
+	idx := make(map[string]int)
+	var out []andxor.WeightedWorld
+	for _, ww := range raw {
+		if ww.Prob <= 0 {
+			continue
+		}
+		fp := ww.World.Fingerprint()
+		if i, ok := idx[fp]; ok {
+			out[i].Prob += ww.Prob
+			continue
+		}
+		idx[fp] = len(out)
+		out = append(out, ww)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].World.Fingerprint() < out[j].World.Fingerprint()
+	})
+	return out, nil
+}
+
+func enumerateNode(n *andxor.Node, limit int) ([]andxor.WeightedWorld, error) {
+	switch n.Kind() {
+	case andxor.KindLeaf:
+		return []andxor.WeightedWorld{{World: types.MustWorld(n.Leaf()), Prob: 1}}, nil
+	case andxor.KindOr:
+		var out []andxor.WeightedWorld
+		if stop := n.StopProb(); stop > 0 {
+			out = append(out, andxor.WeightedWorld{World: &types.World{}, Prob: stop})
+		}
+		for i, c := range n.Children() {
+			p := n.Probs()[i]
+			if p == 0 {
+				continue
+			}
+			sub, err := enumerateNode(c, limit)
+			if err != nil {
+				return nil, err
+			}
+			for _, ww := range sub {
+				out = append(out, andxor.WeightedWorld{World: ww.World, Prob: ww.Prob * p})
+				if len(out) > limit {
+					return nil, fmt.Errorf("exact: enumeration exceeds limit %d", limit)
+				}
+			}
+		}
+		return out, nil
+	case andxor.KindAnd:
+		acc := []andxor.WeightedWorld{{World: &types.World{}, Prob: 1}}
+		for _, c := range n.Children() {
+			sub, err := enumerateNode(c, limit)
+			if err != nil {
+				return nil, err
+			}
+			next := make([]andxor.WeightedWorld, 0, len(acc)*len(sub))
+			for _, a := range acc {
+				for _, b := range sub {
+					merged := a.World.Clone()
+					for _, l := range b.World.Leaves() {
+						merged.Add(l) // keys disjoint across and-children by validation
+					}
+					next = append(next, andxor.WeightedWorld{World: merged, Prob: a.Prob * b.Prob})
+					if len(next) > limit {
+						return nil, fmt.Errorf("exact: enumeration exceeds limit %d", limit)
+					}
+				}
+			}
+			acc = next
+		}
+		return acc, nil
+	default:
+		return nil, fmt.Errorf("exact: unknown node kind")
+	}
+}
+
+// MustEnumerate is Enumerate with DefaultLimit that panics on failure; for
+// tests.
+func MustEnumerate(t *andxor.Tree) []andxor.WeightedWorld {
+	ws, err := Enumerate(t, 0)
+	if err != nil {
+		panic(err)
+	}
+	return ws
+}
+
+// Expected returns E[f(pw)] over the tree's possible-world distribution.
+func Expected(t *andxor.Tree, f func(*types.World) float64) (float64, error) {
+	ws, err := Enumerate(t, 0)
+	if err != nil {
+		return 0, err
+	}
+	return ExpectedOver(ws, f), nil
+}
+
+// ExpectedOver returns E[f(pw)] over an already-enumerated distribution.
+func ExpectedOver(ws []andxor.WeightedWorld, f func(*types.World) float64) float64 {
+	s := 0.0
+	for _, ww := range ws {
+		s += ww.Prob * f(ww.World)
+	}
+	return s
+}
+
+// TotalProb returns the probability mass of the distribution (should be 1).
+func TotalProb(ws []andxor.WeightedWorld) float64 {
+	s := 0.0
+	for _, ww := range ws {
+		s += ww.Prob
+	}
+	return s
+}
+
+// WorldSizeDist returns the exact distribution of |pw| as a slice indexed
+// by size, for cross-checking the generating-function computation of
+// Example 1 / Figure 1(i).
+func WorldSizeDist(ws []andxor.WeightedWorld) []float64 {
+	maxLen := 0
+	for _, ww := range ws {
+		if ww.World.Len() > maxLen {
+			maxLen = ww.World.Len()
+		}
+	}
+	out := make([]float64, maxLen+1)
+	for _, ww := range ws {
+		out[ww.World.Len()] += ww.Prob
+	}
+	return out
+}
+
+// RankProb returns Pr(r(t) = rank) for the given key under the exact
+// distribution, where r(t) is the rank of t's present alternative by
+// decreasing score and absent tuples have infinite rank (Section 5
+// conventions; rank is 1-based).
+func RankProb(ws []andxor.WeightedWorld, key string, rank int) float64 {
+	p := 0.0
+	for _, ww := range ws {
+		if rankIn(ww.World, key) == rank {
+			p += ww.Prob
+		}
+	}
+	return p
+}
+
+// RankAtMostProb returns Pr(r(t) <= rank) for the given key.
+func RankAtMostProb(ws []andxor.WeightedWorld, key string, rank int) float64 {
+	p := 0.0
+	for _, ww := range ws {
+		if r := rankIn(ww.World, key); r > 0 && r <= rank {
+			p += ww.Prob
+		}
+	}
+	return p
+}
+
+// rankIn returns the 1-based rank of key's alternative in the world by
+// decreasing score, or 0 if the key is absent.
+func rankIn(w *types.World, key string) int {
+	l, ok := w.Lookup(key)
+	if !ok {
+		return 0
+	}
+	r := 1
+	for _, o := range w.Leaves() {
+		if o.Key == key {
+			continue
+		}
+		if o.Score > l.Score || (o.Score == l.Score && o.Key < l.Key) {
+			r++
+		}
+	}
+	return r
+}

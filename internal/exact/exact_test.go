@@ -1,0 +1,158 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/numeric"
+	"consensus/internal/types"
+)
+
+func TestEnumerateFigure1iii(t *testing.T) {
+	// Figure 1(ii) lists exactly three possible worlds with probabilities
+	// 0.3, 0.3, 0.4; the tree of Figure 1(iii) must reproduce them.
+	ws := MustEnumerate(andxor.Figure1iii())
+	if len(ws) != 3 {
+		t.Fatalf("got %d worlds, want 3: %v", len(ws), ws)
+	}
+	if !numeric.AlmostEqual(TotalProb(ws), 1, 1e-12) {
+		t.Fatalf("total probability %g != 1", TotalProb(ws))
+	}
+	want := andxor.Figure1Worlds()
+	for _, exp := range want {
+		found := false
+		for _, got := range ws {
+			if got.World.Equal(exp.World) {
+				found = true
+				if !numeric.AlmostEqual(got.Prob, exp.Prob, 1e-12) {
+					t.Errorf("world %v: prob %g, want %g", exp.World, got.Prob, exp.Prob)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("world %v missing from enumeration", exp.World)
+		}
+	}
+}
+
+func TestEnumerateFigure1iSizeDist(t *testing.T) {
+	// Example 1 / Figure 1(i): the world-size distribution is
+	// 0.08 x^2 + 0.44 x^3 + 0.48 x^4.
+	ws := MustEnumerate(andxor.Figure1i())
+	dist := WorldSizeDist(ws)
+	want := []float64{0, 0, 0.08, 0.44, 0.48}
+	if len(dist) != len(want) {
+		t.Fatalf("size dist = %v", dist)
+	}
+	for i := range want {
+		if !numeric.AlmostEqual(dist[i], want[i], 1e-12) {
+			t.Errorf("Pr(|pw|=%d) = %g, want %g", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestEnumerateDeduplicates(t *testing.T) {
+	// Two or-branches producing the same world must be merged.
+	l := types.Leaf{Key: "a", Score: 1}
+	tr := andxor.MustNew(andxor.NewOr(
+		[]*andxor.Node{andxor.NewLeaf(l), andxor.NewLeaf(l)},
+		[]float64{0.3, 0.4},
+	))
+	ws := MustEnumerate(tr)
+	if len(ws) != 2 { // {a} and {}
+		t.Fatalf("got %d worlds, want 2: %v", len(ws), ws)
+	}
+	for _, ww := range ws {
+		if ww.World.Len() == 1 && !numeric.AlmostEqual(ww.Prob, 0.7, 1e-12) {
+			t.Errorf("Pr({a}) = %g, want 0.7", ww.Prob)
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	blocks := make([]andxor.Block, 12)
+	for i := range blocks {
+		blocks[i] = andxor.Block{
+			Alternatives: []types.Leaf{{Key: string(rune('a' + i)), Score: float64(i)}},
+			Probs:        []float64{0.5},
+		}
+	}
+	tr, err := andxor.BID(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Enumerate(tr, 100); err == nil {
+		t.Fatal("expected limit error for 2^12 worlds with limit 100")
+	}
+	ws, err := Enumerate(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1<<12 {
+		t.Fatalf("got %d worlds, want %d", len(ws), 1<<12)
+	}
+	if !numeric.AlmostEqual(TotalProb(ws), 1, 1e-9) {
+		t.Fatalf("total prob %g", TotalProb(ws))
+	}
+}
+
+func TestExpectedAgainstClosedForm(t *testing.T) {
+	// For independent tuples, E[|pw|] = sum of marginals.
+	tr := andxor.Figure1i()
+	got, err := Expected(tr, func(w *types.World) float64 { return float64(w.Len()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, p := range tr.MarginalProbs() {
+		want += p
+	}
+	if !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("E[|pw|] = %g, want %g", got, want)
+	}
+}
+
+func TestRankProbFigure1iii(t *testing.T) {
+	// Figure 1(iii): Pr(r(t3) = 1) for the alternative (t3, 6)... the paper
+	// marks the coefficient of y as 0.3, the probability that t3's
+	// score-6 alternative is ranked first.  Overall Pr(r(t3)=1) counts
+	// pw2 as well, where (t3,9) is the top tuple: total 0.3 + 0.3.
+	ws := MustEnumerate(andxor.Figure1iii())
+	if p := RankProb(ws, "t3", 1); !numeric.AlmostEqual(p, 0.6, 1e-12) {
+		t.Fatalf("Pr(r(t3)=1) = %g, want 0.6", p)
+	}
+	if p := RankProb(ws, "t2", 1); !numeric.AlmostEqual(p, 0.4, 1e-12) {
+		t.Fatalf("Pr(r(t2)=1) = %g, want 0.4 (pw3)", p)
+	}
+	if p := RankAtMostProb(ws, "t1", 2); !numeric.AlmostEqual(p, 0.3, 1e-12) {
+		// t1 is rank 3 in pw1 ((t1,1) below 6 and 5), rank 2 in pw2
+		// ((t1,7) below (t3,9)), absent in pw3.
+		t.Fatalf("Pr(r(t1)<=2) = %g, want 0.3", p)
+	}
+	if p := RankProb(ws, "t5", 3); !numeric.AlmostEqual(p, 0.4, 1e-12) {
+		t.Fatalf("Pr(r(t5)=3) = %g, want 0.4", p)
+	}
+}
+
+func TestRankInAbsent(t *testing.T) {
+	ws := MustEnumerate(andxor.Figure1iii())
+	// t5 exists only in pw3; Pr(r(t5)=0 i.e. absent handling): rank 0 is
+	// never reported as a rank, so Pr(r(t5)=1 or 2) must be 0 and
+	// RankAtMostProb(ws, t5, 10) must be its marginal 0.4.
+	if p := RankAtMostProb(ws, "t5", 10); !numeric.AlmostEqual(p, 0.4, 1e-12) {
+		t.Fatalf("Pr(r(t5)<=10) = %g, want 0.4", p)
+	}
+}
+
+func TestWorldSizeDistSumsToOne(t *testing.T) {
+	ws := MustEnumerate(andxor.Figure1i())
+	dist := WorldSizeDist(ws)
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("size distribution sums to %g", sum)
+	}
+}

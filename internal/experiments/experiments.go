@@ -1,0 +1,94 @@
+// Package experiments implements the reproduction harness: every figure
+// and every theorem-level claim of the paper is an experiment with a
+// stable identifier (F1a/F1b/F2 for the figures, E1..E15 for the claims;
+// the B* scaling benchmarks live in the repository-root bench_test.go and
+// reuse the runners here).
+//
+// Each experiment is deterministic (fixed seeds), checks the paper's claim
+// mechanically, and reports a paper-vs-measured summary; cmd/repro prints
+// them all and EXPERIMENTS.md records the outcomes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "F1a", "E7").
+	ID string
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Claim is the paper's statement under test.
+	Claim string
+	// Measured summarizes what this run observed.
+	Measured string
+	// Pass reports whether the observation matches the claim.
+	Pass bool
+	// Table holds optional tabular detail; the first row is the header.
+	Table [][]string
+}
+
+// Format renders the result for terminal output.
+func (r Result) Format() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "[%s] %s — %s\n", status, r.ID, r.Title)
+	fmt.Fprintf(&b, "  claim:    %s\n", r.Claim)
+	fmt.Fprintf(&b, "  measured: %s\n", r.Measured)
+	if len(r.Table) > 0 {
+		b.WriteString(formatTable(r.Table, "  "))
+	}
+	return b.String()
+}
+
+// formatTable renders rows with padded columns.
+func formatTable(rows [][]string, indent string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		b.WriteString(indent)
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			b.WriteString(indent)
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// All returns every experiment in presentation order.
+func All() []func() Result {
+	return []func() Result{
+		F1a, F1b, F2,
+		E1, E2, E3, E4, E5,
+		E6, E7, E8, E9, E10,
+		E11, E12, E13, E14, E15,
+	}
+}
+
+// fmtFloat renders probabilities compactly.
+func fmtFloat(v float64) string { return fmt.Sprintf("%.6g", v) }

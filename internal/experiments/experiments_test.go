@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must pass: this is the repository's
+// reproduction gate.  Each experiment is deterministic, so a pass here is
+// stable.
+func TestAllExperimentsPass(t *testing.T) {
+	ids := map[string]bool{}
+	for _, exp := range All() {
+		r := exp()
+		if r.ID == "" || r.Title == "" || r.Claim == "" || r.Measured == "" {
+			t.Errorf("experiment %q has empty metadata: %+v", r.ID, r)
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate experiment id %q", r.ID)
+		}
+		ids[r.ID] = true
+		if !r.Pass {
+			t.Errorf("experiment %s FAILED: %s", r.ID, r.Measured)
+		}
+	}
+	// The DESIGN.md index promises these identifiers.
+	for _, want := range []string{"F1a", "F1b", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		ID: "X1", Title: "t", Claim: "c", Measured: "m", Pass: true,
+		Table: [][]string{{"a", "b"}, {"1", "2"}},
+	}
+	s := r.Format()
+	for _, want := range []string{"[PASS] X1", "claim:", "measured:", "a", "1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted result missing %q:\n%s", want, s)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.Format(), "[FAIL]") {
+		t.Fatal("failing result must render FAIL")
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"consensus/internal/aggregate"
+	"consensus/internal/cluster"
+	"consensus/internal/exact"
+	"consensus/internal/rankagg"
+	"consensus/internal/spj"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+// E3 executes the Section 4.1 hardness reduction: median answers for SPJ
+// query results encode MAX-2-SAT.
+func E3() Result {
+	rng := rand.New(rand.NewSource(43))
+	const trials = 12
+	failures := 0
+	table := [][]string{{"instance", "clauses", "median size", "MAX-2-SAT opt"}}
+	for trial := 0; trial < trials; trial++ {
+		nVars := 2 + rng.Intn(5)
+		clauses := workload.Random2CNF(rng, nVars, 3+rng.Intn(10))
+		rd, err := spj.BuildReduction(nVars, clauses)
+		if err != nil {
+			failures++
+			continue
+		}
+		res, err := rd.QueryResult()
+		if err != nil {
+			failures++
+			continue
+		}
+		for _, p := range spj.TupleProbs(res, rd.Space) {
+			if p < 0.75-1e-9 || p > 0.75+1e-9 {
+				failures++
+			}
+		}
+		medianSize, err := rd.MedianAnswerSize()
+		if err != nil {
+			failures++
+			continue
+		}
+		opt, _, err := spj.Max2SATBrute(nVars, clauses)
+		if err != nil {
+			failures++
+			continue
+		}
+		if medianSize != opt {
+			failures++
+		}
+		if trial < 5 {
+			table = append(table, []string{
+				fmt.Sprintf("#%d (n=%d)", trial, nVars),
+				fmt.Sprint(len(clauses)), fmt.Sprint(medianSize), fmt.Sprint(opt),
+			})
+		}
+	}
+	return Result{
+		ID:       "E3",
+		Title:    "Section 4.1: MAX-2-SAT reduction for SPJ median answers",
+		Claim:    "result tuples have probability 3/4; median answer size = MAX-2-SAT optimum",
+		Measured: fmt.Sprintf("%d/%d instances matched the brute-force optimum", trials-failures, trials),
+		Pass:     failures == 0,
+		Table:    table,
+	}
+}
+
+// E11 verifies Lemma 3 + Theorem 5: the flow answer is the closest
+// possible aggregate answer to the mean.
+func E11() Result {
+	rng := rand.New(rand.NewSource(51))
+	const trials = 30
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		n, m := 1+rng.Intn(7), 1+rng.Intn(4)
+		p := workload.GroupMatrix(rng, n, m)
+		r, err := aggregate.ClosestPossible(p)
+		if err != nil {
+			failures++
+			continue
+		}
+		ok, err := aggregate.IsPossible(p, r)
+		if err != nil || !ok {
+			failures++
+			continue
+		}
+		// Exhaustive optimality in distance-to-mean.
+		rbar := aggregate.Mean(p)
+		if bestPossibleDist(p, rbar) < sqDist(r, rbar)-1e-9 {
+			failures++
+		}
+	}
+	return Result{
+		ID:       "E11",
+		Title:    "Lemma 3 + Theorem 5: closest possible aggregate answer via min-cost flow",
+		Claim:    "flow answer is possible, within floor/ceil of the mean, and closest to it",
+		Measured: fmt.Sprintf("%d/%d random group matrices verified exhaustively", trials-failures, trials),
+		Pass:     failures == 0,
+	}
+}
+
+func sqDist(r []int, rbar []float64) float64 {
+	d := 0.0
+	for j := range r {
+		diff := float64(r[j]) - rbar[j]
+		d += diff * diff
+	}
+	return d
+}
+
+// bestPossibleDist exhaustively searches all assignments for the possible
+// answer closest to rbar.
+func bestPossibleDist(p [][]float64, rbar []float64) float64 {
+	n, m := len(p), len(p[0])
+	counts := make([]int, m)
+	best := -1.0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			d := 0.0
+			for j := range counts {
+				diff := float64(counts[j]) - rbar[j]
+				d += diff * diff
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+			return
+		}
+		for j := 0; j < m; j++ {
+			if p[i][j] > 0 {
+				counts[j]++
+				rec(i + 1)
+				counts[j]--
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+// E12 measures the Corollary 2 bound: the closest-possible answer is a
+// 4-approximate median.
+func E12() Result {
+	rng := rand.New(rand.NewSource(52))
+	const trials = 40
+	worst := 1.0
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		n, m := 1+rng.Intn(6), 1+rng.Intn(4)
+		p := workload.GroupMatrix(rng, n, m)
+		_, approxE, err := aggregate.MedianApprox(p)
+		if err != nil {
+			failures++
+			continue
+		}
+		_, exactE, err := aggregate.ExactMedian(p)
+		if err != nil {
+			failures++
+			continue
+		}
+		if exactE > 1e-12 && approxE/exactE > worst {
+			worst = approxE / exactE
+		}
+	}
+	return Result{
+		ID:       "E12",
+		Title:    "Corollary 2: 4-approximate median aggregate answer",
+		Claim:    "E[d(r*, r)] <= 4 E[d(r_median, r)]",
+		Measured: fmt.Sprintf("worst measured ratio over %d instances: %.4f (bound 4)", trials, worst),
+		Pass:     failures == 0 && worst <= 4+1e-9,
+	}
+}
+
+// E13 verifies the Section 6.2 pipeline: w matrices from generating
+// functions match enumeration and the pivot clusterings stay within the
+// constant-factor regime.
+func E13() Result {
+	rng := rand.New(rand.NewSource(53))
+	const trials = 20
+	failures := 0
+	worstPivot := 1.0
+	maxWErr := 0.0
+	for trial := 0; trial < trials; trial++ {
+		tr := workload.NestedLabeled(rng, 2+rng.Intn(5), 2, 2)
+		ins := cluster.FromTree(tr)
+		ws := exact.MustEnumerate(tr)
+		// Check w against enumeration of the pair co-clustering event.
+		for i := range ins.Keys {
+			for j := i + 1; j < len(ins.Keys); j++ {
+				ki, kj := ins.Keys[i], ins.Keys[j]
+				want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+					li, iok := w.Lookup(ki)
+					lj, jok := w.Lookup(kj)
+					if !iok && !jok {
+						return 1
+					}
+					if iok && jok && li.Label == lj.Label {
+						return 1
+					}
+					return 0
+				})
+				if d := want - ins.W[i][j]; d > maxWErr || -d > maxWErr {
+					if d < 0 {
+						d = -d
+					}
+					maxWErr = d
+				}
+			}
+		}
+		opt, optE, err := ins.Exact()
+		if err != nil {
+			failures++
+			continue
+		}
+		_ = opt
+		_, pivotE := ins.CCPivotBest(rand.New(rand.NewSource(int64(trial))), 20)
+		if pivotE < optE-1e-9 {
+			failures++
+		}
+		if optE > 1e-9 && pivotE/optE > worstPivot {
+			worstPivot = pivotE / optE
+		}
+	}
+	return Result{
+		ID:    "E13",
+		Title: "Section 6.2: consensus clustering via co-cluster probabilities",
+		Claim: "w computable by generating functions; pivot clustering constant-factor",
+		Measured: fmt.Sprintf("max |w - enumeration| = %.2e; worst pivot/exact ratio over %d trees: %.4f",
+			maxWErr, trials, worstPivot),
+		Pass: failures == 0 && maxWErr < 1e-9,
+	}
+}
+
+// E14 exercises the classical rank-aggregation substrate: footrule
+// aggregation is optimal for its objective and 2-approximates Kemeny.
+func E14() Result {
+	rng := rand.New(rand.NewSource(54))
+	const trials = 25
+	failures := 0
+	worst := 1.0
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(4)
+		rankings := workload.RandomRankings(rng, 3+rng.Intn(4), n)
+		agg, _, err := rankagg.FootruleAggregate(rankings)
+		if err != nil {
+			failures++
+			continue
+		}
+		_, kemenyOpt, err := rankagg.KemenyExact(rankings)
+		if err != nil {
+			failures++
+			continue
+		}
+		got := rankagg.KemenyScore(agg, rankings)
+		if kemenyOpt > 0 && float64(got)/float64(kemenyOpt) > worst {
+			worst = float64(got) / float64(kemenyOpt)
+		}
+		if got > 2*kemenyOpt {
+			failures++
+		}
+	}
+	return Result{
+		ID:       "E14",
+		Title:    "Rank aggregation substrate: footrule optimum vs Kemeny optimum",
+		Claim:    "footrule-optimal aggregation 2-approximates the Kemeny optimum (Dwork et al.)",
+		Measured: fmt.Sprintf("worst measured ratio over %d instances: %.4f (bound 2)", trials, worst),
+		Pass:     failures == 0 && worst <= 2,
+	}
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"consensus/internal/exact"
+	"consensus/internal/numeric"
+	"consensus/internal/topk"
+	"consensus/internal/workload"
+)
+
+// allKSubsets / allKLists: exhaustive candidate spaces for top-k answers.
+func allKSubsets(keys []string, k int) [][]string {
+	var out [][]string
+	var rec func(start int, cur []string)
+	rec = func(start int, cur []string) {
+		if len(cur) == k {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i := start; i < len(keys); i++ {
+			rec(i+1, append(cur, keys[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func allKLists(keys []string, k int) [][]string {
+	var out [][]string
+	used := make([]bool, len(keys))
+	var rec func(cur []string)
+	rec = func(cur []string) {
+		if len(cur) == k {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i, key := range keys {
+			if !used[i] {
+				used[i] = true
+				rec(append(cur, key))
+				used[i] = false
+			}
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// E6 verifies Theorem 3: the k tuples with the largest Pr(r(t)<=k) form
+// the mean top-k answer under the symmetric difference metric.
+func E6() Result {
+	rng := rand.New(rand.NewSource(46))
+	const trials = 20
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(4), 2)
+		k := 1 + rng.Intn(3)
+		tau, rd, err := topk.MeanSymDiff(tr, k)
+		if err != nil {
+			failures++
+			continue
+		}
+		tauE := topk.ExpectedNormSymDiff(rd, tau, k)
+		kk := k
+		if kk > len(tr.Keys()) {
+			kk = len(tr.Keys())
+		}
+		for _, cand := range allKSubsets(tr.Keys(), kk) {
+			if topk.ExpectedNormSymDiff(rd, topk.List(cand), k) < tauE-1e-9 {
+				failures++
+				break
+			}
+		}
+	}
+	return Result{
+		ID:       "E6",
+		Title:    "Theorem 3: mean top-k answer under d_Delta",
+		Claim:    "top-k by Pr(r(t)<=k) minimizes E[d_Delta] over k-subsets",
+		Measured: fmt.Sprintf("%d/%d random trees verified exhaustively", trials-failures, trials),
+		Pass:     failures == 0,
+	}
+}
+
+// E7 verifies Theorem 4: the threshold DP returns the optimal possible
+// top-k answer.
+func E7() Result {
+	rng := rand.New(rand.NewSource(47))
+	const trials = 30
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(4), 2)
+		k := 1 + rng.Intn(3)
+		tau, rd, err := topk.MedianSymDiff(tr, k)
+		if err != nil {
+			failures++
+			continue
+		}
+		tauE := topk.ExpectedNormSymDiff(rd, tau, k)
+		realizable := false
+		for _, ww := range exact.MustEnumerate(tr) {
+			cand := topk.FromWorld(ww.World, k)
+			if cand.Equal(tau) {
+				realizable = true
+			}
+			if topk.ExpectedNormSymDiff(rd, cand, k) < tauE-1e-9 {
+				failures++
+				break
+			}
+		}
+		if !realizable {
+			failures++
+		}
+	}
+	return Result{
+		ID:       "E7",
+		Title:    "Theorem 4: median top-k answer via tree DP",
+		Claim:    "the DP answer is a possible answer and optimal among possible answers",
+		Measured: fmt.Sprintf("%d/%d random trees verified exhaustively", trials-failures, trials),
+		Pass:     failures == 0,
+	}
+}
+
+// E8 verifies Section 5.3: the assignment answer is exactly optimal under
+// the intersection metric and the Upsilon_H answer obeys its H_k bound.
+func E8() Result {
+	rng := rand.New(rand.NewSource(48))
+	const trials = 25
+	failures := 0
+	worstRatio := 1.0 // A(tau*) / A(tauH), bounded by H_k
+	hk := 0.0
+	for trial := 0; trial < trials; trial++ {
+		tr := workload.Nested(rng, 4+rng.Intn(3), 2)
+		k := 1 + rng.Intn(3)
+		tau, rd, err := topk.MeanIntersection(tr, k)
+		if err != nil {
+			failures++
+			continue
+		}
+		kk := k
+		if kk > len(tr.Keys()) {
+			kk = len(tr.Keys())
+		}
+		tauE := topk.ExpectedIntersection(rd, tau, kk)
+		for _, cand := range allKLists(tr.Keys(), kk) {
+			if topk.ExpectedIntersection(rd, topk.List(cand), kk) < tauE-1e-9 {
+				failures++
+				break
+			}
+		}
+		ups, _, err := topk.MeanIntersectionUpsilon(tr, k)
+		if err != nil {
+			failures++
+			continue
+		}
+		aStar := topk.IntersectionObjective(rd, tau, kk)
+		aH := topk.IntersectionObjective(rd, ups, kk)
+		hk = numeric.Harmonic(kk)
+		if aH < aStar/hk-1e-9 {
+			failures++
+		}
+		if aH > 1e-12 && aStar/aH > worstRatio {
+			worstRatio = aStar / aH
+		}
+	}
+	return Result{
+		ID:    "E8",
+		Title: "Section 5.3: intersection metric (assignment exact + Upsilon_H approximation)",
+		Claim: "assignment answer optimal; A(tauH) >= A(tau*)/H_k",
+		Measured: fmt.Sprintf("%d/%d trees optimal; worst measured A(tau*)/A(tauH) = %.4f (bound H_k up to %.4f)",
+			trials-failures, trials, worstRatio, hk),
+		Pass: failures == 0,
+	}
+}
+
+// E9 verifies Section 5.4: the assignment answer is exactly optimal under
+// Spearman's footrule.
+func E9() Result {
+	rng := rand.New(rand.NewSource(49))
+	const trials = 20
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(4), 2)
+		k := 1 + rng.Intn(3)
+		tau, e, rd, err := topk.MeanFootrule(tr, k)
+		if err != nil {
+			failures++
+			continue
+		}
+		kk := k
+		if kk > len(tr.Keys()) {
+			kk = len(tr.Keys())
+		}
+		u := topk.NewUpsilons(rd, kk)
+		_ = tau
+		for _, cand := range allKLists(tr.Keys(), kk) {
+			if topk.ExpectedFootrule(rd, u, topk.List(cand), kk) < e-1e-9 {
+				failures++
+				break
+			}
+		}
+	}
+	return Result{
+		ID:       "E9",
+		Title:    "Section 5.4: mean top-k answer under Spearman's footrule",
+		Claim:    "the assignment over f(t,i) minimizes E[F*] over ordered k-lists",
+		Measured: fmt.Sprintf("%d/%d random trees verified exhaustively", trials-failures, trials),
+		Pass:     failures == 0,
+	}
+}
+
+// E10 measures the Kendall approximations of Section 5.5 against the
+// exact optimum: the footrule-optimal answer (factor-2 bound via the
+// equivalence class) and the precedence-driven pivot answer.
+func E10() Result {
+	rng := rand.New(rand.NewSource(50))
+	const trials = 20
+	k := 2
+	worstFootrule, worstPivot := 1.0, 1.0
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(3), 2)
+		if len(tr.Keys()) < k {
+			continue
+		}
+		ws := exact.MustEnumerate(tr)
+		_, optE := topk.ExactKendallMean(ws, tr.Keys(), k, 0.5)
+		ft, err := topk.KendallViaFootrule(tr, k)
+		if err != nil {
+			failures++
+			continue
+		}
+		pv, err := topk.KendallPivot(tr, k, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			failures++
+			continue
+		}
+		ftE := topk.ExpectedKendall(ws, ft, k, 0.5)
+		pvE := topk.ExpectedKendall(ws, pv, k, 0.5)
+		if optE > 1e-9 {
+			if r := ftE / optE; r > worstFootrule {
+				worstFootrule = r
+			}
+			if r := pvE / optE; r > worstPivot {
+				worstPivot = r
+			}
+		}
+	}
+	return Result{
+		ID:    "E10",
+		Title: "Section 5.5: Kendall distance approximations",
+		Claim: "footrule-optimal within factor 2 of the Kendall optimum; pivot (LP-free stand-in for the 3/2 algorithm) measured",
+		Measured: fmt.Sprintf("worst ratios over %d trees: footrule %.3f (bound 2), pivot %.3f",
+			trials, worstFootrule, worstPivot),
+		Pass: failures == 0 && worstFootrule <= 2+1e-9,
+	}
+}
+
+// E15 compares the consensus answers with the prior ranking semantics
+// under the expected-distance yardstick of the paper.
+func E15() Result {
+	rng := rand.New(rand.NewSource(55))
+	const trials = 12
+	k := 2
+	table := [][]string{{"semantics", "mean E[d_Delta] over trials"}}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	order := []string{"consensus mean (Thm 3)", "consensus median (Thm 4)", "U-top-k", "expected rank", "expected score"}
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		tr := workload.Nested(rng, 5, 2)
+		mean, rd, err := topk.MeanSymDiff(tr, k)
+		if err != nil {
+			failures++
+			continue
+		}
+		answers := map[string]topk.List{"consensus mean (Thm 3)": mean}
+		if md, _, err := topk.MedianSymDiff(tr, k); err == nil {
+			answers["consensus median (Thm 4)"] = md
+		}
+		if u, _, err := topk.UTopK(tr, k, 0); err == nil {
+			answers["U-top-k"] = u
+		}
+		if er, err := topk.ExpectedRankTopK(tr, k); err == nil {
+			answers["expected rank"] = er
+		}
+		answers["expected score"] = topk.ExpectedScoreTopK(tr, k)
+		meanE := topk.ExpectedNormSymDiff(rd, mean, k)
+		for name, tau := range answers {
+			e := topk.ExpectedNormSymDiff(rd, tau, k)
+			sums[name] += e
+			counts[name]++
+			if len(tau) == len(mean) && e < meanE-1e-9 {
+				failures++
+			}
+		}
+	}
+	best := math.Inf(1)
+	for _, name := range order {
+		if counts[name] > 0 {
+			avg := sums[name] / float64(counts[name])
+			if avg < best {
+				best = avg
+			}
+			table = append(table, []string{name, fmtFloat(avg)})
+		}
+	}
+	meanAvg := sums["consensus mean (Thm 3)"] / float64(counts["consensus mean (Thm 3)"])
+	return Result{
+		ID:    "E15",
+		Title: "Baseline comparison: consensus vs prior ranking semantics",
+		Claim: "the Theorem 3 answer minimizes E[d_Delta] among equal-size answers",
+		Measured: fmt.Sprintf(
+			"no equal-size baseline beat the consensus mean on any trial (its average E = %.4f; "+
+				"semantics allowed to return shorter answers, like the median and U-top-k on small worlds, can average lower — here %.4f)",
+			meanAvg, best),
+		Pass:  failures == 0,
+		Table: table,
+	}
+}

@@ -1,0 +1,221 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+)
+
+// bruteCirculation enumerates all integer flows within edge bounds and
+// returns the minimum cost over those satisfying conservation, or +Inf if
+// none do.
+func bruteCirculation(n int, edges [][5]float64) float64 {
+	m := len(edges)
+	best := math.Inf(1)
+	flows := make([]int, m)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			bal := make([]int, n)
+			cost := 0.0
+			for e, f := range flows {
+				bal[int(edges[e][1])] += f
+				bal[int(edges[e][0])] -= f
+				cost += float64(f) * edges[e][4]
+			}
+			for _, b := range bal {
+				if b != 0 {
+					return
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		for f := int(edges[i][2]); f <= int(edges[i][3]); f++ {
+			flows[i] = f
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func buildGraph(t *testing.T, n int, edges [][5]float64) (*Graph, []int) {
+	t.Helper()
+	g := NewGraph(n)
+	ids := make([]int, len(edges))
+	for i, e := range edges {
+		id, err := g.AddEdge(int(e[0]), int(e[1]), int(e[2]), int(e[3]), e[4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return g, ids
+}
+
+func TestSimplePath(t *testing.T) {
+	// 0 -> 1 -> 2 and a return edge 2 -> 0 forcing one unit around.
+	edges := [][5]float64{
+		{0, 1, 0, 1, 2},
+		{1, 2, 0, 1, 3},
+		{2, 0, 1, 1, 0},
+	}
+	g, ids := buildGraph(t, 3, edges)
+	res, err := g.Circulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(res.Cost, 5, 1e-12) {
+		t.Fatalf("cost = %g, want 5", res.Cost)
+	}
+	for _, id := range ids {
+		if res.Flow[id] != 1 {
+			t.Fatalf("flow = %v, want all ones", res.Flow)
+		}
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel paths 0->1, costs 5 and 2; force 1 unit.
+	edges := [][5]float64{
+		{0, 1, 0, 1, 5},
+		{0, 1, 0, 1, 2},
+		{1, 0, 1, 1, 0},
+	}
+	g, ids := buildGraph(t, 2, edges)
+	res, err := g.Circulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(res.Cost, 2, 1e-12) {
+		t.Fatalf("cost = %g, want 2", res.Cost)
+	}
+	if res.Flow[ids[0]] != 0 || res.Flow[ids[1]] != 1 {
+		t.Fatalf("flow = %v", res.Flow)
+	}
+}
+
+func TestNegativeCostEdgeAttractsFlow(t *testing.T) {
+	// A pure negative cycle 0->1->0 of capacity 2 must be saturated even
+	// with no lower bounds anywhere.
+	edges := [][5]float64{
+		{0, 1, 0, 2, -3},
+		{1, 0, 0, 2, 1},
+	}
+	g, ids := buildGraph(t, 2, edges)
+	res, err := g.Circulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(res.Cost, -4, 1e-12) {
+		t.Fatalf("cost = %g, want -4", res.Cost)
+	}
+	if res.Flow[ids[0]] != 2 || res.Flow[ids[1]] != 2 {
+		t.Fatalf("flow = %v", res.Flow)
+	}
+}
+
+func TestNegativeEdgeNotWorthIt(t *testing.T) {
+	// Negative edge whose only return path is more expensive: stays empty.
+	edges := [][5]float64{
+		{0, 1, 0, 2, -3},
+		{1, 0, 0, 2, 5},
+	}
+	g, ids := buildGraph(t, 2, edges)
+	res, err := g.Circulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || res.Flow[ids[0]] != 0 {
+		t.Fatalf("cost=%g flow=%v, want empty circulation", res.Cost, res.Flow)
+	}
+}
+
+func TestInfeasibleLowerBound(t *testing.T) {
+	// Lower bound with no way to return the flow.
+	edges := [][5]float64{
+		{0, 1, 1, 1, 0},
+	}
+	g, _ := buildGraph(t, 2, edges)
+	if _, err := g.Circulation(); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := g.AddEdge(0, 5, 0, 1, 0); err == nil {
+		t.Fatal("out-of-range endpoint must be rejected")
+	}
+	if _, err := g.AddEdge(0, 1, 2, 1, 0); err == nil {
+		t.Fatal("low > cap must be rejected")
+	}
+	if _, err := g.AddEdge(0, 1, 0, 1, math.NaN()); err == nil {
+		t.Fatal("NaN cost must be rejected")
+	}
+}
+
+// Randomized cross-check against brute force on tiny graphs, with negative
+// costs and lower bounds.
+func TestCirculationMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(5)
+		edges := make([][5]float64, m)
+		for i := range edges {
+			u := rng.Intn(n)
+			v := rng.Intn(n - 1)
+			if v >= u {
+				v++
+			}
+			cap := 1 + rng.Intn(2)
+			low := 0
+			if rng.Intn(4) == 0 {
+				low = rng.Intn(cap + 1)
+			}
+			cost := float64(rng.Intn(11) - 5)
+			edges[i] = [5]float64{float64(u), float64(v), float64(low), float64(cap), cost}
+		}
+		want := bruteCirculation(n, edges)
+		g, _ := buildGraph(t, n, edges)
+		res, err := g.Circulation()
+		if math.IsInf(want, 1) {
+			if err == nil {
+				t.Fatalf("trial %d: expected infeasible, got cost %g", trial, res.Cost)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: unexpected error %v (want cost %g)", trial, err, want)
+		}
+		if !numeric.AlmostEqual(res.Cost, want, 1e-9) {
+			t.Fatalf("trial %d: cost %g, brute force %g (edges %v)", trial, res.Cost, want, edges)
+		}
+		// The reported flows must be a feasible circulation with the
+		// reported cost.
+		bal := make([]int, n)
+		cost := 0.0
+		for e, f := range res.Flow {
+			if f < int(edges[e][2]) || f > int(edges[e][3]) {
+				t.Fatalf("trial %d: edge %d flow %d outside bounds", trial, e, f)
+			}
+			bal[int(edges[e][1])] += f
+			bal[int(edges[e][0])] -= f
+			cost += float64(f) * edges[e][4]
+		}
+		for v, b := range bal {
+			if b != 0 {
+				t.Fatalf("trial %d: node %d imbalance %d", trial, v, b)
+			}
+		}
+		if !numeric.AlmostEqual(cost, res.Cost, 1e-9) {
+			t.Fatalf("trial %d: flows cost %g but reported %g", trial, cost, res.Cost)
+		}
+	}
+}

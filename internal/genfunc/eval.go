@@ -1,0 +1,136 @@
+package genfunc
+
+import (
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+)
+
+// Assignment1 maps a leaf (identified by its depth-first index and its
+// tuple alternative) to the degree of the single variable x it contributes:
+// 0 for the constant 1, 1 for x, or any small power.
+type Assignment1 func(i int, l types.Leaf) int
+
+// Assignment2 maps a leaf to the degrees (a, b) of the monomial x^a y^b
+// it contributes; (0, 0) is the constant 1.
+type Assignment2 func(i int, l types.Leaf) (xdeg, ydeg int)
+
+// Eval1 computes the univariate generating function of the tree under the
+// given variable assignment, truncating all products at degree cap
+// (cap < 0 disables truncation).  Per Theorem 1 of the paper the
+// coefficient of x^i in the result is the total probability of the possible
+// worlds containing exactly i leaves of degree-1 assignment (more
+// generally, total marked degree i).
+func Eval1(t *andxor.Tree, assign Assignment1, cap int) Poly {
+	idx := 0
+	var walk func(n *andxor.Node) Poly
+	walk = func(n *andxor.Node) Poly {
+		switch n.Kind() {
+		case andxor.KindLeaf:
+			d := assign(idx, n.Leaf())
+			idx++
+			if cap >= 0 && d > cap {
+				return NewPoly(cap) // monomial truncated away entirely
+			}
+			m := NewPoly(d)
+			m[d] = 1
+			return m
+		case andxor.KindOr:
+			out := Poly{n.StopProb()}
+			for i, c := range n.Children() {
+				p := n.Probs()[i]
+				child := walk(c)
+				if p != 0 {
+					out = out.AddScaled(child, p)
+				}
+			}
+			return out
+		default: // KindAnd
+			out := One()
+			for _, c := range n.Children() {
+				out = out.MulTrunc(walk(c), cap)
+			}
+			return out
+		}
+	}
+	return walk(t.Root())
+}
+
+// Eval2 computes the bivariate generating function of the tree under the
+// given assignment, truncated at (xcap, ycap).  The coefficient of x^i y^j
+// is the total probability of worlds with marked x-degree i and y-degree j
+// (Theorem 1 with two variables).
+func Eval2(t *andxor.Tree, assign Assignment2, xcap, ycap int) *Poly2 {
+	idx := 0
+	var walk func(n *andxor.Node) *Poly2
+	walk = func(n *andxor.Node) *Poly2 {
+		switch n.Kind() {
+		case andxor.KindLeaf:
+			a, b := assign(idx, n.Leaf())
+			idx++
+			return Monomial2(a, b, xcap, ycap)
+		case andxor.KindOr:
+			out := NewPoly2(xcap, ycap)
+			out.AddConst(n.StopProb())
+			for i, c := range n.Children() {
+				p := n.Probs()[i]
+				child := walk(c)
+				if p != 0 {
+					out.AddScaled(child, p)
+				}
+			}
+			return out
+		default: // KindAnd
+			out := One2(xcap, ycap)
+			for _, c := range n.Children() {
+				out = out.MulTrunc(walk(c))
+			}
+			return out
+		}
+	}
+	return walk(t.Root())
+}
+
+// WorldSizeDist returns the distribution of possible-world sizes as a
+// polynomial: Coeff(i) = Pr(|pw| = i).  This is Example 1 of the paper
+// (assign the same variable x to every leaf).
+func WorldSizeDist(t *andxor.Tree) Poly {
+	return Eval1(t, func(int, types.Leaf) int { return 1 }, -1).Trim(0)
+}
+
+// SubsetSizeDist returns Pr(|pw ∩ S| = i) for the leaf subset S selected by
+// the predicate (Example 2 of the paper).
+func SubsetSizeDist(t *andxor.Tree, inSubset func(i int, l types.Leaf) bool) Poly {
+	return Eval1(t, func(i int, l types.Leaf) int {
+		if inSubset(i, l) {
+			return 1
+		}
+		return 0
+	}, -1).Trim(0)
+}
+
+// CoOccurrence returns the probability that all leaves in the given index
+// set are simultaneously present: the coefficient of x^|S| after marking
+// exactly those leaves with x.
+func CoOccurrence(t *andxor.Tree, leafIdx map[int]bool) float64 {
+	m := len(leafIdx)
+	p := Eval1(t, func(i int, l types.Leaf) int {
+		if leafIdx[i] {
+			return 1
+		}
+		return 0
+	}, m)
+	return p.Coeff(m)
+}
+
+// AllAbsent returns the probability that none of the keys in the given set
+// have any alternative present: the constant coefficient after marking
+// every alternative of those keys with x.
+func AllAbsent(t *andxor.Tree, keys map[string]bool) float64 {
+	p := Eval1(t, func(i int, l types.Leaf) int {
+		if keys[l.Key] {
+			return 1
+		}
+		return 0
+	}, 0)
+	return p.Coeff(0)
+}

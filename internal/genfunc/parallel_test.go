@@ -1,0 +1,60 @@
+package genfunc
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+	"consensus/internal/workload"
+)
+
+func TestRanksParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 10; trial++ {
+		tr := workload.BID(rng, 10+rng.Intn(20), 3)
+		k := 1 + rng.Intn(6)
+		seq, err := Ranks(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 7} {
+			par, err := RanksParallel(tr, k, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, key := range tr.Keys() {
+				for i := 1; i <= k; i++ {
+					if !numeric.AlmostEqual(seq.PrEq(key, i), par.PrEq(key, i), 1e-12) {
+						t.Fatalf("trial %d workers %d key %s rank %d: %g vs %g",
+							trial, workers, key, i, seq.PrEq(key, i), par.PrEq(key, i))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRanksParallelValidation(t *testing.T) {
+	tr := workload.Independent(rand.New(rand.NewSource(212)), 4)
+	if _, err := RanksParallel(tr, 0, 4); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+}
+
+func TestRanksParallelNestedTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	tr := workload.Nested(rng, 12, 2)
+	seq, err := Ranks(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RanksParallel(tr, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range tr.Keys() {
+		if !numeric.AlmostEqual(seq.PrTopK(key), par.PrTopK(key), 1e-12) {
+			t.Fatalf("key %s: %g vs %g", key, seq.PrTopK(key), par.PrTopK(key))
+		}
+	}
+}

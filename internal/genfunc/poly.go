@@ -1,0 +1,221 @@
+// Package genfunc implements the generating-function framework of
+// Section 3.3 of the paper.
+//
+// Every probability the consensus algorithms need — world-size
+// distributions, rank distributions Pr(r(t)=i), pairwise precedence
+// probabilities Pr(r(ti)<r(tj)), co-occurrence and co-label probabilities —
+// is the coefficient of some monomial in a polynomial computed bottom-up
+// over the and/xor tree (Theorem 1): leaves contribute their assigned
+// variable, or-nodes take probability-weighted sums plus the stop
+// probability, and and-nodes take products.
+//
+// What makes the Section 5 algorithms polynomial is truncation: rank
+// computations only ever need x-degrees up to k, so products are truncated
+// at a degree cap and each node costs O(cap) per coefficient instead of
+// materializing degrees up to n.
+package genfunc
+
+// Poly is a dense univariate polynomial; Poly[i] is the coefficient of x^i.
+type Poly []float64
+
+// NewPoly returns the zero polynomial with capacity for degrees 0..deg.
+func NewPoly(deg int) Poly { return make(Poly, deg+1) }
+
+// One returns the constant polynomial 1.
+func One() Poly {
+	return Poly{1}
+}
+
+// Coeff returns the coefficient of x^i (0 beyond the stored degree).
+func (p Poly) Coeff(i int) float64 {
+	if i < 0 || i >= len(p) {
+		return 0
+	}
+	return p[i]
+}
+
+// Add returns p+q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := NewPoly(n - 1)
+	copy(out, p)
+	for i, c := range q {
+		out[i] += c
+	}
+	return out
+}
+
+// AddScaled adds s*q into p in place, growing p as needed, and returns the
+// (possibly reallocated) result.
+func (p Poly) AddScaled(q Poly, s float64) Poly {
+	if len(q) > len(p) {
+		grown := NewPoly(len(q) - 1)
+		copy(grown, p)
+		p = grown
+	}
+	for i, c := range q {
+		p[i] += s * c
+	}
+	return p
+}
+
+// Scale returns s*p.
+func (p Poly) Scale(s float64) Poly {
+	out := NewPoly(len(p) - 1)
+	for i, c := range p {
+		out[i] = s * c
+	}
+	return out
+}
+
+// MulTrunc returns p*q with all terms of degree greater than cap dropped.
+// cap < 0 means no truncation.
+func (p Poly) MulTrunc(q Poly, cap int) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	deg := len(p) + len(q) - 2
+	if cap >= 0 && deg > cap {
+		deg = cap
+	}
+	out := NewPoly(deg)
+	for i, a := range p {
+		if a == 0 || i > deg {
+			continue
+		}
+		hi := deg - i
+		for j, b := range q {
+			if j > hi {
+				break
+			}
+			out[i+j] += a * b
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of coefficients, i.e. the polynomial evaluated at 1.
+// For a complete (untruncated) probability generating function this is 1.
+func (p Poly) Sum() float64 {
+	s := 0.0
+	for _, c := range p {
+		s += c
+	}
+	return s
+}
+
+// Trim drops trailing zero coefficients (within eps) and returns the result.
+func (p Poly) Trim(eps float64) Poly {
+	n := len(p)
+	for n > 1 && p[n-1] >= -eps && p[n-1] <= eps {
+		n--
+	}
+	return p[:n]
+}
+
+// Poly2 is a dense bivariate polynomial truncated at x-degree xcap and
+// y-degree ycap.  Coefficients are stored row-major: c[i*(ycap+1)+j] is the
+// coefficient of x^i y^j.
+type Poly2 struct {
+	xcap, ycap int
+	c          []float64
+}
+
+// NewPoly2 returns the zero polynomial with the given truncation caps.
+func NewPoly2(xcap, ycap int) *Poly2 {
+	return &Poly2{xcap: xcap, ycap: ycap, c: make([]float64, (xcap+1)*(ycap+1))}
+}
+
+// One2 returns the constant polynomial 1 with the given caps.
+func One2(xcap, ycap int) *Poly2 {
+	p := NewPoly2(xcap, ycap)
+	p.c[0] = 1
+	return p
+}
+
+// Monomial2 returns x^a y^b with the given caps; degrees beyond the caps
+// yield the zero polynomial.
+func Monomial2(a, b, xcap, ycap int) *Poly2 {
+	p := NewPoly2(xcap, ycap)
+	if a <= xcap && b <= ycap {
+		p.c[a*(ycap+1)+b] = 1
+	}
+	return p
+}
+
+// XCap and YCap return the truncation caps.
+func (p *Poly2) XCap() int { return p.xcap }
+func (p *Poly2) YCap() int { return p.ycap }
+
+// Coeff returns the coefficient of x^i y^j.
+func (p *Poly2) Coeff(i, j int) float64 {
+	if i < 0 || j < 0 || i > p.xcap || j > p.ycap {
+		return 0
+	}
+	return p.c[i*(p.ycap+1)+j]
+}
+
+// SetCoeff sets the coefficient of x^i y^j; out-of-cap indices panic.
+func (p *Poly2) SetCoeff(i, j int, v float64) {
+	p.c[i*(p.ycap+1)+j] = v
+}
+
+// AddScaled adds s*q into p in place.  Caps must match.
+func (p *Poly2) AddScaled(q *Poly2, s float64) {
+	if p.xcap != q.xcap || p.ycap != q.ycap {
+		panic("genfunc: Poly2 cap mismatch")
+	}
+	for i, c := range q.c {
+		p.c[i] += s * c
+	}
+}
+
+// AddConst adds the scalar s to the constant term.
+func (p *Poly2) AddConst(s float64) { p.c[0] += s }
+
+// MulTrunc returns p*q truncated at p's caps.  Caps must match.
+func (p *Poly2) MulTrunc(q *Poly2) *Poly2 {
+	if p.xcap != q.xcap || p.ycap != q.ycap {
+		panic("genfunc: Poly2 cap mismatch")
+	}
+	out := NewPoly2(p.xcap, p.ycap)
+	w := p.ycap + 1
+	for i := 0; i <= p.xcap; i++ {
+		for j := 0; j <= p.ycap; j++ {
+			a := p.c[i*w+j]
+			if a == 0 {
+				continue
+			}
+			for k := 0; i+k <= p.xcap; k++ {
+				row := q.c[k*w:]
+				orow := out.c[(i+k)*w:]
+				for l := 0; j+l <= p.ycap; l++ {
+					b := row[l]
+					if b != 0 {
+						orow[j+l] += a * b
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the polynomial evaluated at x=y=1.
+func (p *Poly2) Sum() float64 {
+	s := 0.0
+	for _, c := range p.c {
+		s += c
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

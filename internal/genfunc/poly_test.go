@@ -1,0 +1,168 @@
+package genfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func polyEq(a, b Poly, tol float64) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(a.Coeff(i)-b.Coeff(i)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPolyMul(t *testing.T) {
+	// (1 + x)(2 + 3x) = 2 + 5x + 3x^2
+	p := Poly{1, 1}
+	q := Poly{2, 3}
+	got := p.MulTrunc(q, -1)
+	want := Poly{2, 5, 3}
+	if !polyEq(got, want, 0) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Truncated at degree 1.
+	got = p.MulTrunc(q, 1)
+	if !polyEq(got, Poly{2, 5}, 0) {
+		t.Fatalf("truncated: got %v", got)
+	}
+}
+
+func TestPolyMulEmpty(t *testing.T) {
+	if got := (Poly{}).MulTrunc(Poly{1, 2}, -1); len(got) != 0 {
+		t.Fatalf("empty * p = %v", got)
+	}
+}
+
+func TestPolyAddScaled(t *testing.T) {
+	p := Poly{1}
+	p = p.AddScaled(Poly{0, 2, 4}, 0.5)
+	if !polyEq(p, Poly{1, 1, 2}, 0) {
+		t.Fatalf("got %v", p)
+	}
+}
+
+func TestPolyTrim(t *testing.T) {
+	p := Poly{1, 2, 0, 0}
+	if got := p.Trim(0); len(got) != 2 {
+		t.Fatalf("Trim kept %v", got)
+	}
+	z := Poly{0}
+	if got := z.Trim(0); len(got) != 1 {
+		t.Fatalf("Trim of zero poly = %v", got)
+	}
+}
+
+// Property: polynomial multiplication is commutative and matches evaluation
+// homomorphism p(v)*q(v) = (p*q)(v).
+func TestPolyMulProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(a, b []float64) bool {
+		if len(a) > 8 {
+			a = a[:8]
+		}
+		if len(b) > 8 {
+			b = b[:8]
+		}
+		for i := range a {
+			a[i] = math.Mod(a[i], 10)
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+				a[i] = 0
+			}
+		}
+		for i := range b {
+			b[i] = math.Mod(b[i], 10)
+			if math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				b[i] = 0
+			}
+		}
+		p, q := Poly(a), Poly(b)
+		pq := p.MulTrunc(q, -1)
+		qp := q.MulTrunc(p, -1)
+		if !polyEq(pq, qp, 1e-9) {
+			return false
+		}
+		v := rng.Float64()
+		pv, qv, pqv := evalAt(p, v), evalAt(q, v), evalAt(pq, v)
+		return math.Abs(pv*qv-pqv) <= 1e-6*(1+math.Abs(pqv))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func evalAt(p Poly, v float64) float64 {
+	s := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		s = s*v + p[i]
+	}
+	return s
+}
+
+func TestPoly2Basics(t *testing.T) {
+	// (1 + x + y)^2 truncated at (1,1): 1 + 2x + 2y + 2xy (x^2,y^2 cut)
+	p := NewPoly2(1, 1)
+	p.SetCoeff(0, 0, 1)
+	p.SetCoeff(1, 0, 1)
+	p.SetCoeff(0, 1, 1)
+	sq := p.MulTrunc(p)
+	if sq.Coeff(0, 0) != 1 || sq.Coeff(1, 0) != 2 || sq.Coeff(0, 1) != 2 || sq.Coeff(1, 1) != 2 {
+		t.Fatalf("square = %+v", sq)
+	}
+}
+
+func TestPoly2MulMatchesPoly1OnUnivariate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		a := make(Poly, n)
+		b := make(Poly, m)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		cap := n + m - 2
+		a2 := NewPoly2(cap, 0)
+		b2 := NewPoly2(cap, 0)
+		for i, c := range a {
+			a2.SetCoeff(i, 0, c)
+		}
+		for i, c := range b {
+			b2.SetCoeff(i, 0, c)
+		}
+		want := a.MulTrunc(b, cap)
+		got := a2.MulTrunc(b2)
+		for i := 0; i <= cap; i++ {
+			if math.Abs(got.Coeff(i, 0)-want.Coeff(i)) > 1e-12 {
+				t.Fatalf("deg %d: got %g want %g", i, got.Coeff(i, 0), want.Coeff(i))
+			}
+		}
+	}
+}
+
+func TestPoly2CapMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cap mismatch")
+		}
+	}()
+	NewPoly2(1, 1).MulTrunc(NewPoly2(2, 1))
+}
+
+func TestMonomialBeyondCapIsZero(t *testing.T) {
+	m := Monomial2(3, 0, 2, 1)
+	if m.Sum() != 0 {
+		t.Fatal("monomial beyond cap must be the zero polynomial")
+	}
+}

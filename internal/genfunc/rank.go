@@ -1,0 +1,227 @@
+package genfunc
+
+import (
+	"fmt"
+
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+)
+
+// RankDist holds, for every tuple key of a tree, the distribution of the
+// tuple's rank r(t) restricted to ranks 1..K, where r(t) is the position of
+// t's present alternative when the world is sorted by decreasing score and
+// r(t) = infinity when t is absent (Section 5 conventions).
+type RankDist struct {
+	K    int
+	keys []string
+	eq   map[string][]float64 // eq[key][i] = Pr(r(t) = i), 1 <= i <= K
+	le   map[string][]float64 // le[key][i] = Pr(r(t) <= i)
+}
+
+// Ranks computes the rank distribution up to rank k for every key, using
+// one truncated bivariate generating function per leaf (the generalization
+// of Example 3 in the paper): for an alternative (t, s), mark every leaf of
+// a different key with larger score with x and the alternative itself with
+// y; the coefficient of x^(j-1) y is Pr(the alternative is present and
+// ranked j-th).
+//
+// It returns an error if two alternatives of different keys share a score
+// and can co-occur in a world, because ranks would be ill-defined (the
+// paper assumes distinct scores).  Ties between mutually exclusive
+// alternatives — common when a correlated tree encodes alternative whole
+// worlds, as in Figure 1(iii) — are harmless and accepted.
+func Ranks(t *andxor.Tree, k int) (*RankDist, error) {
+	if k < 1 {
+		return nil, errRankCutoff(k)
+	}
+	if err := ValidateScores(t); err != nil {
+		return nil, err
+	}
+	leaves := t.LeafAlternatives()
+	rd := &RankDist{
+		K:    k,
+		keys: t.Keys(),
+		eq:   make(map[string][]float64, len(t.Keys())),
+		le:   make(map[string][]float64, len(t.Keys())),
+	}
+	for _, key := range rd.keys {
+		rd.eq[key] = make([]float64, k+1)
+	}
+	for a, alt := range leaves {
+		a := a
+		alt := alt
+		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
+			if i == a {
+				return 0, 1
+			}
+			if l.Key != alt.Key && l.Score > alt.Score {
+				return 1, 0
+			}
+			return 0, 0
+		}, k-1, 1)
+		dist := rd.eq[alt.Key]
+		for j := 1; j <= k; j++ {
+			dist[j] += f.Coeff(j-1, 1)
+		}
+	}
+	for _, key := range rd.keys {
+		le := make([]float64, k+1)
+		acc := 0.0
+		for i := 1; i <= k; i++ {
+			acc += rd.eq[key][i]
+			le[i] = acc
+		}
+		rd.le[key] = le
+	}
+	return rd, nil
+}
+
+// Keys returns the tuple keys covered, sorted.
+func (rd *RankDist) Keys() []string { return rd.keys }
+
+// PrEq returns Pr(r(t) = i) for 1 <= i <= K (0 outside that range or for
+// unknown keys).
+func (rd *RankDist) PrEq(key string, i int) float64 {
+	d, ok := rd.eq[key]
+	if !ok || i < 1 || i > rd.K {
+		return 0
+	}
+	return d[i]
+}
+
+// PrLE returns Pr(r(t) <= i) for 1 <= i <= K.
+func (rd *RankDist) PrLE(key string, i int) float64 {
+	d, ok := rd.le[key]
+	if !ok || i < 1 {
+		return 0
+	}
+	if i > rd.K {
+		i = rd.K
+	}
+	return d[i]
+}
+
+// PrTopK returns Pr(r(t) <= K), the top-k membership probability used by
+// Theorem 3 and the PT-k ranking function.
+func (rd *RankDist) PrTopK(key string) float64 { return rd.PrLE(key, rd.K) }
+
+func errRankCutoff(k int) error {
+	return fmt.Errorf("genfunc: rank cutoff k = %d must be positive", k)
+}
+
+// ValidateScores reports an error when two alternatives of different keys
+// share a score AND can co-occur in a possible world (their co-occurrence
+// probability is positive), which would make ranks ill-defined.  Ties
+// between mutually exclusive leaves are fine: they never meet in a world.
+func ValidateScores(t *andxor.Tree) error {
+	leaves := t.LeafAlternatives()
+	byScore := map[float64][]int{}
+	for i, l := range leaves {
+		byScore[l.Score] = append(byScore[l.Score], i)
+	}
+	for score, idxs := range byScore {
+		if len(idxs) < 2 {
+			continue
+		}
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				if leaves[i].Key == leaves[j].Key {
+					continue // same tuple: mutually exclusive by the key constraint
+				}
+				if CoOccurrence(t, map[int]bool{i: true, j: true}) > 0 {
+					return fmt.Errorf("genfunc: alternatives %v and %v share score %v and can co-occur; ranking is ill-defined",
+						leaves[i], leaves[j], score)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Precedence returns Pr(r(ti) < r(tj)): the probability that tuple keyI
+// ranks strictly higher than tuple keyJ.  By the infinite-rank convention
+// this includes worlds where keyI is present and keyJ absent.  Section 5.5
+// notes this is the only statistic the pivot-style Kendall approximation
+// needs, and that it is computable with the generating-function method: for
+// each alternative a of keyI, mark a with y and every alternative of keyJ
+// with a larger score with x; the coefficient of x^0 y^1 is the probability
+// that a is present while keyJ is either absent or ranked below it.
+func Precedence(t *andxor.Tree, keyI, keyJ string) float64 {
+	if keyI == keyJ {
+		return 0
+	}
+	leaves := t.LeafAlternatives()
+	total := 0.0
+	for a, alt := range leaves {
+		if alt.Key != keyI {
+			continue
+		}
+		a := a
+		alt := alt
+		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
+			if i == a {
+				return 0, 1
+			}
+			if l.Key == keyJ && l.Score > alt.Score {
+				return 1, 0
+			}
+			return 0, 0
+		}, 0, 1)
+		total += f.Coeff(0, 1)
+	}
+	return total
+}
+
+// PrecedenceMatrix returns the matrix M[i][j] = Pr(r(keys[i]) < r(keys[j]))
+// for the given keys.
+func PrecedenceMatrix(t *andxor.Tree, keys []string) [][]float64 {
+	m := make([][]float64, len(keys))
+	for i := range keys {
+		m[i] = make([]float64, len(keys))
+		for j := range keys {
+			if i != j {
+				m[i][j] = Precedence(t, keys[i], keys[j])
+			}
+		}
+	}
+	return m
+}
+
+// ExpectedRank returns, for every key, the expected-rank statistic of
+// Cormode, Li and Yi (referenced in Sections 1-2 as one of the prior
+// ranking semantics): E[rank_pw(t)] where rank_pw(t) is t's 1-based rank in
+// pw when present and |pw| when absent.  Used as a baseline ranking
+// function in the experiments.
+func ExpectedRank(t *andxor.Tree) (map[string]float64, error) {
+	n := len(t.Keys())
+	if n == 0 {
+		return nil, fmt.Errorf("genfunc: empty tree")
+	}
+	rd, err := Ranks(t, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, n)
+	for _, key := range t.Keys() {
+		// Present part: sum over j of j * Pr(r(t)=j).
+		s := 0.0
+		for j := 1; j <= n; j++ {
+			s += float64(j) * rd.PrEq(key, j)
+		}
+		// Absent part: E[|pw| ; t absent].  Mark every leaf with x and
+		// additionally t's own leaves with y; then sum s*coeff(s, 0).
+		key := key
+		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
+			if l.Key == key {
+				return 1, 1
+			}
+			return 1, 0
+		}, t.NumLeaves(), 1)
+		for sz := 0; sz <= t.NumLeaves(); sz++ {
+			s += float64(sz) * f.Coeff(sz, 0)
+		}
+		out[key] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package genfunc
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/exact"
+	"consensus/internal/numeric"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+func TestRanksRejectsBadInput(t *testing.T) {
+	tr := andxor.Figure1i()
+	if _, err := Ranks(tr, 0); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	clash, err := andxor.BID([]andxor.Block{
+		{Alternatives: []types.Leaf{{Key: "a", Score: 1}}, Probs: []float64{0.5}},
+		{Alternatives: []types.Leaf{{Key: "b", Score: 1}}, Probs: []float64{0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Ranks(clash, 1); err == nil {
+		t.Fatal("cross-key score ties must be rejected")
+	}
+}
+
+func TestRanksAcceptsMutuallyExclusiveTies(t *testing.T) {
+	// Two alternative worlds sharing scores across keys: the tying leaves
+	// can never co-occur, so ranking is well-defined and must be accepted.
+	w1 := types.MustWorld(types.Leaf{Key: "a", Score: 2}, types.Leaf{Key: "b", Score: 1})
+	w2 := types.MustWorld(types.Leaf{Key: "b", Score: 2}, types.Leaf{Key: "a", Score: 1})
+	tr, err := andxor.FromWorlds([]andxor.WeightedWorld{
+		{World: w1, Prob: 0.7},
+		{World: w2, Prob: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Ranks(tr, 2)
+	if err != nil {
+		t.Fatalf("mutually exclusive ties must be accepted: %v", err)
+	}
+	if !numeric.AlmostEqual(rd.PrEq("a", 1), 0.7, 1e-12) {
+		t.Fatalf("Pr(r(a)=1) = %g, want 0.7", rd.PrEq("a", 1))
+	}
+	// But a genuine co-occurring tie must still be rejected.
+	clash, err := andxor.BID([]andxor.Block{
+		{Alternatives: []types.Leaf{{Key: "x", Score: 5}}, Probs: []float64{0.5}},
+		{Alternatives: []types.Leaf{{Key: "y", Score: 5}}, Probs: []float64{0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Ranks(clash, 1); err == nil {
+		t.Fatal("co-occurring cross-key tie must be rejected")
+	}
+}
+
+func TestRanksFigure1iii(t *testing.T) {
+	tr := andxor.Figure1iii()
+	rd, err := Ranks(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pw1 (0.3): t3=6 > t2=5 > t1=1 ; pw2 (0.3): t3=9 > t1=7 > t4=0 ;
+	// pw3 (0.4): t2=8 > t4=4 > t5=3.
+	checks := []struct {
+		key  string
+		rank int
+		want float64
+	}{
+		{"t3", 1, 0.6}, {"t2", 1, 0.4}, {"t2", 2, 0.3},
+		{"t1", 2, 0.3}, {"t1", 3, 0.3}, {"t4", 2, 0.4},
+		{"t4", 3, 0.3}, {"t5", 3, 0.4}, {"t5", 1, 0},
+	}
+	for _, c := range checks {
+		if got := rd.PrEq(c.key, c.rank); !numeric.AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("Pr(r(%s)=%d) = %g, want %g", c.key, c.rank, got, c.want)
+		}
+	}
+	if got := rd.PrTopK("t1"); !numeric.AlmostEqual(got, 0.6, 1e-12) {
+		t.Errorf("Pr(r(t1)<=3) = %g, want 0.6", got)
+	}
+}
+
+// The heart of the validation: rank distributions computed via truncated
+// generating functions must equal enumeration on random trees of every
+// model class.
+func TestRanksMatchEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trees := []*andxor.Tree{
+		workload.Independent(rng, 6),
+		workload.BID(rng, 5, 3),
+		workload.Nested(rng, 6, 2),
+		workload.Nested(rng, 7, 3),
+		andxor.Figure1i(),
+		andxor.Figure1iii(),
+	}
+	for ti, tr := range trees {
+		k := 3
+		rd, err := Ranks(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := exact.MustEnumerate(tr)
+		for _, key := range tr.Keys() {
+			for i := 1; i <= k; i++ {
+				want := exact.RankProb(ws, key, i)
+				if got := rd.PrEq(key, i); !numeric.AlmostEqual(got, want, 1e-9) {
+					t.Fatalf("tree %d key %s rank %d: genfunc %g enum %g", ti, key, i, got, want)
+				}
+				wantLE := exact.RankAtMostProb(ws, key, i)
+				if got := rd.PrLE(key, i); !numeric.AlmostEqual(got, wantLE, 1e-9) {
+					t.Fatalf("tree %d key %s rank<=%d: genfunc %g enum %g", ti, key, i, got, wantLE)
+				}
+			}
+		}
+	}
+}
+
+func TestPrecedenceMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 15; trial++ {
+		tr := workload.Nested(rng, 2+rng.Intn(5), 2)
+		ws := exact.MustEnumerate(tr)
+		keys := tr.Keys()
+		for _, ki := range keys {
+			for _, kj := range keys {
+				got := Precedence(tr, ki, kj)
+				want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+					li, iok := w.Lookup(ki)
+					if !iok {
+						return 0
+					}
+					lj, jok := w.Lookup(kj)
+					if ki == kj {
+						return 0
+					}
+					if !jok || lj.Score < li.Score {
+						return 1
+					}
+					return 0
+				})
+				if !numeric.AlmostEqual(got, want, 1e-9) {
+					t.Fatalf("trial %d Pr(r(%s)<r(%s)): genfunc %g enum %g", trial, ki, kj, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPrecedenceMatrixShape(t *testing.T) {
+	tr := andxor.Figure1iii()
+	keys := tr.Keys()
+	m := PrecedenceMatrix(tr, keys)
+	if len(m) != len(keys) {
+		t.Fatal("matrix shape wrong")
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+	}
+	// In Figure 1(ii): t3 beats t2 in pw1 (6>5) and pw2 (t2 absent) => 0.6.
+	i3, i2 := indexOf(keys, "t3"), indexOf(keys, "t2")
+	if !numeric.AlmostEqual(m[i3][i2], 0.6, 1e-12) {
+		t.Fatalf("Pr(t3<t2) = %g, want 0.6", m[i3][i2])
+	}
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestExpectedRankMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		tr := workload.Nested(rng, 2+rng.Intn(4), 2)
+		got, err := ExpectedRank(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := exact.MustEnumerate(tr)
+		for _, key := range tr.Keys() {
+			want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+				l, ok := w.Lookup(key)
+				if !ok {
+					return float64(w.Len())
+				}
+				r := 1
+				for _, o := range w.Leaves() {
+					if o.Key != key && o.Score > l.Score {
+						r++
+					}
+				}
+				return float64(r)
+			})
+			if !numeric.AlmostEqual(got[key], want, 1e-9) {
+				t.Fatalf("trial %d E[rank(%s)]: genfunc %g enum %g (tree %s)", trial, key, got[key], want, tr)
+			}
+		}
+	}
+}
+
+// Property: for every key, sum_i Pr(r(t)=i) over all i = marginal
+// probability of the key, and PrLE is monotone.
+func TestRankDistributionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 20; trial++ {
+		tr := workload.BID(rng, 2+rng.Intn(6), 3)
+		n := len(tr.Keys())
+		rd, err := Ranks(tr, n) // k = n captures the full distribution
+		if err != nil {
+			t.Fatal(err)
+		}
+		marg := tr.KeyMarginals()
+		for _, key := range tr.Keys() {
+			if !numeric.AlmostEqual(rd.PrLE(key, n), marg[key], 1e-9) {
+				t.Fatalf("sum of rank probs %g != marginal %g for %s", rd.PrLE(key, n), marg[key], key)
+			}
+			prev := 0.0
+			for i := 1; i <= n; i++ {
+				cur := rd.PrLE(key, i)
+				if cur+1e-12 < prev {
+					t.Fatalf("PrLE not monotone for %s", key)
+				}
+				prev = cur
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/exact"
+	"consensus/internal/numeric"
+	"consensus/internal/setconsensus"
+	"consensus/internal/topk"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+func TestExpectedValueMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	tr := workload.Nested(rng, 6, 2)
+	ws := exact.MustEnumerate(tr)
+	f := func(w *types.World) float64 { return float64(w.Len()) }
+	want := exact.ExpectedOver(ws, f)
+	est, err := ExpectedValue(tr, f, 40000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-want) > 5*est.StdErr+0.02 {
+		t.Fatalf("estimate %v too far from exact %g", est, want)
+	}
+	if est.Samples != 40000 || est.StdErr <= 0 {
+		t.Fatalf("estimate metadata wrong: %+v", est)
+	}
+	if est.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestExpectedValueValidation(t *testing.T) {
+	tr := workload.Independent(rand.New(rand.NewSource(202)), 3)
+	if _, err := ExpectedValue(tr, func(*types.World) float64 { return 0 }, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("samples=0 must error")
+	}
+}
+
+func TestHoeffding(t *testing.T) {
+	n, err := HoeffdingSamples(0.01, 0, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1/2) ln(2/0.05) / 1e-4 ~ 18445.
+	if n < 18000 || n > 19000 {
+		t.Fatalf("HoeffdingSamples = %d", n)
+	}
+	r := HoeffdingRadius(n, 0, 1, 0.05)
+	if r > 0.01+1e-9 {
+		t.Fatalf("radius %g exceeds requested eps", r)
+	}
+	if _, err := HoeffdingSamples(-1, 0, 1, 0.05); err == nil {
+		t.Fatal("bad eps must error")
+	}
+	if !math.IsInf(HoeffdingRadius(0, 0, 1, 0.05), 1) {
+		t.Fatal("n=0 radius must be infinite")
+	}
+}
+
+// The Hoeffding guarantee, empirically: across many repetitions, the
+// sample mean is inside the radius around the truth at least 1-delta of
+// the time (deterministic given the seed).
+func TestHoeffdingCoverage(t *testing.T) {
+	tr := workload.Independent(rand.New(rand.NewSource(203)), 5)
+	ws := exact.MustEnumerate(tr)
+	f := func(w *types.World) float64 {
+		if w.Len() >= 3 {
+			return 1
+		}
+		return 0
+	}
+	truth := exact.ExpectedOver(ws, f)
+	const reps, n, delta = 200, 400, 0.1
+	radius := HoeffdingRadius(n, 0, 1, delta)
+	rng := rand.New(rand.NewSource(204))
+	misses := 0
+	for r := 0; r < reps; r++ {
+		est, err := ExpectedValue(tr, f, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.Mean-truth) > radius {
+			misses++
+		}
+	}
+	if float64(misses)/reps > delta {
+		t.Fatalf("Hoeffding coverage violated: %d/%d misses at delta=%g", misses, reps, delta)
+	}
+}
+
+func TestCompareCommonRandomNumbers(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	tr := workload.BID(rng, 8, 2)
+	k := 3
+	tauA, _, err := topk.MeanSymDiff(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauB := append(topk.List(nil), tauA...)
+	tauB[0], tauB[len(tauB)-1] = tauB[len(tauB)-1], tauB[0] // perturb
+	fA := func(w *types.World) float64 { return topk.NormSymDiff(tauA, topk.FromWorld(w, k), k) }
+	fB := func(w *types.World) float64 { return topk.NormSymDiff(tauB, topk.FromWorld(w, k), k) }
+	cmp, err := Compare(tr, fA, fB, 20000, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paired difference must be consistent: Diff.Mean == A.Mean - B.Mean.
+	if !numeric.AlmostEqual(cmp.Diff.Mean, cmp.A.Mean-cmp.B.Mean, 1e-9) {
+		t.Fatalf("paired means inconsistent: %+v", cmp)
+	}
+	// tauA and tauB share k-1 elements: the distances are highly
+	// correlated, so pairing should cut the standard error of the
+	// difference versus the independent-sum bound.
+	independent := math.Sqrt(cmp.A.StdErr*cmp.A.StdErr + cmp.B.StdErr*cmp.B.StdErr)
+	if cmp.Diff.StdErr > independent {
+		t.Fatalf("pairing did not help: paired %g vs independent %g", cmp.Diff.StdErr, independent)
+	}
+	if _, err := Compare(tr, fA, fB, 0, rand.New(rand.NewSource(2))); err == nil {
+		t.Fatal("samples=0 must error")
+	}
+}
+
+// The paired comparison reproduces the exact ordering of expected
+// distances between the mean world and a perturbed world.
+func TestCompareAgreesWithExactOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	tr := workload.Nested(rng, 6, 2)
+	mean := setconsensus.MeanWorldSymDiff(tr)
+	worse := mean.Clone()
+	// Perturb: toggle one alternative.
+	leaves := tr.LeafAlternatives()
+	for _, l := range leaves {
+		if !worse.Contains(l) {
+			worse.Add(l)
+			break
+		}
+	}
+	exactA := setconsensus.ExpectedSymDiff(tr, mean)
+	exactB := setconsensus.ExpectedSymDiff(tr, worse)
+	fA := func(w *types.World) float64 { return float64(types.SymDiff(mean, w)) }
+	fB := func(w *types.World) float64 { return float64(types.SymDiff(worse, w)) }
+	cmp, err := Compare(tr, fA, fB, 30000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (exactA < exactB) != (cmp.Diff.Mean < 0) && math.Abs(cmp.Diff.Mean) > 3*cmp.Diff.StdErr {
+		t.Fatalf("sampled ordering (%+v) contradicts exact (%g vs %g)", cmp.Diff, exactA, exactB)
+	}
+}
+
+func TestMarginalEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	tr := workload.BID(rng, 6, 2)
+	got, err := MarginalEstimates(tr, 60000, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.KeyMarginals()
+	for k, p := range want {
+		if math.Abs(got[k]-p) > 0.015 {
+			t.Fatalf("marginal %s: sampled %g, exact %g", k, got[k], p)
+		}
+	}
+	if _, err := MarginalEstimates(tr, 0, rand.New(rand.NewSource(4))); err == nil {
+		t.Fatal("samples=0 must error")
+	}
+}

@@ -1,0 +1,92 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonic(t *testing.T) {
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 1.5},
+		{3, 1.0 + 0.5 + 1.0/3.0},
+		{4, 1.0 + 0.5 + 1.0/3.0 + 0.25},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %g, want %g", c.k, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicPrefixConsistent(t *testing.T) {
+	pre := HarmonicPrefix(50)
+	for k := 0; k <= 50; k++ {
+		if !AlmostEqual(pre[k], Harmonic(k), 1e-12) {
+			t.Fatalf("prefix[%d]=%g, Harmonic=%g", k, pre[k], Harmonic(k))
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1, 0) {
+		t.Fatal("identical values must compare equal")
+	}
+	if !AlmostEqual(1e9, 1e9*(1+1e-12), 1e-9) {
+		t.Fatal("relative tolerance should apply at large magnitude")
+	}
+	if AlmostEqual(0, 1e-3, 1e-9) {
+		t.Fatal("clearly different values must not compare equal")
+	}
+	if !AlmostEqual(0, 1e-12, 1e-9) {
+		t.Fatal("absolute tolerance should apply near zero")
+	}
+}
+
+func TestSumMatchesNaiveOnSmallInputs(t *testing.T) {
+	f := func(xs []float64) bool {
+		var naive float64
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				ok = false
+				break
+			}
+			naive += x
+		}
+		if !ok {
+			return true // skip pathological inputs
+		}
+		return AlmostEqual(Sum(xs), naive, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumCompensates(t *testing.T) {
+	// 1 followed by many tiny values that naive summation in float32-like
+	// patterns would drop; Kahan keeps them.
+	xs := make([]float64, 1+1000)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1000*1e-16
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("Sum = %.20f, want %.20f", got, want)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if Clamp01(-0.1) != 0 || Clamp01(1.1) != 1 || Clamp01(0.5) != 0.5 {
+		t.Fatal("Clamp01 wrong")
+	}
+}

@@ -1,0 +1,323 @@
+// Package rankagg implements the classical rank-aggregation substrate the
+// paper builds on (Section 2): Kendall's tau and Spearman's footrule over
+// full rankings, optimal footrule aggregation via bipartite matching
+// (Dwork, Kumar, Naor, Sivakumar), exact Kemeny-optimal aggregation by
+// Held-Karp dynamic programming, the pick-best-input 2-approximation,
+// Borda counts, and the FAS-pivot ordering used by Ailon-style algorithms.
+//
+// Rankings are permutations of 0..n-1: ranking[i] is the item at position
+// i (position 0 = best).
+package rankagg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"consensus/internal/assignment"
+)
+
+// Validate reports an error unless r is a permutation of 0..n-1.
+func Validate(r []int, n int) error {
+	if len(r) != n {
+		return fmt.Errorf("rankagg: ranking has %d entries, want %d", len(r), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range r {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("rankagg: not a permutation: %v", r)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// positions returns the inverse permutation: positions[item] = index in r.
+func positions(r []int) []int {
+	pos := make([]int, len(r))
+	for i, v := range r {
+		pos[v] = i
+	}
+	return pos
+}
+
+// KendallTau returns the number of discordant pairs between two full
+// rankings, computed in O(n log n) by counting inversions with a merge
+// sort.
+func KendallTau(a, b []int) int {
+	posB := positions(b)
+	seq := make([]int, len(a))
+	for i, item := range a {
+		seq[i] = posB[item]
+	}
+	buf := make([]int, len(seq))
+	return countInversions(seq, buf)
+}
+
+func countInversions(seq, buf []int) int {
+	n := len(seq)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := countInversions(seq[:mid], buf[:mid]) + countInversions(seq[mid:], buf[mid:])
+	// Merge, counting pairs (i < mid <= j) with seq[i] > seq[j].
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if seq[i] <= seq[j] {
+			buf[k] = seq[i]
+			i++
+		} else {
+			inv += mid - i
+			buf[k] = seq[j]
+			j++
+		}
+		k++
+	}
+	copy(buf[k:], seq[i:mid])
+	copy(buf[k+mid-i:], seq[j:])
+	copy(seq, buf[:n])
+	return inv
+}
+
+// Footrule returns Spearman's footrule distance sum_t |pos_a(t) - pos_b(t)|
+// between two full rankings.
+func Footrule(a, b []int) int {
+	pa, pb := positions(a), positions(b)
+	s := 0
+	for item := range pa {
+		d := pa[item] - pb[item]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// KemenyScore returns sum_r KendallTau(r, candidate), the objective of
+// Kemeny-optimal aggregation.
+func KemenyScore(candidate []int, rankings [][]int) int {
+	s := 0
+	for _, r := range rankings {
+		s += KendallTau(candidate, r)
+	}
+	return s
+}
+
+// FootruleScore returns sum_r Footrule(r, candidate).
+func FootruleScore(candidate []int, rankings [][]int) int {
+	s := 0
+	for _, r := range rankings {
+		s += Footrule(candidate, r)
+	}
+	return s
+}
+
+// FootruleAggregate returns the ranking minimizing the total footrule
+// distance to the input rankings, via the assignment problem: placing item
+// t at position p costs sum_r |p - pos_r(t)|.  Dwork et al. proved the
+// footrule optimum 2-approximates the Kemeny optimum.
+func FootruleAggregate(rankings [][]int) ([]int, int, error) {
+	if len(rankings) == 0 {
+		return nil, 0, fmt.Errorf("rankagg: no rankings")
+	}
+	n := len(rankings[0])
+	pos := make([][]int, len(rankings))
+	for i, r := range rankings {
+		if err := Validate(r, n); err != nil {
+			return nil, 0, err
+		}
+		pos[i] = positions(r)
+	}
+	cost := make([][]float64, n) // rows = positions, cols = items
+	for p := 0; p < n; p++ {
+		row := make([]float64, n)
+		for t := 0; t < n; t++ {
+			s := 0
+			for _, pr := range pos {
+				d := p - pr[t]
+				if d < 0 {
+					d = -d
+				}
+				s += d
+			}
+			row[t] = float64(s)
+		}
+		cost[p] = row
+	}
+	rowTo, total, err := assignment.Min(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]int, n)
+	for p, t := range rowTo {
+		out[p] = t
+	}
+	return out, int(math.Round(total)), nil
+}
+
+// MaxKemenyExact is the largest n KemenyExact accepts (2^n subset DP).
+const MaxKemenyExact = 16
+
+// KemenyExact returns a Kemeny-optimal aggregation by dynamic programming
+// over item subsets: dp[S] is the minimum pair cost of any ordering that
+// places exactly the items of S first.  Appending item i after prefix S
+// incurs w[i][j] for every j in S, where w[i][j] counts input rankings
+// placing i before j (those disagree with j-before-i orderings).
+// Exponential in n; callers should respect MaxKemenyExact.
+func KemenyExact(rankings [][]int) ([]int, int, error) {
+	if len(rankings) == 0 {
+		return nil, 0, fmt.Errorf("rankagg: no rankings")
+	}
+	n := len(rankings[0])
+	if n > MaxKemenyExact {
+		return nil, 0, fmt.Errorf("rankagg: n = %d exceeds exact Kemeny limit %d", n, MaxKemenyExact)
+	}
+	for _, r := range rankings {
+		if err := Validate(r, n); err != nil {
+			return nil, 0, err
+		}
+	}
+	w := prefWeights(rankings, n)
+	size := 1 << n
+	const inf = math.MaxInt32
+	dp := make([]int32, size)
+	choice := make([]int8, size)
+	for s := 1; s < size; s++ {
+		dp[s] = inf
+		for i := 0; i < n; i++ {
+			if s&(1<<i) == 0 {
+				continue
+			}
+			prev := s &^ (1 << i)
+			add := int32(0)
+			for j := 0; j < n; j++ {
+				if prev&(1<<j) != 0 {
+					add += int32(w[i][j])
+				}
+			}
+			if v := dp[prev] + add; v < dp[s] {
+				dp[s] = v
+				choice[s] = int8(i)
+			}
+		}
+	}
+	out := make([]int, n)
+	s := size - 1
+	for p := n - 1; p >= 0; p-- {
+		i := int(choice[s])
+		out[p] = i
+		s &^= 1 << i
+	}
+	return out, int(dp[size-1]), nil
+}
+
+// prefWeights returns w[i][j] = number of rankings placing i before j.
+func prefWeights(rankings [][]int, n int) [][]int {
+	w := make([][]int, n)
+	for i := range w {
+		w[i] = make([]int, n)
+	}
+	for _, r := range rankings {
+		pos := positions(r)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && pos[i] < pos[j] {
+					w[i][j]++
+				}
+			}
+		}
+	}
+	return w
+}
+
+// BestInput returns the input ranking with the smallest Kemeny score, the
+// classical 2-approximation (the average input is within 2 OPT by the
+// triangle inequality, so the best input is too).
+func BestInput(rankings [][]int) ([]int, int) {
+	best, bestScore := rankings[0], math.MaxInt64
+	for _, r := range rankings {
+		if s := KemenyScore(r, rankings); s < bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best, bestScore
+}
+
+// Borda returns the Borda-count aggregation: items sorted by total
+// position across inputs (lower is better), ties broken by item id.
+func Borda(rankings [][]int) []int {
+	n := len(rankings[0])
+	total := make([]int, n)
+	for _, r := range rankings {
+		for p, item := range r {
+			total[item] += p
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	// insertion sort by (total, id): n is small and this keeps it stable.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if total[a] > total[b] || (total[a] == total[b] && a > b) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FASPivot orders items 0..n-1 by quicksort on a majority tournament:
+// maj[i][j] > maj[j][i] means the inputs prefer i before j.  This is the
+// combinatorial pivot scheme of Ailon, Charikar and Newman; with a random
+// pivot it is a constant-factor approximation for feedback-arc-set style
+// aggregation objectives.
+func FASPivot(maj [][]float64, rng *rand.Rand) []int {
+	items := make([]int, len(maj))
+	for i := range items {
+		items[i] = i
+	}
+	return fasPivot(items, maj, rng)
+}
+
+func fasPivot(items []int, maj [][]float64, rng *rand.Rand) []int {
+	if len(items) <= 1 {
+		return items
+	}
+	p := items[rng.Intn(len(items))]
+	var before, after []int
+	for _, i := range items {
+		if i == p {
+			continue
+		}
+		if maj[i][p] >= maj[p][i] {
+			before = append(before, i)
+		} else {
+			after = append(after, i)
+		}
+	}
+	out := fasPivot(before, maj, rng)
+	out = append(out, p)
+	return append(out, fasPivot(after, maj, rng)...)
+}
+
+// MajorityTournament returns maj[i][j] = fraction of rankings placing i
+// before j, the statistic FASPivot consumes.
+func MajorityTournament(rankings [][]int) [][]float64 {
+	n := len(rankings[0])
+	w := prefWeights(rankings, n)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = float64(w[i][j]) / float64(len(rankings))
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package rankagg
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/workload"
+)
+
+func naiveKendall(a, b []int) int {
+	pa, pb := positions(a), positions(b)
+	n := len(a)
+	d := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if (pa[i] < pa[j]) != (pb[i] < pb[j]) {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+func TestKendallTauMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		a, b := rng.Perm(n), rng.Perm(n)
+		if got, want := KendallTau(a, b), naiveKendall(a, b); got != want {
+			t.Fatalf("KendallTau(%v,%v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestKendallTauKnown(t *testing.T) {
+	if d := KendallTau([]int{0, 1, 2}, []int{2, 1, 0}); d != 3 {
+		t.Fatalf("reversal distance = %d, want 3", d)
+	}
+	if d := KendallTau([]int{0, 1, 2}, []int{0, 1, 2}); d != 0 {
+		t.Fatal("identity distance must be 0")
+	}
+}
+
+func TestFootruleDiaconisGraham(t *testing.T) {
+	// Diaconis-Graham: K <= F <= 2K for full rankings.
+	rng := rand.New(rand.NewSource(142))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		a, b := rng.Perm(n), rng.Perm(n)
+		k, f := KendallTau(a, b), Footrule(a, b)
+		if f < k || f > 2*k {
+			t.Fatalf("Diaconis-Graham violated: K=%d F=%d for %v vs %v", k, f, a, b)
+		}
+	}
+}
+
+func bruteFootruleOpt(rankings [][]int) int {
+	n := len(rankings[0])
+	best := 1 << 30
+	perm := make([]int, n)
+	var rec func(i int, used int)
+	rec = func(i, used int) {
+		if i == n {
+			if s := FootruleScore(perm, rankings); s < best {
+				best = s
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used&(1<<v) == 0 {
+				perm[i] = v
+				rec(i+1, used|1<<v)
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func bruteKemenyOpt(rankings [][]int) int {
+	n := len(rankings[0])
+	best := 1 << 30
+	perm := make([]int, n)
+	var rec func(i int, used int)
+	rec = func(i, used int) {
+		if i == n {
+			if s := KemenyScore(perm, rankings); s < best {
+				best = s
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used&(1<<v) == 0 {
+				perm[i] = v
+				rec(i+1, used|1<<v)
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Experiment E14: the footrule aggregation is exactly optimal for its own
+// objective (computed against brute force) and 2-approximates Kemeny.
+func TestFootruleAggregateOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		rankings := workload.RandomRankings(rng, 3+rng.Intn(3), n)
+		agg, total, err := FootruleAggregate(rankings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(agg, n); err != nil {
+			t.Fatal(err)
+		}
+		if got := FootruleScore(agg, rankings); got != total {
+			t.Fatalf("reported %d, recomputed %d", total, got)
+		}
+		if want := bruteFootruleOpt(rankings); total != want {
+			t.Fatalf("trial %d: footrule aggregate %d, brute optimum %d", trial, total, want)
+		}
+		kemenyOpt := bruteKemenyOpt(rankings)
+		if got := KemenyScore(agg, rankings); got > 2*kemenyOpt {
+			t.Fatalf("trial %d: footrule answer Kemeny score %d > 2*OPT %d", trial, got, kemenyOpt)
+		}
+	}
+}
+
+func TestKemenyExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		rankings := workload.RandomRankings(rng, 3+rng.Intn(4), n)
+		agg, score, err := KemenyExact(rankings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(agg, n); err != nil {
+			t.Fatal(err)
+		}
+		if got := KemenyScore(agg, rankings); got != score {
+			t.Fatalf("reported %d, recomputed %d", score, got)
+		}
+		if want := bruteKemenyOpt(rankings); score != want {
+			t.Fatalf("trial %d: DP %d, brute %d", trial, score, want)
+		}
+	}
+}
+
+func TestKemenyExactRejectsLargeN(t *testing.T) {
+	rankings := [][]int{make([]int, MaxKemenyExact+1)}
+	for i := range rankings[0] {
+		rankings[0][i] = i
+	}
+	if _, _, err := KemenyExact(rankings); err == nil {
+		t.Fatal("n beyond the DP limit must be rejected")
+	}
+}
+
+func TestBestInputTwoApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(145))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		rankings := workload.RandomRankings(rng, 2+rng.Intn(4), n)
+		_, score := BestInput(rankings)
+		if opt := bruteKemenyOpt(rankings); score > 2*opt {
+			t.Fatalf("trial %d: best input %d > 2*OPT %d", trial, score, opt)
+		}
+	}
+}
+
+func TestBordaOnUnanimousInput(t *testing.T) {
+	r := []int{3, 1, 0, 2}
+	agg := Borda([][]int{r, r, r})
+	for i := range r {
+		if agg[i] != r[i] {
+			t.Fatalf("Borda on unanimous input = %v, want %v", agg, r)
+		}
+	}
+}
+
+func TestFASPivotProducesPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(146))
+	rankings := workload.RandomRankings(rng, 5, 8)
+	maj := MajorityTournament(rankings)
+	order := FASPivot(maj, rand.New(rand.NewSource(3)))
+	if err := Validate(order, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism for a fixed seed.
+	again := FASPivot(maj, rand.New(rand.NewSource(3)))
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatal("pivot must be deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestFASPivotRespectsUnanimity(t *testing.T) {
+	// If every input agrees, the pivot order must reproduce it.
+	rng := rand.New(rand.NewSource(147))
+	r := rng.Perm(7)
+	maj := MajorityTournament([][]int{r, r, r})
+	order := FASPivot(maj, rand.New(rand.NewSource(4)))
+	for i := range r {
+		if order[i] != r[i] {
+			t.Fatalf("unanimous input not respected: %v vs %v", order, r)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int{0, 1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]int{0, 0, 2}, 3); err == nil {
+		t.Fatal("duplicate must be rejected")
+	}
+	if err := Validate([]int{0, 1}, 3); err == nil {
+		t.Fatal("wrong length must be rejected")
+	}
+	if err := Validate([]int{0, 1, 5}, 3); err == nil {
+		t.Fatal("out of range must be rejected")
+	}
+}

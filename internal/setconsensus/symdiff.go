@@ -1,0 +1,127 @@
+// Package setconsensus implements Section 4 of the paper: consensus worlds
+// for a probabilistic database under the symmetric difference and Jaccard
+// set distances.
+//
+//   - Mean world under symmetric difference (Theorem 2): the set of all
+//     alternatives with marginal probability above 1/2.
+//   - Median world under symmetric difference (Corollary 1): the same set,
+//     which for and/xor trees is itself a possible world; this package also
+//     ships an exact tree DP that covers the corner case where an or-node
+//     can never produce the empty set (see MedianWorldSymDiff).
+//   - Expected Jaccard distance from a fixed world (Lemma 1), via a
+//     bivariate generating function.
+//   - Mean world under Jaccard distance for tuple-independent databases
+//     (Lemma 2): a prefix of the tuples sorted by decreasing probability.
+//   - Median world under Jaccard for BID databases: the prefix algorithm
+//     over each block's highest-probability alternative.
+package setconsensus
+
+import (
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+)
+
+// MeanWorldSymDiff returns the mean world under the symmetric difference
+// distance: by Theorem 2 this is exactly the set of tuple alternatives
+// whose marginal probability exceeds 1/2.  (Alternatives at exactly 1/2
+// contribute the same expected distance either way; we exclude them, which
+// also keeps the result key-consistent, since two alternatives of one key
+// can never both exceed 1/2.)
+func MeanWorldSymDiff(t *andxor.Tree) *types.World {
+	w := &types.World{}
+	probs := t.MarginalProbs()
+	for i, l := range t.LeafAlternatives() {
+		if probs[i] > 0.5 {
+			w.Add(l)
+		}
+	}
+	return w
+}
+
+// ExpectedSymDiff returns E[d_Delta(W, pw)] in closed form: each tree
+// alternative contributes 1-Pr(a) if it is in W and Pr(a) otherwise, and
+// alternatives of W foreign to the tree contribute 1 each (they never
+// appear in any world).  This is the expectation the proof of Theorem 2
+// rewrites; it depends only on marginals, so it holds under arbitrary
+// correlations.
+func ExpectedSymDiff(t *andxor.Tree, w *types.World) float64 {
+	probs := t.MarginalProbs()
+	leaves := t.LeafAlternatives()
+	matched := 0
+	e := 0.0
+	for i, l := range leaves {
+		if w.Contains(l) {
+			e += 1 - probs[i]
+			matched++
+		} else {
+			e += probs[i]
+		}
+	}
+	// Alternatives in W that the tree can never produce.
+	e += float64(w.Len() - matched)
+	return e
+}
+
+// MedianWorldSymDiff returns a median world under symmetric difference: the
+// possible world minimizing the expected distance, computed exactly by
+// dynamic programming over the tree.
+//
+// Corollary 1 states the median equals the mean world {a : Pr(a) > 1/2}.
+// That holds whenever the tree can produce that set, which covers every
+// tree in which or-nodes retain positive stop probability; if some or-node
+// must fire (edge probabilities summing to exactly 1) and none of its
+// alternatives clears 1/2, the mean set is not producible and the DP below
+// still returns the true optimum among possible worlds.  The experiment E2
+// measures both facts.
+//
+// The DP minimizes sum_{a in S} (1 - 2 Pr(a)) over producible leaf sets S,
+// which differs from E[d_Delta(S, pw)] by the constant sum_a Pr(a).
+func MedianWorldSymDiff(t *andxor.Tree) *types.World {
+	probs := t.MarginalProbs()
+	idx := 0
+	type res struct {
+		val   float64
+		world *types.World
+	}
+	var walk func(n *andxor.Node) res
+	walk = func(n *andxor.Node) res {
+		switch n.Kind() {
+		case andxor.KindLeaf:
+			w := types.MustWorld(n.Leaf())
+			v := 1 - 2*probs[idx]
+			idx++
+			return res{v, w}
+		case andxor.KindAnd:
+			total := 0.0
+			w := &types.World{}
+			for _, c := range n.Children() {
+				r := walk(c)
+				total += r.val
+				for _, l := range r.world.Leaves() {
+					w.Add(l)
+				}
+			}
+			return res{total, w}
+		default: // KindOr
+			best := res{val: 0, world: &types.World{}}
+			hasStop := n.StopProb() > 0
+			first := true
+			for i, c := range n.Children() {
+				r := walk(c) // must recurse regardless, to keep idx in sync
+				if n.Probs()[i] == 0 {
+					continue
+				}
+				if first && !hasStop {
+					best = r
+					first = false
+					continue
+				}
+				if r.val < best.val {
+					best = r
+				}
+			}
+			return best
+		}
+	}
+	return walk(t.Root()).world
+}

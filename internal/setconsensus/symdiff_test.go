@@ -1,0 +1,188 @@
+package setconsensus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/exact"
+	"consensus/internal/numeric"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+// enumerate all subsets of the tree's alternatives as candidate answers
+// (the unrestricted answer space Omega for set queries).
+func allSubsets(leaves []types.Leaf) []*types.World {
+	var out []*types.World
+	n := len(leaves)
+	for mask := 0; mask < 1<<n; mask++ {
+		w := &types.World{}
+		ok := true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				if w.HasKey(leaves[i].Key) {
+					ok = false // skip key-conflicting candidates
+					break
+				}
+				w.Add(leaves[i])
+			}
+		}
+		if ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestExpectedSymDiffMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		tr := workload.Nested(rng, 2+rng.Intn(4), 2)
+		ws := exact.MustEnumerate(tr)
+		leaves := tr.LeafAlternatives()
+		for _, cand := range allSubsets(leaves) {
+			got := ExpectedSymDiff(tr, cand)
+			want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+				return float64(types.SymDiff(cand, w))
+			})
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("trial %d cand %v: closed form %g enum %g", trial, cand, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedSymDiffForeignAlternative(t *testing.T) {
+	tr := andxor.Figure1i()
+	foreign := types.MustWorld(types.Leaf{Key: "zz", Score: 99})
+	base := ExpectedSymDiff(tr, &types.World{})
+	if got := ExpectedSymDiff(tr, foreign); !numeric.AlmostEqual(got, base+1, 1e-12) {
+		t.Fatalf("foreign alternative must add exactly 1: got %g, base %g", got, base)
+	}
+}
+
+// Theorem 2 (experiment E1): the {Pr > 1/2} set minimizes expected
+// symmetric difference over the whole answer space.
+func TestMeanWorldSymDiffIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 25; trial++ {
+		tr := workload.Nested(rng, 2+rng.Intn(4), 2)
+		mean := MeanWorldSymDiff(tr)
+		meanE := ExpectedSymDiff(tr, mean)
+		for _, cand := range allSubsets(tr.LeafAlternatives()) {
+			if e := ExpectedSymDiff(tr, cand); e < meanE-1e-9 {
+				t.Fatalf("trial %d: candidate %v has E=%g < mean world %v E=%g (tree %s)",
+					trial, cand, e, mean, meanE, tr)
+			}
+		}
+	}
+}
+
+// Corollary 1 (experiment E2): whenever the mean world is producible the
+// median DP returns it; and the DP always returns the optimal possible
+// world.
+func TestMedianWorldSymDiffIsOptimalPossible(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 40; trial++ {
+		tr := workload.Nested(rng, 2+rng.Intn(4), 2)
+		med := MedianWorldSymDiff(tr)
+		if !andxor.IsPossible(tr, med) {
+			t.Fatalf("trial %d: median %v not a possible world (tree %s)", trial, med, tr)
+		}
+		medE := ExpectedSymDiff(tr, med)
+		ws := exact.MustEnumerate(tr)
+		for _, ww := range ws {
+			if e := ExpectedSymDiff(tr, ww.World); e < medE-1e-9 {
+				t.Fatalf("trial %d: possible world %v has E=%g < median %v E=%g",
+					trial, ww.World, e, med, medE)
+			}
+		}
+		// Corollary 1 proper: if the mean world is possible it must tie
+		// the median.
+		mean := MeanWorldSymDiff(tr)
+		if andxor.IsPossible(tr, mean) {
+			if !numeric.AlmostEqual(ExpectedSymDiff(tr, mean), medE, 1e-9) {
+				t.Fatalf("trial %d: possible mean world %v (E=%g) differs from median E=%g",
+					trial, mean, ExpectedSymDiff(tr, mean), medE)
+			}
+		}
+	}
+}
+
+// The corner case Corollary 1 glosses over: an or-node that must fire
+// (edge probabilities summing to 1) with all alternatives at most 1/2.
+// The mean world excludes them all and is impossible; the DP must still
+// return the best possible world.
+func TestMedianWorldForcedOrNode(t *testing.T) {
+	tr := andxor.MustNew(andxor.NewOr(
+		[]*andxor.Node{
+			andxor.NewLeaf(types.Leaf{Key: "a", Score: 1}),
+			andxor.NewLeaf(types.Leaf{Key: "b", Score: 2}),
+			andxor.NewLeaf(types.Leaf{Key: "c", Score: 3}),
+		},
+		[]float64{0.4, 0.35, 0.25},
+	))
+	mean := MeanWorldSymDiff(tr)
+	if mean.Len() != 0 {
+		t.Fatalf("mean world should be empty, got %v", mean)
+	}
+	if andxor.IsPossible(tr, mean) {
+		t.Fatal("the empty world must be impossible for a forced or-node")
+	}
+	med := MedianWorldSymDiff(tr)
+	if !andxor.IsPossible(tr, med) {
+		t.Fatal("median must be possible")
+	}
+	// Best possible world is {a} (highest probability alternative):
+	// E = (1-0.4) + 0.35 + 0.25 = 1.2 versus {b}: 1.3, {c}: 1.5.
+	if !med.Contains(types.Leaf{Key: "a", Score: 1}) || med.Len() != 1 {
+		t.Fatalf("median = %v, want {a(1)}", med)
+	}
+	if e := ExpectedSymDiff(tr, med); !numeric.AlmostEqual(e, 1.2, 1e-12) {
+		t.Fatalf("E = %g, want 1.2", e)
+	}
+}
+
+func TestMeanWorldFigure1i(t *testing.T) {
+	// Marginals per alternative: (t1,8)=0.1, (t1,2)=0.5, (t2,3)=0.4,
+	// (t2,4)=0.4, (t3,1)=0.2, (t3,9)=0.8, (t4,6)=0.5, (t4,5)=0.5.
+	// Only (t3,9) exceeds 1/2.
+	mean := MeanWorldSymDiff(andxor.Figure1i())
+	if mean.Len() != 1 || !mean.Contains(types.Leaf{Key: "t3", Score: 9}) {
+		t.Fatalf("mean world = %v, want {t3(9)}", mean)
+	}
+}
+
+func TestMedianEqualsMeanOnIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 20; trial++ {
+		tr := workload.Independent(rng, 8)
+		mean := MeanWorldSymDiff(tr)
+		med := MedianWorldSymDiff(tr)
+		if !mean.Equal(med) {
+			t.Fatalf("trial %d: independent database mean %v != median %v", trial, mean, med)
+		}
+	}
+}
+
+func TestMeanWorldLargeIsLinearTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	tr := workload.BID(rng, 2000, 3)
+	w := MeanWorldSymDiff(tr)
+	// Sanity only: every included alternative's marginal exceeds 1/2.
+	marg := map[types.Leaf]float64{}
+	probs := tr.MarginalProbs()
+	for i, l := range tr.LeafAlternatives() {
+		marg[l] = probs[i]
+	}
+	for _, l := range w.Leaves() {
+		if marg[l] <= 0.5 {
+			t.Fatalf("alternative %v with marginal %g included", l, marg[l])
+		}
+	}
+	if math.IsNaN(ExpectedSymDiff(tr, w)) {
+		t.Fatal("expected distance must be finite")
+	}
+}

@@ -1,0 +1,165 @@
+package spj
+
+import (
+	"fmt"
+
+	"consensus/internal/workload"
+)
+
+// This file makes the hardness construction of Section 4.1 executable.
+//
+// Given a MAX-2-SAT instance over literals x_1..x_n with k clauses, build:
+//
+//   - S(x, b): a probabilistic relation with two mutually exclusive
+//     equiprobable tuples (x_i, 0) and (x_i, 1) per variable, each with
+//     probability 1/2 (one BID block per variable);
+//   - R(C, x, b): a certain relation holding, for each clause, one tuple
+//     per literal (e.g. clause c1 = x1 OR NOT x2 yields (c1, x1, 1) and
+//     (c1, x2, 0)).
+//
+// The query pi_C(R join S) returns one tuple per clause with probability
+// 3/4 (each clause has two independent fair-coin literals).  Because every
+// result tuple has probability > 1/2, the mean world is all clauses; the
+// MEDIAN world must be a possible answer, i.e. the set of clauses
+// satisfied by some truth assignment, so finding it maximizes the number
+// of satisfied clauses: MAX-2-SAT.
+
+// Reduction bundles the constructed relations and query machinery.
+type Reduction struct {
+	NVars   int
+	Clauses []workload.Clause
+	R       *Relation
+	S       *Relation
+	Space   *Space
+}
+
+// varName returns the block/variable name for variable i.
+func varName(i int) string { return fmt.Sprintf("x%d", i) }
+
+// clauseName returns the result-tuple name for clause i.
+func clauseName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// BuildReduction constructs the Section 4.1 reduction for the given
+// 2-CNF.  Clause literals must mention distinct variables.
+func BuildReduction(nVars int, clauses []workload.Clause) (*Reduction, error) {
+	if nVars < 1 {
+		return nil, fmt.Errorf("spj: need at least one variable")
+	}
+	space := &Space{Blocks: map[string][]float64{}}
+	s := &Relation{Schema: []string{"x", "b"}}
+	for v := 0; v < nVars; v++ {
+		space.Blocks[varName(v)] = []float64{0.5, 0.5} // alt 0 = false, alt 1 = true
+		s.Tuples = append(s.Tuples,
+			Tuple{Vals: []string{varName(v), "0"}, Lineage: DNF{Conj{{Block: varName(v), Alt: 0}}}},
+			Tuple{Vals: []string{varName(v), "1"}, Lineage: DNF{Conj{{Block: varName(v), Alt: 1}}}},
+		)
+	}
+	r := &Relation{Schema: []string{"C", "x", "b"}}
+	for ci, c := range clauses {
+		if c.Var[0] == c.Var[1] {
+			return nil, fmt.Errorf("spj: clause %d mentions variable %d twice", ci, c.Var[0])
+		}
+		for li := 0; li < 2; li++ {
+			if c.Var[li] < 0 || c.Var[li] >= nVars {
+				return nil, fmt.Errorf("spj: clause %d variable out of range", ci)
+			}
+			want := "1"
+			if c.Neg[li] {
+				want = "0"
+			}
+			r.Tuples = append(r.Tuples, Tuple{
+				Vals:    []string{clauseName(ci), varName(c.Var[li]), want},
+				Lineage: True(),
+			})
+		}
+	}
+	return &Reduction{NVars: nVars, Clauses: clauses, R: r, S: s, Space: space}, nil
+}
+
+// QueryResult evaluates pi_C(R join S) and returns the result relation
+// (one tuple per clause, with its OR-of-two-literals lineage).
+func (rd *Reduction) QueryResult() (*Relation, error) {
+	joined, err := Join(rd.R, rd.S)
+	if err != nil {
+		return nil, err
+	}
+	return Project(joined, "C")
+}
+
+// SatisfiedBy returns the number of clauses satisfied by the assignment
+// (assignment[i] is the value of variable i).
+func SatisfiedBy(clauses []workload.Clause, assignment []bool) int {
+	n := 0
+	for _, c := range clauses {
+		sat := false
+		for li := 0; li < 2; li++ {
+			v := assignment[c.Var[li]]
+			if c.Neg[li] {
+				v = !v
+			}
+			if v {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			n++
+		}
+	}
+	return n
+}
+
+// Max2SATBrute solves MAX-2-SAT exactly by trying all 2^n assignments.
+func Max2SATBrute(nVars int, clauses []workload.Clause) (int, []bool, error) {
+	if nVars > 20 {
+		return 0, nil, fmt.Errorf("spj: brute force limited to 20 variables, got %d", nVars)
+	}
+	best := -1
+	var bestAsn []bool
+	asn := make([]bool, nVars)
+	for mask := 0; mask < 1<<nVars; mask++ {
+		for v := 0; v < nVars; v++ {
+			asn[v] = mask&(1<<v) != 0
+		}
+		if s := SatisfiedBy(clauses, asn); s > best {
+			best = s
+			bestAsn = append([]bool(nil), asn...)
+		}
+	}
+	return best, bestAsn, nil
+}
+
+// MedianAnswerSize returns the size of the median answer to the reduction
+// query: the possible answer (set of clause tuples realized by a single
+// truth assignment) minimizing the expected symmetric difference.  Because
+// every result tuple has probability 3/4 > 1/2, this is the possible
+// answer of maximum cardinality, i.e. the MAX-2-SAT optimum; the
+// function's exponential search doubles as the oracle experiment E3
+// compares against Max2SATBrute.
+func (rd *Reduction) MedianAnswerSize() (int, error) {
+	if rd.NVars > 20 {
+		return 0, fmt.Errorf("spj: median search limited to 20 variables")
+	}
+	best, _, err := Max2SATBrute(rd.NVars, rd.Clauses)
+	return best, err
+}
+
+// MeanAnswer returns the mean world of the query result under symmetric
+// difference (Theorem 2 applied to the result relation): all result tuples
+// with probability > 1/2, which for this construction is every clause.
+func (rd *Reduction) MeanAnswer() ([]string, []float64, error) {
+	res, err := rd.QueryResult()
+	if err != nil {
+		return nil, nil, err
+	}
+	probs := TupleProbs(res, rd.Space)
+	var names []string
+	var ps []float64
+	for i, t := range res.Tuples {
+		if probs[i] > 0.5 {
+			names = append(names, t.Vals[0])
+			ps = append(ps, probs[i])
+		}
+	}
+	return names, ps, nil
+}

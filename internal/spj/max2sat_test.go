@@ -1,0 +1,132 @@
+package spj
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+	"consensus/internal/workload"
+)
+
+// Experiment E3: the Section 4.1 reduction is faithful — every result
+// tuple has probability exactly 3/4, the mean answer is all clauses, and
+// the median answer size equals the MAX-2-SAT optimum.
+func TestReductionTupleProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 10; trial++ {
+		nVars := 3 + rng.Intn(4)
+		clauses := workload.Random2CNF(rng, nVars, 5+rng.Intn(10))
+		rd, err := BuildReduction(nVars, clauses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rd.QueryResult()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != len(clauses) {
+			t.Fatalf("trial %d: %d result tuples for %d clauses", trial, len(res.Tuples), len(clauses))
+		}
+		for i, p := range TupleProbs(res, rd.Space) {
+			if !numeric.AlmostEqual(p, 0.75, 1e-12) {
+				t.Fatalf("trial %d: clause tuple %d has probability %g, want 0.75", trial, i, p)
+			}
+		}
+	}
+}
+
+func TestMeanAnswerIsAllClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	clauses := workload.Random2CNF(rng, 4, 8)
+	rd, err := BuildReduction(4, clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, probs, err := rd.MeanAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(clauses) {
+		t.Fatalf("mean answer has %d clauses, want %d", len(names), len(clauses))
+	}
+	for _, p := range probs {
+		if !numeric.AlmostEqual(p, 0.75, 1e-12) {
+			t.Fatalf("probability %g", p)
+		}
+	}
+}
+
+func TestMedianEqualsMax2SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	for trial := 0; trial < 15; trial++ {
+		nVars := 2 + rng.Intn(5)
+		clauses := workload.Random2CNF(rng, nVars, 3+rng.Intn(12))
+		rd, err := BuildReduction(nVars, clauses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		medianSize, err := rd.MedianAnswerSize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, asn, err := Max2SATBrute(nVars, clauses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if medianSize != opt {
+			t.Fatalf("trial %d: median size %d != MAX-2-SAT optimum %d", trial, medianSize, opt)
+		}
+		if got := SatisfiedBy(clauses, asn); got != opt {
+			t.Fatalf("trial %d: witness satisfies %d, reported %d", trial, got, opt)
+		}
+	}
+}
+
+// An unsatisfiable-in-full instance: x and not-x style conflicts force the
+// median strictly below the clause count while the mean keeps everything.
+func TestMedianStrictlySmallerOnConflicts(t *testing.T) {
+	// Clauses: (x0 or x1), (not x0 or x1), (x0 or not x1), (not x0 or not x1):
+	// any assignment satisfies exactly 3 of 4.
+	clauses := []workload.Clause{
+		{Var: [2]int{0, 1}, Neg: [2]bool{false, false}},
+		{Var: [2]int{0, 1}, Neg: [2]bool{true, false}},
+		{Var: [2]int{0, 1}, Neg: [2]bool{false, true}},
+		{Var: [2]int{0, 1}, Neg: [2]bool{true, true}},
+	}
+	rd, err := BuildReduction(2, clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _, err := rd.MeanAnswer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 {
+		t.Fatalf("mean answer %v, want all 4 clauses", names)
+	}
+	size, err := rd.MedianAnswerSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 3 {
+		t.Fatalf("median size %d, want 3", size)
+	}
+}
+
+func TestBuildReductionValidation(t *testing.T) {
+	if _, err := BuildReduction(0, nil); err == nil {
+		t.Fatal("zero variables must be rejected")
+	}
+	if _, err := BuildReduction(2, []workload.Clause{{Var: [2]int{0, 0}}}); err == nil {
+		t.Fatal("repeated variable in a clause must be rejected")
+	}
+	if _, err := BuildReduction(2, []workload.Clause{{Var: [2]int{0, 5}}}); err == nil {
+		t.Fatal("out-of-range variable must be rejected")
+	}
+}
+
+func TestMax2SATBruteGuards(t *testing.T) {
+	if _, _, err := Max2SATBrute(21, nil); err == nil {
+		t.Fatal("oversized brute force must be rejected")
+	}
+}

@@ -1,0 +1,450 @@
+package spj
+
+// Safe plans (the paper's "future work: exploring connections to safe
+// plans", and the Dalvi–Suciu dichotomy its Section 2 discusses).
+//
+// For boolean conjunctive queries without self-joins over
+// tuple-independent probabilistic tables, query probability is computable
+// extensionally exactly when the query is *hierarchical*: for every two
+// variables x, y, the sets of subgoals containing them are nested or
+// disjoint.  Non-hierarchical queries (canonically H0 = R(x), S(x,y),
+// T(y)) are #P-hard.
+//
+// This file implements the hierarchy test, the extensional evaluator
+// (independent project on a root variable, independent join across
+// connected components, ground-subgoal lookup) and a lineage-based
+// intensional evaluator used both as the correctness oracle and as the
+// fallback for unsafe queries.  The paper's observation motivating the
+// consensus framework — that even safe queries produce correlated result
+// tuples, so consensus answers don't come for free from safe plans —
+// is exercised in the tests.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a variable or a constant in a subgoal argument position.
+type Term struct {
+	// Name is the variable name when IsConst is false, the constant
+	// value otherwise.
+	Name    string
+	IsConst bool
+}
+
+// Var and Const build terms.
+func Var(name string) Term  { return Term{Name: name} }
+func Const(val string) Term { return Term{Name: val, IsConst: true} }
+
+// Subgoal is one atom R(t1, ..., tn) of a conjunctive query.
+type Subgoal struct {
+	Relation string
+	Args     []Term
+}
+
+// Query is a boolean conjunctive query: the conjunction of its subgoals,
+// existentially quantified over all variables.
+type Query struct {
+	Subgoals []Subgoal
+}
+
+// Vars returns the distinct variables of the query, sorted.
+func (q *Query) Vars() []string {
+	set := map[string]bool{}
+	for _, sg := range q.Subgoals {
+		for _, t := range sg.Args {
+			if !t.IsConst {
+				set[t.Name] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasSelfJoin reports whether two subgoals reference the same relation
+// (the dichotomy below assumes self-join-free queries).
+func (q *Query) HasSelfJoin() bool {
+	seen := map[string]bool{}
+	for _, sg := range q.Subgoals {
+		if seen[sg.Relation] {
+			return true
+		}
+		seen[sg.Relation] = true
+	}
+	return false
+}
+
+// subgoalsOf returns the indices of subgoals containing variable v.
+func (q *Query) subgoalsOf(v string) map[int]bool {
+	out := map[int]bool{}
+	for i, sg := range q.Subgoals {
+		for _, t := range sg.Args {
+			if !t.IsConst && t.Name == v {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// IsHierarchical reports whether for every pair of variables the subgoal
+// sets are nested or disjoint — the Dalvi–Suciu safety condition for
+// self-join-free boolean conjunctive queries on tuple-independent tables.
+func (q *Query) IsHierarchical() bool {
+	vars := q.Vars()
+	sets := make([]map[int]bool, len(vars))
+	for i, v := range vars {
+		sets[i] = q.subgoalsOf(v)
+	}
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			inter, iSubJ, jSubI := relate(sets[i], sets[j])
+			if inter && !iSubJ && !jSubI {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// relate reports whether a and b intersect, whether a ⊆ b, and whether
+// b ⊆ a.
+func relate(a, b map[int]bool) (intersect, aSubB, bSubA bool) {
+	aSubB, bSubA = true, true
+	for x := range a {
+		if b[x] {
+			intersect = true
+		} else {
+			aSubB = false
+		}
+	}
+	for x := range b {
+		if !a[x] {
+			bSubA = false
+		}
+	}
+	return
+}
+
+// Table is a tuple-independent probabilistic table: every row is present
+// independently with its probability.
+type Table struct {
+	Name string
+	Rows []TableRow
+}
+
+// TableRow is one probabilistic tuple of a table.
+type TableRow struct {
+	Vals []string
+	Prob float64
+}
+
+// Database maps relation names to tables.
+type Database map[string]*Table
+
+// Validate checks probabilities and arity consistency.
+func (db Database) Validate() error {
+	for name, t := range db {
+		if t == nil {
+			return fmt.Errorf("spj: nil table %q", name)
+		}
+		arity := -1
+		for i, r := range t.Rows {
+			if arity == -1 {
+				arity = len(r.Vals)
+			} else if len(r.Vals) != arity {
+				return fmt.Errorf("spj: table %q row %d has arity %d, want %d", name, i, len(r.Vals), arity)
+			}
+			if r.Prob < 0 || r.Prob > 1 {
+				return fmt.Errorf("spj: table %q row %d has probability %v", name, i, r.Prob)
+			}
+		}
+	}
+	return nil
+}
+
+// EvalSafe computes the exact probability of a boolean conjunctive query
+// extensionally.  It returns an error when the query is unsafe (has a
+// self-join or is not hierarchical) — use EvalLineage for those.
+func EvalSafe(q *Query, db Database) (float64, error) {
+	if err := db.Validate(); err != nil {
+		return 0, err
+	}
+	if q.HasSelfJoin() {
+		return 0, fmt.Errorf("spj: query has a self-join; the extensional evaluator requires self-join-free queries")
+	}
+	if !q.IsHierarchical() {
+		return 0, fmt.Errorf("spj: query is not hierarchical (unsafe); evaluation is #P-hard in general, use EvalLineage")
+	}
+	return evalSafe(q, db)
+}
+
+func evalSafe(q *Query, db Database) (float64, error) {
+	if len(q.Subgoals) == 0 {
+		return 1, nil
+	}
+	// Independent join: split into connected components by shared
+	// variables.
+	comps := queryComponents(q)
+	if len(comps) > 1 {
+		p := 1.0
+		for _, c := range comps {
+			cp, err := evalSafe(c, db)
+			if err != nil {
+				return 0, err
+			}
+			p *= cp
+		}
+		return p, nil
+	}
+	// Ground single subgoal: direct lookup.
+	if len(q.Subgoals) == 1 && isGround(q.Subgoals[0]) {
+		return lookupProb(db, q.Subgoals[0]), nil
+	}
+	// Independent project on a root variable (one occurring in every
+	// subgoal): Pr(exists x: q(x)) = 1 - prod_a (1 - Pr(q[x -> a])).
+	root, ok := rootVariable(q)
+	if !ok {
+		// A single non-ground subgoal with no variables shared... cannot
+		// happen for hierarchical connected queries with >= 1 variable;
+		// a connected multi-subgoal query without a root variable is
+		// non-hierarchical and was rejected earlier.
+		return 0, fmt.Errorf("spj: internal error: connected hierarchical query without root variable: %v", q.Subgoals)
+	}
+	p := 1.0
+	for _, a := range activeDomain(q, db, root) {
+		sub, err := evalSafe(substitute(q, root, a), db)
+		if err != nil {
+			return 0, err
+		}
+		p *= 1 - sub
+	}
+	return 1 - p, nil
+}
+
+// queryComponents splits subgoals into connected components through
+// shared variables.
+func queryComponents(q *Query) []*Query {
+	n := len(q.Subgoals)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := map[string]int{}
+	for i, sg := range q.Subgoals {
+		for _, t := range sg.Args {
+			if t.IsConst {
+				continue
+			}
+			if o, ok := owner[t.Name]; ok {
+				parent[find(i)] = find(o)
+			} else {
+				owner[t.Name] = i
+			}
+		}
+	}
+	groups := map[int][]Subgoal{}
+	var order []int
+	for i, sg := range q.Subgoals {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], sg)
+	}
+	out := make([]*Query, 0, len(groups))
+	for _, r := range order {
+		out = append(out, &Query{Subgoals: groups[r]})
+	}
+	return out
+}
+
+func isGround(sg Subgoal) bool {
+	for _, t := range sg.Args {
+		if !t.IsConst {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupProb returns the probability of the ground tuple, 0 if absent.
+func lookupProb(db Database, sg Subgoal) float64 {
+	t, ok := db[sg.Relation]
+	if !ok {
+		return 0
+	}
+	for _, r := range t.Rows {
+		if len(r.Vals) != len(sg.Args) {
+			continue
+		}
+		match := true
+		for i, a := range sg.Args {
+			if r.Vals[i] != a.Name {
+				match = false
+				break
+			}
+		}
+		if match {
+			return r.Prob
+		}
+	}
+	return 0
+}
+
+// rootVariable returns a variable occurring in every subgoal, if any;
+// deterministic (lexicographically smallest).
+func rootVariable(q *Query) (string, bool) {
+	for _, v := range q.Vars() {
+		if len(q.subgoalsOf(v)) == len(q.Subgoals) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// activeDomain returns the values that variable v can bind to: the union
+// over subgoals containing v of the values in the matching column.
+func activeDomain(q *Query, db Database, v string) []string {
+	set := map[string]bool{}
+	for _, sg := range q.Subgoals {
+		t, ok := db[sg.Relation]
+		if !ok {
+			continue
+		}
+		for i, a := range sg.Args {
+			if a.IsConst || a.Name != v {
+				continue
+			}
+			for _, r := range t.Rows {
+				if i < len(r.Vals) {
+					set[r.Vals[i]] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// substitute returns the query with variable v bound to constant a.
+func substitute(q *Query, v, a string) *Query {
+	out := &Query{Subgoals: make([]Subgoal, len(q.Subgoals))}
+	for i, sg := range q.Subgoals {
+		args := make([]Term, len(sg.Args))
+		for j, t := range sg.Args {
+			if !t.IsConst && t.Name == v {
+				args[j] = Const(a)
+			} else {
+				args[j] = t
+			}
+		}
+		out.Subgoals[i] = Subgoal{Relation: sg.Relation, Args: args}
+	}
+	return out
+}
+
+// EvalLineage computes the exact query probability intensionally: it
+// enumerates satisfying assignments to build the DNF lineage (one block
+// per base tuple) and evaluates it with Shannon expansion.  Exponential in
+// the worst case but correct for every query, including unsafe ones and
+// self-joins; it is the oracle EvalSafe is tested against.
+func EvalLineage(q *Query, db Database) (float64, error) {
+	if err := db.Validate(); err != nil {
+		return 0, err
+	}
+	space := &Space{Blocks: map[string][]float64{}}
+	blockOf := func(rel string, row int) string {
+		return fmt.Sprintf("%s#%d", rel, row)
+	}
+	for name, t := range db {
+		for i, r := range t.Rows {
+			space.Blocks[blockOf(name, i)] = []float64{r.Prob}
+		}
+	}
+	var lineage DNF
+	var rec func(i int, binding map[string]string, used Conj)
+	rec = func(i int, binding map[string]string, used Conj) {
+		if i == len(q.Subgoals) {
+			lineage = Or(lineage, DNF{append(Conj{}, used...)})
+			return
+		}
+		sg := q.Subgoals[i]
+		t, ok := db[sg.Relation]
+		if !ok {
+			return
+		}
+		for ri, r := range t.Rows {
+			if len(r.Vals) != len(sg.Args) || r.Prob == 0 {
+				continue
+			}
+			newBinds := map[string]string{}
+			match := true
+			for j, a := range sg.Args {
+				want := a.Name
+				if !a.IsConst {
+					if b, bound := binding[a.Name]; bound {
+						want = b
+					} else if nb, fresh := newBinds[a.Name]; fresh {
+						want = nb
+					} else {
+						newBinds[a.Name] = r.Vals[j]
+						continue
+					}
+				}
+				if r.Vals[j] != want {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			for k, v := range newBinds {
+				binding[k] = v
+			}
+			rec(i+1, binding, append(used, Literal{Block: blockOf(sg.Relation, ri), Alt: 0}))
+			for k := range newBinds {
+				delete(binding, k)
+			}
+		}
+	}
+	rec(0, map[string]string{}, nil)
+	return Prob(lineage, space), nil
+}
+
+// String renders the query in datalog-ish syntax, e.g.
+// "R(x), S(x, y), T(y)".
+func (q *Query) String() string {
+	parts := make([]string, len(q.Subgoals))
+	for i, sg := range q.Subgoals {
+		args := make([]string, len(sg.Args))
+		for j, t := range sg.Args {
+			if t.IsConst {
+				args[j] = "'" + t.Name + "'"
+			} else {
+				args[j] = t.Name
+			}
+		}
+		parts[i] = sg.Relation + "(" + strings.Join(args, ", ") + ")"
+	}
+	return strings.Join(parts, ", ")
+}

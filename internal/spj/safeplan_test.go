@@ -1,0 +1,298 @@
+package spj
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+)
+
+func h0() *Query {
+	// The canonical #P-hard query: R(x), S(x,y), T(y).
+	return &Query{Subgoals: []Subgoal{
+		{Relation: "R", Args: []Term{Var("x")}},
+		{Relation: "S", Args: []Term{Var("x"), Var("y")}},
+		{Relation: "T", Args: []Term{Var("y")}},
+	}}
+}
+
+func hierarchicalQueries() []*Query {
+	return []*Query{
+		// R(x)
+		{Subgoals: []Subgoal{{Relation: "R", Args: []Term{Var("x")}}}},
+		// R(x), S(x, y)
+		{Subgoals: []Subgoal{
+			{Relation: "R", Args: []Term{Var("x")}},
+			{Relation: "S", Args: []Term{Var("x"), Var("y")}},
+		}},
+		// R(x), S(x, y), U(x, y): sg(y) subset of sg(x)
+		{Subgoals: []Subgoal{
+			{Relation: "R", Args: []Term{Var("x")}},
+			{Relation: "S", Args: []Term{Var("x"), Var("y")}},
+			{Relation: "U", Args: []Term{Var("x"), Var("y")}},
+		}},
+		// Disconnected: R(x), T(y)
+		{Subgoals: []Subgoal{
+			{Relation: "R", Args: []Term{Var("x")}},
+			{Relation: "T", Args: []Term{Var("y")}},
+		}},
+		// With a constant: S(x, 'b1')
+		{Subgoals: []Subgoal{{Relation: "S", Args: []Term{Var("x"), Const("b1")}}}},
+		// Ground: R('a1')
+		{Subgoals: []Subgoal{{Relation: "R", Args: []Term{Const("a1")}}}},
+	}
+}
+
+func TestIsHierarchical(t *testing.T) {
+	for i, q := range hierarchicalQueries() {
+		if !q.IsHierarchical() {
+			t.Errorf("query %d (%s) should be hierarchical", i, q)
+		}
+	}
+	if h0().IsHierarchical() {
+		t.Errorf("H0 (%s) must not be hierarchical", h0())
+	}
+}
+
+func TestHasSelfJoin(t *testing.T) {
+	q := &Query{Subgoals: []Subgoal{
+		{Relation: "R", Args: []Term{Var("x")}},
+		{Relation: "R", Args: []Term{Var("y")}},
+	}}
+	if !q.HasSelfJoin() {
+		t.Fatal("self-join not detected")
+	}
+	if h0().HasSelfJoin() {
+		t.Fatal("H0 has no self-join")
+	}
+}
+
+func randDatabase(rng *rand.Rand, domA, domB int) Database {
+	db := Database{}
+	mk := func(name string, arity int) {
+		t := &Table{Name: name}
+		if arity == 1 {
+			for i := 0; i < domA; i++ {
+				if rng.Float64() < 0.8 {
+					t.Rows = append(t.Rows, TableRow{Vals: []string{val("a", i)}, Prob: rng.Float64()})
+				}
+			}
+		} else {
+			for i := 0; i < domA; i++ {
+				for j := 0; j < domB; j++ {
+					if rng.Float64() < 0.6 {
+						t.Rows = append(t.Rows, TableRow{Vals: []string{val("a", i), val("b", j)}, Prob: rng.Float64()})
+					}
+				}
+			}
+		}
+		db[name] = t
+	}
+	mk("R", 1)
+	mk("T", 1)
+	mk("S", 2)
+	mk("U", 2)
+	// T over the b-domain: rebuild with b values.
+	tb := &Table{Name: "T"}
+	for j := 0; j < domB; j++ {
+		if rng.Float64() < 0.8 {
+			tb.Rows = append(tb.Rows, TableRow{Vals: []string{val("b", j)}, Prob: rng.Float64()})
+		}
+	}
+	db["T"] = tb
+	return db
+}
+
+func val(prefix string, i int) string {
+	return prefix + string(rune('1'+i))
+}
+
+// The dichotomy's positive side: on hierarchical queries the extensional
+// plan equals the exact lineage probability.
+func TestEvalSafeMatchesLineage(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 25; trial++ {
+		db := randDatabase(rng, 2+rng.Intn(2), 2+rng.Intn(2))
+		for qi, q := range hierarchicalQueries() {
+			got, err := EvalSafe(q, db)
+			if err != nil {
+				t.Fatalf("trial %d query %d: %v", trial, qi, err)
+			}
+			want, err := EvalLineage(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("trial %d query %d (%s): extensional %g lineage %g", trial, qi, q, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalSafeRejectsUnsafe(t *testing.T) {
+	db := randDatabase(rand.New(rand.NewSource(192)), 2, 2)
+	if _, err := EvalSafe(h0(), db); err == nil {
+		t.Fatal("H0 must be rejected as unsafe")
+	}
+	selfJoin := &Query{Subgoals: []Subgoal{
+		{Relation: "R", Args: []Term{Var("x")}},
+		{Relation: "R", Args: []Term{Var("y")}},
+	}}
+	if _, err := EvalSafe(selfJoin, db); err == nil {
+		t.Fatal("self-joins must be rejected")
+	}
+}
+
+// The unsafe query is still exactly computable intensionally; spot-check
+// H0 on a tiny database against hand computation.
+func TestEvalLineageH0Hand(t *testing.T) {
+	db := Database{
+		"R": {Name: "R", Rows: []TableRow{{Vals: []string{"a1"}, Prob: 0.5}}},
+		"S": {Name: "S", Rows: []TableRow{{Vals: []string{"a1", "b1"}, Prob: 0.5}}},
+		"T": {Name: "T", Rows: []TableRow{{Vals: []string{"b1"}, Prob: 0.5}}},
+	}
+	got, err := EvalLineage(h0(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 0.125, 1e-12) {
+		t.Fatalf("Pr(H0) = %g, want 0.125", got)
+	}
+}
+
+// Self-joins are handled by the lineage evaluator: R(x), R' where both
+// subgoals hit the same relation.
+func TestEvalLineageSelfJoin(t *testing.T) {
+	db := Database{
+		"R": {Name: "R", Rows: []TableRow{
+			{Vals: []string{"a1"}, Prob: 0.5},
+			{Vals: []string{"a2"}, Prob: 0.5},
+		}},
+	}
+	// exists x, y: R(x) and R(y) — same as exists x: R(x).
+	q := &Query{Subgoals: []Subgoal{
+		{Relation: "R", Args: []Term{Var("x")}},
+		{Relation: "R", Args: []Term{Var("y")}},
+	}}
+	got, err := EvalLineage(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("Pr = %g, want 0.75", got)
+	}
+	// Repeated variable within a subgoal: S(x, x).
+	db["S"] = &Table{Name: "S", Rows: []TableRow{
+		{Vals: []string{"a1", "a1"}, Prob: 0.5},
+		{Vals: []string{"a1", "a2"}, Prob: 0.9},
+	}}
+	q2 := &Query{Subgoals: []Subgoal{{Relation: "S", Args: []Term{Var("x"), Var("x")}}}}
+	got, err = EvalLineage(q2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("Pr(S(x,x)) = %g, want 0.5", got)
+	}
+}
+
+func TestEvalSafeGroundAndConstants(t *testing.T) {
+	db := Database{
+		"R": {Name: "R", Rows: []TableRow{{Vals: []string{"a1"}, Prob: 0.3}}},
+		"S": {Name: "S", Rows: []TableRow{
+			{Vals: []string{"a1", "b1"}, Prob: 0.4},
+			{Vals: []string{"a2", "b1"}, Prob: 0.5},
+		}},
+	}
+	// Ground subgoal.
+	q := &Query{Subgoals: []Subgoal{{Relation: "R", Args: []Term{Const("a1")}}}}
+	if p, err := EvalSafe(q, db); err != nil || !numeric.AlmostEqual(p, 0.3, 1e-12) {
+		t.Fatalf("ground: %g %v", p, err)
+	}
+	// Missing ground tuple.
+	q = &Query{Subgoals: []Subgoal{{Relation: "R", Args: []Term{Const("zz")}}}}
+	if p, err := EvalSafe(q, db); err != nil || p != 0 {
+		t.Fatalf("missing ground: %g %v", p, err)
+	}
+	// Constant in one position: exists x: S(x, 'b1') = 1-(1-.4)(1-.5).
+	q = &Query{Subgoals: []Subgoal{{Relation: "S", Args: []Term{Var("x"), Const("b1")}}}}
+	if p, err := EvalSafe(q, db); err != nil || !numeric.AlmostEqual(p, 0.7, 1e-12) {
+		t.Fatalf("constant: %g %v", p, err)
+	}
+}
+
+func TestDatabaseValidate(t *testing.T) {
+	bad := Database{"R": {Name: "R", Rows: []TableRow{
+		{Vals: []string{"a"}, Prob: 0.5},
+		{Vals: []string{"a", "b"}, Prob: 0.5},
+	}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged arity must be rejected")
+	}
+	bad2 := Database{"R": {Name: "R", Rows: []TableRow{{Vals: []string{"a"}, Prob: 1.5}}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("probability > 1 must be rejected")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	if s := h0().String(); s != "R(x), S(x, y), T(y)" {
+		t.Fatalf("String = %q", s)
+	}
+	q := &Query{Subgoals: []Subgoal{{Relation: "S", Args: []Term{Var("x"), Const("b1")}}}}
+	if s := q.String(); s != "S(x, 'b1')" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Even for safe queries the *result tuples* of a non-boolean query are
+// correlated — the paper's argument for why consensus answers don't
+// reduce to safe plans.  Check a concrete correlation: answers S(x, y)
+// grouped by y share base tuples through x.
+func TestSafePlanResultCorrelation(t *testing.T) {
+	// Boolean queries q_b = exists x: S(x, b) for b in {b1, b2} share the
+	// tuple probabilities through nothing — but q_b and q_b' computed over
+	// the same S rows with shared x-partner R(x) ARE correlated:
+	// Pr(q1 and q2) != Pr(q1) Pr(q2).
+	db := Database{
+		"R": {Name: "R", Rows: []TableRow{{Vals: []string{"a1"}, Prob: 0.5}}},
+		"S": {Name: "S", Rows: []TableRow{
+			{Vals: []string{"a1", "b1"}, Prob: 1},
+			{Vals: []string{"a1", "b2"}, Prob: 1},
+		}},
+	}
+	q1 := &Query{Subgoals: []Subgoal{
+		{Relation: "R", Args: []Term{Var("x")}},
+		{Relation: "S", Args: []Term{Var("x"), Const("b1")}},
+	}}
+	q2 := &Query{Subgoals: []Subgoal{
+		{Relation: "R", Args: []Term{Var("x")}},
+		{Relation: "S", Args: []Term{Var("x"), Const("b2")}},
+	}}
+	p1, err := EvalSafe(q1, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := EvalSafe(q2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint probability of both answers existing, via the lineage
+	// evaluator (the conjunction has a self-join on S, so the extensional
+	// evaluator refuses it).
+	jointQ := &Query{Subgoals: []Subgoal{
+		{Relation: "R", Args: []Term{Var("x")}},
+		{Relation: "S", Args: []Term{Var("x"), Const("b1")}},
+		{Relation: "S", Args: []Term{Var("y"), Const("b2")}},
+	}}
+	pj, err := EvalLineage(jointQ, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.AlmostEqual(pj, p1*p2, 1e-12) {
+		t.Fatalf("result tuples should be correlated: joint %g vs product %g", pj, p1*p2)
+	}
+	if !numeric.AlmostEqual(pj, 0.5, 1e-12) { // both answers exist iff R(a1) does
+		t.Fatalf("joint = %g, want 0.5", pj)
+	}
+}

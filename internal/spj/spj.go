@@ -1,0 +1,423 @@
+// Package spj is a small select-project-join engine over block-independent
+// disjoint (BID) probabilistic relations with exact lineage-based
+// probability computation.  It exists to make Section 4.1 of the paper
+// executable: the reduction from MAX-2-SAT showing that finding a *median*
+// world is NP-hard for query results even when result-tuple probabilities
+// are easy to compute.
+//
+// Tuples carry lineage in disjunctive normal form over base events
+// (block, alternative).  Joins AND lineages (dropping contradictory
+// conjunctions that bind one block to two alternatives), projections OR
+// them, and probabilities are evaluated exactly by Shannon expansion over
+// blocks, with an independent-component decomposition so that disjoint
+// parts of the lineage multiply instead of blowing up the expansion.
+package spj
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Space is the probability space of base events: for each block (possible
+// worlds key) the probabilities of its mutually exclusive alternatives,
+// summing to at most 1.
+type Space struct {
+	Blocks map[string][]float64
+}
+
+// Validate checks probability constraints.
+func (s *Space) Validate() error {
+	for b, probs := range s.Blocks {
+		sum := 0.0
+		for i, p := range probs {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("spj: block %q alternative %d has probability %v", b, i, p)
+			}
+			sum += p
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("spj: block %q probabilities sum to %v", b, sum)
+		}
+	}
+	return nil
+}
+
+// Literal asserts that block Block chose alternative Alt.
+type Literal struct {
+	Block string
+	Alt   int
+}
+
+// Conj is a conjunction of literals.
+type Conj []Literal
+
+// DNF is a disjunction of conjunctions; the empty DNF is false and a DNF
+// containing an empty conjunction is true.
+type DNF []Conj
+
+// True and False are the constant lineages.
+func True() DNF  { return DNF{Conj{}} }
+func False() DNF { return DNF{} }
+
+// normalizeConj sorts literals and detects contradictions (one block bound
+// to two alternatives); it returns (nil, false) for contradictory
+// conjunctions and deduplicates repeated literals.
+func normalizeConj(c Conj) (Conj, bool) {
+	byBlock := map[string]int{}
+	for _, l := range c {
+		if prev, ok := byBlock[l.Block]; ok {
+			if prev != l.Alt {
+				return nil, false
+			}
+			continue
+		}
+		byBlock[l.Block] = l.Alt
+	}
+	out := make(Conj, 0, len(byBlock))
+	for b, a := range byBlock {
+		out = append(out, Literal{b, a})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Block != out[j].Block {
+			return out[i].Block < out[j].Block
+		}
+		return out[i].Alt < out[j].Alt
+	})
+	return out, true
+}
+
+// And returns the conjunction of two DNFs (cross product of conjunctions,
+// contradictions dropped).
+func And(a, b DNF) DNF {
+	var out DNF
+	seen := map[string]bool{}
+	for _, ca := range a {
+		for _, cb := range b {
+			merged := append(append(Conj{}, ca...), cb...)
+			norm, ok := normalizeConj(merged)
+			if !ok {
+				continue
+			}
+			key := conjKey(norm)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, norm)
+			}
+		}
+	}
+	return out
+}
+
+// Or returns the disjunction of two DNFs (concatenation with
+// deduplication).
+func Or(a, b DNF) DNF {
+	var out DNF
+	seen := map[string]bool{}
+	for _, c := range append(append(DNF{}, a...), b...) {
+		norm, ok := normalizeConj(c)
+		if !ok {
+			continue
+		}
+		key := conjKey(norm)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, norm)
+		}
+	}
+	return out
+}
+
+func conjKey(c Conj) string {
+	var b strings.Builder
+	for _, l := range c {
+		fmt.Fprintf(&b, "%s=%d;", l.Block, l.Alt)
+	}
+	return b.String()
+}
+
+// Prob returns the exact probability of the lineage under the space, by
+// Shannon expansion over blocks with independent-component decomposition.
+func Prob(d DNF, s *Space) float64 {
+	// Normalize (drops contradictions).
+	var norm DNF
+	for _, c := range d {
+		if nc, ok := normalizeConj(c); ok {
+			norm = append(norm, nc)
+		}
+	}
+	memo := map[string]float64{}
+	return probRec(norm, s, memo)
+}
+
+func probRec(d DNF, s *Space, memo map[string]float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	for _, c := range d {
+		if len(c) == 0 {
+			return 1
+		}
+	}
+	key := dnfKey(d)
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	// Independent-component decomposition: group conjunctions by connected
+	// components of shared blocks; the probability of the disjunction of
+	// independent groups is 1 - prod(1 - p_group).
+	comps := components(d)
+	if len(comps) > 1 {
+		res := 1.0
+		for _, comp := range comps {
+			res *= 1 - probRec(comp, s, memo)
+		}
+		res = 1 - res
+		memo[key] = res
+		return res
+	}
+	// Shannon expansion on the most frequent block.
+	counts := map[string]int{}
+	for _, c := range d {
+		for _, l := range c {
+			counts[l.Block]++
+		}
+	}
+	var pivot string
+	bestCount := -1
+	for b, cnt := range counts {
+		if cnt > bestCount || (cnt == bestCount && b < pivot) {
+			pivot, bestCount = b, cnt
+		}
+	}
+	probs := s.Blocks[pivot]
+	res := 0.0
+	remaining := 1.0
+	for alt, p := range probs {
+		remaining -= p
+		if p == 0 {
+			continue
+		}
+		res += p * probRec(condition(d, pivot, alt, true), s, memo)
+	}
+	if remaining > 1e-15 {
+		res += remaining * probRec(condition(d, pivot, -1, false), s, memo)
+	}
+	memo[key] = res
+	return res
+}
+
+// condition restricts the DNF to worlds where block either chose alt
+// (present=true) or nothing (present=false).
+func condition(d DNF, block string, alt int, present bool) DNF {
+	var out DNF
+	for _, c := range d {
+		keep := true
+		var rest Conj
+		for _, l := range c {
+			if l.Block != block {
+				rest = append(rest, l)
+				continue
+			}
+			if !present || l.Alt != alt {
+				keep = false
+				break
+			}
+			// literal satisfied: drop it
+		}
+		if keep {
+			out = append(out, rest)
+		}
+	}
+	return out
+}
+
+// components splits the DNF into groups of conjunctions connected through
+// shared blocks.
+func components(d DNF) []DNF {
+	n := len(d)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	blockOwner := map[string]int{}
+	for i, c := range d {
+		for _, l := range c {
+			if o, ok := blockOwner[l.Block]; ok {
+				union(i, o)
+			} else {
+				blockOwner[l.Block] = i
+			}
+		}
+	}
+	groups := map[int]DNF{}
+	var roots []int
+	for i, c := range d {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], c)
+	}
+	out := make([]DNF, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+func dnfKey(d DNF) string {
+	keys := make([]string, len(d))
+	for i, c := range d {
+		keys[i] = conjKey(c)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// Relation is a (probabilistic) relation: a schema and tuples with
+// lineage.
+type Relation struct {
+	Schema []string
+	Tuples []Tuple
+}
+
+// Tuple pairs attribute values with a lineage formula.
+type Tuple struct {
+	Vals    []string
+	Lineage DNF
+}
+
+// col returns the index of a schema column.
+func (r *Relation) col(name string) (int, error) {
+	for i, c := range r.Schema {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("spj: relation has no column %q (schema %v)", name, r.Schema)
+}
+
+// Select returns the tuples satisfying the predicate.
+func Select(r *Relation, pred func(vals []string) bool) *Relation {
+	out := &Relation{Schema: append([]string(nil), r.Schema...)}
+	for _, t := range r.Tuples {
+		if pred(t.Vals) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Project projects onto the named columns, OR-ing the lineages of tuples
+// that collapse together (set semantics, as in the Section 4.1 reduction's
+// pi_C).
+func Project(r *Relation, cols ...string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, err := r.col(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	out := &Relation{Schema: append([]string(nil), cols...)}
+	pos := map[string]int{}
+	for _, t := range r.Tuples {
+		vals := make([]string, len(idx))
+		for i, j := range idx {
+			vals[i] = t.Vals[j]
+		}
+		key := strings.Join(vals, "\x00")
+		if i, ok := pos[key]; ok {
+			out.Tuples[i].Lineage = Or(out.Tuples[i].Lineage, t.Lineage)
+			continue
+		}
+		pos[key] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, Tuple{Vals: vals, Lineage: t.Lineage})
+	}
+	return out, nil
+}
+
+// Join natural-joins two relations on their shared column names, AND-ing
+// lineages; contradictory combinations vanish.
+func Join(a, b *Relation) (*Relation, error) {
+	shared := []string{}
+	bIdx := map[string]int{}
+	for i, c := range b.Schema {
+		bIdx[c] = i
+	}
+	aJoin := []int{}
+	bJoin := []int{}
+	for i, c := range a.Schema {
+		if j, ok := bIdx[c]; ok {
+			shared = append(shared, c)
+			aJoin = append(aJoin, i)
+			bJoin = append(bJoin, j)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("spj: join relations share no columns")
+	}
+	out := &Relation{Schema: append([]string(nil), a.Schema...)}
+	for _, c := range b.Schema {
+		if _, ok := bIdx[c]; ok && contains(shared, c) {
+			continue
+		}
+		out.Schema = append(out.Schema, c)
+	}
+	for _, ta := range a.Tuples {
+		for _, tb := range b.Tuples {
+			match := true
+			for k := range shared {
+				if ta.Vals[aJoin[k]] != tb.Vals[bJoin[k]] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			lin := And(ta.Lineage, tb.Lineage)
+			if len(lin) == 0 {
+				continue // contradictory: never co-occurs
+			}
+			vals := append([]string(nil), ta.Vals...)
+			for i, v := range tb.Vals {
+				if contains(shared, b.Schema[i]) {
+					continue
+				}
+				vals = append(vals, v)
+			}
+			out.Tuples = append(out.Tuples, Tuple{Vals: vals, Lineage: lin})
+		}
+	}
+	return out, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TupleProbs evaluates every tuple's lineage probability.
+func TupleProbs(r *Relation, s *Space) []float64 {
+	out := make([]float64, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out[i] = Prob(t.Lineage, s)
+	}
+	return out
+}

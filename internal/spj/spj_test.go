@@ -1,0 +1,236 @@
+package spj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/numeric"
+)
+
+// bruteProb enumerates all block outcomes and sums the satisfied mass.
+func bruteProb(d DNF, s *Space) float64 {
+	blocks := make([]string, 0, len(s.Blocks))
+	for b := range s.Blocks {
+		blocks = append(blocks, b)
+	}
+	var rec func(i int, asn map[string]int, prob float64) float64
+	rec = func(i int, asn map[string]int, prob float64) float64 {
+		if prob == 0 {
+			return 0
+		}
+		if i == len(blocks) {
+			if satisfies(d, asn) {
+				return prob
+			}
+			return 0
+		}
+		b := blocks[i]
+		total := 0.0
+		remaining := 1.0
+		for alt, p := range s.Blocks[b] {
+			remaining -= p
+			asn[b] = alt
+			total += rec(i+1, asn, prob*p)
+		}
+		asn[b] = -1 // absent
+		total += rec(i+1, asn, prob*remaining)
+		delete(asn, b)
+		return total
+	}
+	return rec(0, map[string]int{}, 1)
+}
+
+func satisfies(d DNF, asn map[string]int) bool {
+	for _, c := range d {
+		ok := true
+		for _, l := range c {
+			if asn[l.Block] != l.Alt {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func randSpace(rng *rand.Rand, nBlocks, maxAlts int) *Space {
+	s := &Space{Blocks: map[string][]float64{}}
+	for i := 0; i < nBlocks; i++ {
+		na := 1 + rng.Intn(maxAlts)
+		probs := make([]float64, na)
+		sum := 0.0
+		for j := range probs {
+			probs[j] = rng.Float64()
+			sum += probs[j]
+		}
+		scale := rng.Float64() / sum // leave room for absence
+		for j := range probs {
+			probs[j] *= scale
+		}
+		s.Blocks[string(rune('a'+i))] = probs
+	}
+	return s
+}
+
+func randDNF(rng *rand.Rand, s *Space, nConj, maxLits int) DNF {
+	blocks := make([]string, 0, len(s.Blocks))
+	for b := range s.Blocks {
+		blocks = append(blocks, b)
+	}
+	var d DNF
+	for i := 0; i < nConj; i++ {
+		var c Conj
+		nl := 1 + rng.Intn(maxLits)
+		for j := 0; j < nl; j++ {
+			b := blocks[rng.Intn(len(blocks))]
+			c = append(c, Literal{Block: b, Alt: rng.Intn(len(s.Blocks[b]))})
+		}
+		d = append(d, c)
+	}
+	return d
+}
+
+func TestProbMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 100; trial++ {
+		s := randSpace(rng, 2+rng.Intn(4), 2)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		d := randDNF(rng, s, 1+rng.Intn(4), 2)
+		got := Prob(d, s)
+		want := bruteProb(d, s)
+		if !numeric.AlmostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: Prob %g brute %g (dnf %v)", trial, got, want, d)
+		}
+	}
+}
+
+func TestProbConstants(t *testing.T) {
+	s := randSpace(rand.New(rand.NewSource(1)), 2, 2)
+	if p := Prob(True(), s); p != 1 {
+		t.Fatalf("Prob(true) = %g", p)
+	}
+	if p := Prob(False(), s); p != 0 {
+		t.Fatalf("Prob(false) = %g", p)
+	}
+	// Contradictory conjunction is false.
+	contr := DNF{Conj{{Block: "a", Alt: 0}, {Block: "a", Alt: 1}}}
+	if p := Prob(contr, s); p != 0 {
+		t.Fatalf("Prob(contradiction) = %g", p)
+	}
+}
+
+func TestAndOrAlgebra(t *testing.T) {
+	s := &Space{Blocks: map[string][]float64{
+		"a": {0.3, 0.4},
+		"b": {0.5},
+	}}
+	la := DNF{Conj{{Block: "a", Alt: 0}}}
+	lb := DNF{Conj{{Block: "b", Alt: 0}}}
+	// Independent events: And multiplies, Or is inclusion-exclusion.
+	if p := Prob(And(la, lb), s); !numeric.AlmostEqual(p, 0.15, 1e-12) {
+		t.Fatalf("Pr(a0 and b0) = %g", p)
+	}
+	if p := Prob(Or(la, lb), s); !numeric.AlmostEqual(p, 0.3+0.5-0.15, 1e-12) {
+		t.Fatalf("Pr(a0 or b0) = %g", p)
+	}
+	// Mutually exclusive alternatives add.
+	la1 := DNF{Conj{{Block: "a", Alt: 1}}}
+	if p := Prob(Or(la, la1), s); !numeric.AlmostEqual(p, 0.7, 1e-12) {
+		t.Fatalf("Pr(a0 or a1) = %g", p)
+	}
+	// And of exclusive alternatives is empty.
+	if len(And(la, la1)) != 0 {
+		t.Fatal("And of exclusive alternatives must be the empty DNF")
+	}
+}
+
+func TestSelectProjectJoin(t *testing.T) {
+	s := &Space{Blocks: map[string][]float64{
+		"t1": {0.6},
+		"t2": {0.5},
+	}}
+	users := &Relation{
+		Schema: []string{"uid", "city"},
+		Tuples: []Tuple{
+			{Vals: []string{"u1", "sf"}, Lineage: DNF{Conj{{Block: "t1", Alt: 0}}}},
+			{Vals: []string{"u2", "ny"}, Lineage: DNF{Conj{{Block: "t2", Alt: 0}}}},
+		},
+	}
+	orders := &Relation{
+		Schema: []string{"uid", "item"},
+		Tuples: []Tuple{
+			{Vals: []string{"u1", "book"}, Lineage: True()},
+			{Vals: []string{"u2", "pen"}, Lineage: True()},
+			{Vals: []string{"u1", "pen"}, Lineage: True()},
+		},
+	}
+	joined, err := Join(users, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined.Tuples) != 3 {
+		t.Fatalf("join produced %d tuples", len(joined.Tuples))
+	}
+	proj, err := Project(joined, "item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := TupleProbs(proj, s)
+	for i, tp := range proj.Tuples {
+		switch tp.Vals[0] {
+		case "book":
+			if !numeric.AlmostEqual(probs[i], 0.6, 1e-12) {
+				t.Fatalf("Pr(book) = %g", probs[i])
+			}
+		case "pen":
+			// pen from u1 (0.6) or u2 (0.5), independent: 1-0.4*0.5 = 0.8.
+			if !numeric.AlmostEqual(probs[i], 0.8, 1e-12) {
+				t.Fatalf("Pr(pen) = %g", probs[i])
+			}
+		}
+	}
+	sel := Select(joined, func(vals []string) bool { return vals[1] == "sf" })
+	if len(sel.Tuples) != 2 {
+		t.Fatalf("select kept %d tuples", len(sel.Tuples))
+	}
+	if _, err := Join(users, &Relation{Schema: []string{"z"}}); err == nil {
+		t.Fatal("join without shared columns must error")
+	}
+	if _, err := Project(users, "nope"); err == nil {
+		t.Fatal("projection onto missing column must error")
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	bad := &Space{Blocks: map[string][]float64{"a": {0.7, 0.7}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overweight block must be rejected")
+	}
+	neg := &Space{Blocks: map[string][]float64{"a": {-0.1}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative probability must be rejected")
+	}
+}
+
+func TestIndependentComponentsFastPath(t *testing.T) {
+	// Many independent clauses: the component decomposition must keep this
+	// polynomial (brute force would be 3^20).
+	s := &Space{Blocks: map[string][]float64{}}
+	var d DNF
+	for i := 0; i < 20; i++ {
+		b := string(rune('A' + i))
+		s.Blocks[b] = []float64{0.5}
+		d = append(d, Conj{{Block: b, Alt: 0}})
+	}
+	got := Prob(d, s)
+	want := 1 - math.Pow(0.5, 20)
+	if !numeric.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("Prob = %g, want %g", got, want)
+	}
+}

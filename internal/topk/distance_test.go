@@ -1,0 +1,181 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormSymDiff(t *testing.T) {
+	a := List{"t1", "t2", "t3"}
+	b := List{"t2", "t3", "t4"}
+	if d := NormSymDiff(a, b, 3); d != 2.0/6.0 {
+		t.Fatalf("d = %g, want 1/3", d)
+	}
+	if d := NormSymDiff(a, a, 3); d != 0 {
+		t.Fatalf("identity failed: %g", d)
+	}
+	// Disjoint lists are at maximum distance 1.
+	if d := NormSymDiff(List{"a", "b"}, List{"c", "d"}, 2); d != 1 {
+		t.Fatalf("disjoint = %g, want 1", d)
+	}
+}
+
+func TestIntersectionMetricWorkedExample(t *testing.T) {
+	// Fagin et al.'s motivation: dI penalizes disagreement near the top
+	// more.  tau1 and tau2 share the same set but swap positions 1 and 3.
+	a := List{"x", "y", "z"}
+	b := List{"z", "y", "x"}
+	// Prefix 1: {x} vs {z}: |delta|=2, /2 = 1.
+	// Prefix 2: {x,y} vs {z,y}: |delta|=2, /4 = 1/2.
+	// Prefix 3: equal sets: 0.
+	want := (1.0 + 0.5 + 0) / 3
+	if d := Intersection(a, b, 3); d != want {
+		t.Fatalf("dI = %g, want %g", d, want)
+	}
+	if d := Intersection(a, a, 3); d != 0 {
+		t.Fatal("identity failed")
+	}
+}
+
+func TestFootruleWorkedExample(t *testing.T) {
+	// tau1 = (x,y), tau2 = (y,x), k=2: |1-2| + |2-1| = 2.
+	if d := Footrule(List{"x", "y"}, List{"y", "x"}, 2); d != 2 {
+		t.Fatalf("dF = %g, want 2", d)
+	}
+	// Missing elements go to position k+1=3:
+	// tau1 = (x,y), tau2 = (x,z): y at 2 vs 3 (+1), z at 3 vs 2 (+1).
+	if d := Footrule(List{"x", "y"}, List{"x", "z"}, 2); d != 2 {
+		t.Fatalf("dF = %g, want 2", d)
+	}
+	// Lists of different lengths (a short world answer).
+	if d := Footrule(List{"x", "y"}, List{"x"}, 2); d != 1 {
+		t.Fatalf("dF = %g, want 1 (y from 2 to 3)", d)
+	}
+}
+
+func TestKendallCases(t *testing.T) {
+	// Case 1: both pairs in both lists, opposite order.
+	if d := Kendall(List{"x", "y"}, List{"y", "x"}, 0); d != 1 {
+		t.Fatalf("case 1: %g", d)
+	}
+	// Mixed membership: tau1 = (y,x), tau2 = (x,z).
+	// Pair (x,y): tau1 has y first; tau2 pins absent y below x: +1.
+	// Pair (x,z): tau1 pins absent z below x; tau2 has x first: 0.
+	// Pair (y,z): y only in tau1, z only in tau2: necessarily opposite: +1.
+	if d := Kendall(List{"y", "x"}, List{"x", "z"}, 0); d != 2 {
+		t.Fatalf("mixed membership total: %g, want 2", d)
+	}
+	// Case 4: both in tau1 only: penalty p.
+	if d := Kendall(List{"a", "b"}, List{"c", "d"}, 0.5); d < 1 {
+		t.Fatalf("disjoint lists with p=0.5: %g", d)
+	}
+}
+
+func TestKendallDisjointExact(t *testing.T) {
+	// tau1 = (a,b), tau2 = (c,d), p: pairs (a,b): both tau1 only -> p;
+	// (c,d): both tau2 only -> p; (a,c),(a,d),(b,c),(b,d): split -> 1.
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		want := 4 + 2*p
+		if d := Kendall(List{"a", "b"}, List{"c", "d"}, p); d != want {
+			t.Fatalf("p=%g: %g, want %g", p, d, want)
+		}
+	}
+}
+
+// Random lists over a small universe for property tests.
+func randList(rng *rand.Rand, k int) List {
+	universe := []string{"a", "b", "c", "d", "e", "f"}
+	rng.Shuffle(len(universe), func(i, j int) { universe[i], universe[j] = universe[j], universe[i] })
+	return List(append([]string(nil), universe[:k]...))
+}
+
+// Metric properties: symmetry, identity, triangle inequality (Fagin et al.
+// prove full metricity for d_Delta, d_I and d_F).  The top-k Kendall
+// distance K^(p) is only a *near* metric — Fagin et al. prove a relaxed
+// triangle inequality, and disjoint-list examples genuinely violate the
+// strict one — so it is checked with the factor-2 relaxation instead.
+func TestMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	metrics := []struct {
+		name  string
+		d     func(a, b List) float64
+		relax float64 // multiplier on the right-hand side of the triangle inequality
+	}{
+		{"normSymDiff", func(a, b List) float64 { return NormSymDiff(a, b, 3) }, 1},
+		{"intersection", func(a, b List) float64 { return Intersection(a, b, 3) }, 1},
+		{"footrule", func(a, b List) float64 { return Footrule(a, b, 3) }, 1},
+		{"kendall1/2", func(a, b List) float64 { return Kendall(a, b, 0.5) }, 2},
+	}
+	f := func(seedA, seedB, seedC int64) bool {
+		a := randList(rand.New(rand.NewSource(seedA)), 3)
+		b := randList(rand.New(rand.NewSource(seedB)), 3)
+		c := randList(rand.New(rand.NewSource(seedC)), 3)
+		for _, m := range metrics {
+			if m.d(a, b) != m.d(b, a) {
+				return false
+			}
+			if m.d(a, a) != 0 {
+				return false
+			}
+			if m.d(a, c) > m.relax*(m.d(a, b)+m.d(b, c))+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A concrete witness that K^(1/2) is not a metric (kept as documentation
+// of the near-metric caveat): disjoint lists sit at distance
+// k^2 + 2*p*C(k,2), which can exceed the sum through an overlapping list.
+func TestKendallTriangleViolationWitness(t *testing.T) {
+	a := List{"d", "e", "b"}
+	b := List{"b", "a", "e"}
+	c := List{"a", "c", "f"}
+	dab, dbc, dac := Kendall(a, b, 0.5), Kendall(b, c, 0.5), Kendall(a, c, 0.5)
+	if dac <= dab+dbc {
+		t.Fatalf("expected a strict-triangle violation, got %g <= %g + %g", dac, dab, dbc)
+	}
+	if dac > 2*(dab+dbc) {
+		t.Fatalf("relaxed triangle (factor 2) must still hold: %g vs %g", dac, 2*(dab+dbc))
+	}
+}
+
+// Fagin et al.: dF and dK belong to one equivalence class; in particular
+// dK <= dF always (each displaced pair costs at least its footrule share)
+// and dF <= 2(k+1) dK.  Spot-check the containment empirically.
+func TestFootruleKendallEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 500; trial++ {
+		a := randList(rng, 3)
+		b := randList(rng, 3)
+		dk := Kendall(a, b, 0.5)
+		df := Footrule(a, b, 3)
+		if dk > df+1e-12 {
+			t.Fatalf("dK=%g > dF=%g for %v vs %v", dk, df, a, b)
+		}
+		if df > 2*float64(3+1)*dk+1e-12 {
+			t.Fatalf("dF=%g > 2(k+1)dK=%g for %v vs %v", df, 2*4*dk, a, b)
+		}
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	l := List{"a", "b", "c"}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (List{"a", "a"}).Validate(); err == nil {
+		t.Fatal("duplicate must be rejected")
+	}
+	if l.Position("b") != 2 || l.Position("z") != 0 {
+		t.Fatal("Position wrong")
+	}
+	if !l.Equal(List{"a", "b", "c"}) || l.Equal(List{"a", "b"}) || l.Equal(List{"a", "c", "b"}) {
+		t.Fatal("Equal wrong")
+	}
+}

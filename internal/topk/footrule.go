@@ -1,0 +1,117 @@
+package topk
+
+import (
+	"consensus/internal/andxor"
+	"consensus/internal/assignment"
+	"consensus/internal/genfunc"
+)
+
+// Upsilons holds the three statistics of Section 5.4, computable in
+// polynomial time from the rank distribution:
+//
+//	Upsilon1(t) = sum_{i=1..k} Pr(r(t)=i)            = Pr(r(t) <= k)
+//	Upsilon2(t) = sum_{i=1..k} i * Pr(r(t)=i)
+//	Upsilon3(t,i) = sum_{j=1..k} Pr(r(t)=j)|i-j| - i * Pr(r(t) > k)
+//
+// Note the minus sign in Upsilon3: the paper's bullet list prints
+// "+ i Pr(r(t) > k)", but the Figure 2 derivation it feeds (and the
+// footrule distance itself, where a tuple of tau missing from tau_pw
+// contributes (k+1) - tau(t), the (k+1) part being absorbed into the
+// (k+1)|tau delta tau_pw| term) require the negative sign.  Our
+// brute-force enumeration cross-check (TestExpectedFootruleMatches-
+// Enumeration, experiment F2) confirms the minus sign is the correct
+// reading; with "+" the closed form overestimates whenever Pr(r(t)>k) > 0.
+type Upsilons struct {
+	K  int
+	U1 map[string]float64
+	U2 map[string]float64
+}
+
+// NewUpsilons computes Upsilon1 and Upsilon2 for every key.
+func NewUpsilons(rd *genfunc.RankDist, k int) *Upsilons {
+	u := &Upsilons{K: k, U1: map[string]float64{}, U2: map[string]float64{}}
+	for _, key := range rd.Keys() {
+		s1, s2 := 0.0, 0.0
+		for i := 1; i <= k; i++ {
+			p := rd.PrEq(key, i)
+			s1 += p
+			s2 += float64(i) * p
+		}
+		u.U1[key] = s1
+		u.U2[key] = s2
+	}
+	return u
+}
+
+// U3 returns Upsilon3(t, i); foreign keys get Pr(r(t) > k) = 1, i.e.
+// U3 = -i.
+func (u *Upsilons) U3(rd *genfunc.RankDist, key string, i int) float64 {
+	s := 0.0
+	for j := 1; j <= u.K; j++ {
+		s += rd.PrEq(key, j) * float64(abs(i-j))
+	}
+	s -= float64(i) * (1 - u.U1[key])
+	return s
+}
+
+// FootruleConstant returns the tau-independent constant C of the Figure 2
+// derivation: C = (k+1)k + sum_t ((k+1) Upsilon1(t) - Upsilon2(t)).
+func FootruleConstant(rd *genfunc.RankDist, u *Upsilons, k int) float64 {
+	c := float64((k + 1) * k)
+	for _, key := range rd.Keys() {
+		c += float64(k+1)*u.U1[key] - u.U2[key]
+	}
+	return c
+}
+
+// FootruleCost returns f(t, i) = Upsilon3(t,i) + Upsilon2(t) -
+// 2(k+1) Upsilon1(t), the per-placement cost of the Figure 2 rewriting;
+// E[F*(tau, tau_pw)] = C + sum_i f(tau(i), i).
+func FootruleCost(rd *genfunc.RankDist, u *Upsilons, key string, i int) float64 {
+	return u.U3(rd, key, i) + u.U2[key] - 2*float64(u.K+1)*u.U1[key]
+}
+
+// ExpectedFootrule returns E[F*(tau, tau_pw)] in closed form via the
+// Figure 2 rewriting.  It is validated against brute-force enumeration in
+// the tests (experiment F2).
+func ExpectedFootrule(rd *genfunc.RankDist, u *Upsilons, tau List, k int) float64 {
+	e := FootruleConstant(rd, u, k)
+	for i, key := range tau {
+		e += FootruleCost(rd, u, key, i+1)
+	}
+	return e
+}
+
+// MeanFootrule returns the mean top-k answer under Spearman's footrule
+// with location parameter k+1, computed exactly by the assignment problem
+// of Section 5.4: position i paired with tuple t costs f(t, i), and the
+// minimum-cost injective assignment minimizes the expected distance.  It
+// also returns the achieved E[F*].
+func MeanFootrule(t *andxor.Tree, k int) (List, float64, *genfunc.RankDist, error) {
+	if k > len(t.Keys()) {
+		k = len(t.Keys())
+	}
+	rd, err := genfunc.Ranks(t, k)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	u := NewUpsilons(rd, k)
+	keys := rd.Keys()
+	cost := make([][]float64, k)
+	for i := 1; i <= k; i++ {
+		row := make([]float64, len(keys))
+		for ti, key := range keys {
+			row[ti] = FootruleCost(rd, u, key, i)
+		}
+		cost[i-1] = row
+	}
+	rowTo, total, err := assignment.Min(cost)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	out := make(List, k)
+	for i, ti := range rowTo {
+		out[i] = keys[ti]
+	}
+	return out, FootruleConstant(rd, u, k) + total, rd, nil
+}

@@ -1,0 +1,139 @@
+package topk
+
+import (
+	"sort"
+
+	"consensus/internal/andxor"
+	"consensus/internal/assignment"
+	"consensus/internal/genfunc"
+)
+
+// ExpectedIntersection returns E[d_I(tau, tau_pw)] in closed form from a
+// rank distribution (Section 5.3): the intersection metric is the average
+// over prefixes i of the normalized symmetric difference between the
+// i-prefixes, and each prefix term rewrites exactly as in Theorem 3 with
+// k replaced by i:
+//
+//	E[d_I] = (1/k) sum_{i=1..k} (1/2i) ( i + sum_t Pr(r(t)<=i)
+//	                                        - 2 sum_{t in tau^i} Pr(r(t)<=i) ).
+func ExpectedIntersection(rd *genfunc.RankDist, tau List, k int) float64 {
+	e := 0.0
+	for i := 1; i <= k; i++ {
+		term := float64(i)
+		for _, key := range rd.Keys() {
+			term += rd.PrLE(key, i)
+		}
+		for j := 0; j < i && j < len(tau); j++ {
+			term -= 2 * rd.PrLE(tau[j], i)
+		}
+		// Foreign keys in the prefix contribute Pr(r<=i)=0 and each adds
+		// one certain mismatch, already counted by the +i term via the
+		// membership accounting; nothing extra needed: a foreign tuple is
+		// never in tau^i_pw, and the +i term is |tau^i| when the prefix is
+		// full.  For short prefixes (|tau| < i) the +i overcounts.
+		if len(tau) < i {
+			term -= float64(i - len(tau))
+		}
+		e += term / (2 * float64(i))
+	}
+	return e / float64(k)
+}
+
+// IntersectionProfit returns the assignment profit matrix of Section 5.3:
+// profit[j][t] = sum_{i=j+1..k} Pr(r(t) <= i)/i is the gain of placing
+// tuple keys[t] at (1-based) position j+1.  Maximizing the total profit
+// over injective position->tuple assignments minimizes E[d_I].
+func IntersectionProfit(rd *genfunc.RankDist, keys []string, k int) [][]float64 {
+	profit := make([][]float64, k)
+	for j := 1; j <= k; j++ {
+		row := make([]float64, len(keys))
+		for ti, key := range keys {
+			s := 0.0
+			for i := j; i <= k; i++ {
+				s += rd.PrLE(key, i) / float64(i)
+			}
+			row[ti] = s
+		}
+		profit[j-1] = row
+	}
+	return profit
+}
+
+// MeanIntersection returns the mean top-k answer under the intersection
+// metric, computed exactly by solving the assignment problem of
+// Section 5.3 with the Hungarian algorithm.  k is clamped to the number of
+// tuples.
+func MeanIntersection(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
+	if k > len(t.Keys()) {
+		k = len(t.Keys())
+	}
+	rd, err := genfunc.Ranks(t, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := rd.Keys()
+	profit := IntersectionProfit(rd, keys, k)
+	rowTo, _, err := assignment.Max(profit)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(List, k)
+	for j, ti := range rowTo {
+		out[j] = keys[ti]
+	}
+	return out, rd, nil
+}
+
+// UpsilonH returns the ranking-function values Upsilon_H(t) =
+// sum_{i=1..k} Pr(r(t) <= i)/i for every key (Section 5.3), a special case
+// of the parameterized ranking functions of the authors' earlier work.
+func UpsilonH(rd *genfunc.RankDist, k int) map[string]float64 {
+	out := make(map[string]float64, len(rd.Keys()))
+	for _, key := range rd.Keys() {
+		s := 0.0
+		for i := 1; i <= k; i++ {
+			s += rd.PrLE(key, i) / float64(i)
+		}
+		out[key] = s
+	}
+	return out
+}
+
+// MeanIntersectionUpsilon returns the Upsilon_H approximation to the mean
+// intersection-metric answer: the k tuples with the largest Upsilon_H
+// values in decreasing order.  Section 5.3 proves its objective value
+// A(tau_H) is at least A(tau*) / H_k.
+func MeanIntersectionUpsilon(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
+	if k > len(t.Keys()) {
+		k = len(t.Keys())
+	}
+	rd, err := genfunc.Ranks(t, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	ups := UpsilonH(rd, k)
+	keys := append([]string(nil), rd.Keys()...)
+	sort.SliceStable(keys, func(i, j int) bool {
+		if ups[keys[i]] != ups[keys[j]] {
+			return ups[keys[i]] > ups[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > k {
+		keys = keys[:k]
+	}
+	return List(keys), rd, nil
+}
+
+// IntersectionObjective returns A(tau) = sum_{i=1..k} (1/i) sum_{t in
+// tau^i} Pr(r(t) <= i), the term Section 5.3 maximizes; E[d_I] is a
+// constant minus A(tau)/k (up to the prefix-length correction).
+func IntersectionObjective(rd *genfunc.RankDist, tau List, k int) float64 {
+	a := 0.0
+	for i := 1; i <= k; i++ {
+		for j := 0; j < i && j < len(tau); j++ {
+			a += rd.PrLE(tau[j], i) / float64(i)
+		}
+	}
+	return a
+}

@@ -1,0 +1,155 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/exact"
+	"consensus/internal/genfunc"
+	"consensus/internal/numeric"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+func TestExpectedIntersectionMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 15; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(3), 2)
+		k := 2
+		rd, err := genfunc.Ranks(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := exact.MustEnumerate(tr)
+		for _, tau := range allKLists(tr.Keys(), k) {
+			got := ExpectedIntersection(rd, tau, k)
+			want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+				return Intersection(tau, FromWorld(w, k), k)
+			})
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("trial %d tau %v: closed form %g enum %g (tree %s)", trial, tau, got, want, tr)
+			}
+		}
+	}
+}
+
+// Section 5.3 (experiment E8): the assignment-based answer minimizes
+// E[d_I] over all ordered k-lists.
+func TestMeanIntersectionIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 20; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(4), 2)
+		k := 1 + rng.Intn(3)
+		tau, rd, err := MeanIntersection(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tau.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		kk := k
+		if kk > len(tr.Keys()) {
+			kk = len(tr.Keys())
+		}
+		tauE := ExpectedIntersection(rd, tau, kk)
+		for _, cand := range allKLists(tr.Keys(), kk) {
+			if e := ExpectedIntersection(rd, cand, kk); e < tauE-1e-9 {
+				t.Fatalf("trial %d: %v with E=%g beats assignment answer %v with E=%g",
+					trial, cand, e, tau, tauE)
+			}
+		}
+	}
+}
+
+// The Upsilon_H guarantee of Section 5.3: A(tau_H) >= A(tau*) / H_k.
+func TestUpsilonHApproximationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		tr := workload.Nested(rng, 4+rng.Intn(4), 2)
+		k := 1 + rng.Intn(3)
+		exactTau, rd, err := MeanIntersection(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		upsTau, _, err := MeanIntersectionUpsilon(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kk := k
+		if kk > len(tr.Keys()) {
+			kk = len(tr.Keys())
+		}
+		aStar := IntersectionObjective(rd, exactTau, kk)
+		aH := IntersectionObjective(rd, upsTau, kk)
+		hk := numeric.Harmonic(kk)
+		if aH < aStar/hk-1e-9 {
+			t.Fatalf("trial %d: A(tauH)=%g < A(tau*)/H_k=%g (k=%d)", trial, aH, aStar/hk, kk)
+		}
+		if aH > aStar+1e-9 {
+			t.Fatalf("trial %d: approximation beats the optimum: %g > %g", trial, aH, aStar)
+		}
+	}
+}
+
+// The objective and the expected distance must be consistent: maximizing
+// A(tau) is minimizing E[d_I] (they differ by a constant for fixed-size
+// answers).
+func TestObjectiveDistanceConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	tr := workload.BID(rng, 5, 2)
+	k := 3
+	rd, err := genfunc.Ranks(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := allKLists(tr.Keys(), k)
+	for i := 0; i < len(lists); i++ {
+		for j := i + 1; j < len(lists); j++ {
+			ei := ExpectedIntersection(rd, lists[i], k)
+			ej := ExpectedIntersection(rd, lists[j], k)
+			ai := IntersectionObjective(rd, lists[i], k)
+			aj := IntersectionObjective(rd, lists[j], k)
+			// E = const - 2A/(2k) => order must reverse.
+			if (ei < ej-1e-12) != (ai > aj+1e-12) && !numeric.AlmostEqual(ei, ej, 1e-12) {
+				t.Fatalf("inconsistent: E %g vs %g, A %g vs %g", ei, ej, ai, aj)
+			}
+		}
+	}
+}
+
+func TestMeanIntersectionOrdersTopHeavy(t *testing.T) {
+	// A tuple that is almost surely rank 1 must be placed first by the
+	// intersection-metric answer (the metric is top-heavy).
+	tr := mustTree(t, []blockSpec{
+		{"a", 10, 0.95},
+		{"b", 8, 0.9},
+		{"c", 6, 0.85},
+	})
+	tau, _, err := MeanIntersection(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tau.Equal(List{"a", "b", "c"}) {
+		t.Fatalf("tau = %v, want [a b c]", tau)
+	}
+}
+
+type blockSpec struct {
+	key   string
+	score float64
+	prob  float64
+}
+
+func mustTree(t *testing.T, specs []blockSpec) *andxor.Tree {
+	t.Helper()
+	tuples := make([]andxor.TupleProb, len(specs))
+	for i, s := range specs {
+		tuples[i] = andxor.TupleProb{Leaf: types.Leaf{Key: s.key, Score: s.score}, Prob: s.prob}
+	}
+	tr, err := andxor.Independent(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}

@@ -1,0 +1,96 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/exact"
+	"consensus/internal/numeric"
+	"consensus/internal/workload"
+)
+
+// Experiment E10: the footrule-optimal answer is within the equivalence-
+// class factor (2) of the exact Kendall optimum, and the pivot answer is
+// measured as well.
+func TestKendallApproximations(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	worstFootrule, worstPivot := 1.0, 1.0
+	for trial := 0; trial < 20; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(3), 2)
+		k := 2
+		if len(tr.Keys()) < k {
+			continue
+		}
+		ws := exact.MustEnumerate(tr)
+		_, optE := ExactKendallMean(ws, tr.Keys(), k, 0.5)
+
+		ft, err := KendallViaFootrule(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftE := ExpectedKendall(ws, ft, k, 0.5)
+		pv, err := KendallPivot(tr, k, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pvE := ExpectedKendall(ws, pv, k, 0.5)
+
+		if ftE < optE-1e-9 || pvE < optE-1e-9 {
+			t.Fatalf("trial %d: approximation beats the exact optimum: opt %g footrule %g pivot %g",
+				trial, optE, ftE, pvE)
+		}
+		if optE > 1e-9 {
+			if r := ftE / optE; r > worstFootrule {
+				worstFootrule = r
+			}
+			if r := pvE / optE; r > worstPivot {
+				worstPivot = r
+			}
+		}
+	}
+	// The equivalence-class bound for the footrule optimum is a factor 2.
+	if worstFootrule > 2+1e-9 {
+		t.Fatalf("footrule-based Kendall answer exceeded its factor-2 bound: %g", worstFootrule)
+	}
+	t.Logf("measured worst ratios: footrule %.3f, pivot %.3f", worstFootrule, worstPivot)
+}
+
+func TestKendallPivotDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	tr := workload.BID(rng, 6, 2)
+	a, err := KendallPivot(tr, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KendallPivot(tr, 3, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("pivot with identical seed must be deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("len = %d", len(a))
+	}
+}
+
+func TestExactKendallMeanSmall(t *testing.T) {
+	// Deterministic database: exact consensus must be its own top-k list
+	// with expected distance 0.
+	tr := mustTree(t, []blockSpec{
+		{"a", 3, 1.0},
+		{"b", 2, 1.0},
+		{"c", 1, 1.0},
+	})
+	ws := exact.MustEnumerate(tr)
+	tau, e := ExactKendallMean(ws, tr.Keys(), 2, 0.5)
+	if !tau.Equal(List{"a", "b"}) {
+		t.Fatalf("tau = %v, want [a b]", tau)
+	}
+	if !numeric.AlmostEqual(e, 0, 1e-12) {
+		t.Fatalf("E = %g, want 0", e)
+	}
+}

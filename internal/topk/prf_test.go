@@ -1,0 +1,100 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/genfunc"
+	"consensus/internal/numeric"
+	"consensus/internal/workload"
+)
+
+// The step weight recovers the Theorem 3 consensus mean / global top-k.
+func TestPRFStepWeightRecoversMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	for trial := 0; trial < 10; trial++ {
+		tr := workload.BID(rng, 8, 2)
+		k := 3
+		mean, _, err := MeanSymDiff(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prf, err := PRFTopK(tr, StepWeight(k), k, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same set (order may differ only on exact ties).
+		for _, key := range mean {
+			if !prf.Contains(key) {
+				t.Fatalf("trial %d: PRF step answer %v missing %s from mean %v", trial, prf, key, mean)
+			}
+		}
+	}
+}
+
+// The harmonic tail weight recovers Upsilon_H.
+func TestPRFHarmonicRecoversUpsilonH(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	tr := workload.BID(rng, 8, 2)
+	k := 4
+	rd, err := genfunc.Ranks(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := UpsilonH(rd, k)
+	prf := PRFFromRanks(rd, HarmonicTailWeight(k))
+	for key, want := range ups {
+		if !numeric.AlmostEqual(prf[key], want, 1e-12) {
+			t.Fatalf("key %s: PRF %g, UpsilonH %g", key, prf[key], want)
+		}
+	}
+}
+
+// Sum over positions identity: with w === 1 up to n, Upsilon_w(t) is the
+// tuple's marginal probability.
+func TestPRFConstantWeightGivesMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	tr := workload.Nested(rng, 6, 2)
+	n := len(tr.Keys())
+	vals, err := PRF(tr, func(int) float64 { return 1 }, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := tr.KeyMarginals()
+	for key, want := range marg {
+		if !numeric.AlmostEqual(vals[key], want, 1e-9) {
+			t.Fatalf("key %s: PRF %g, marginal %g", key, vals[key], want)
+		}
+	}
+}
+
+func TestPRFGeometricPrefersTopHeavy(t *testing.T) {
+	// Tuple A: always rank 2.  Tuple B: rank 1 with probability 0.6,
+	// otherwise absent.  A strongly decaying weight must prefer B; a flat
+	// weight must prefer A.
+	tr := mustTree(t, []blockSpec{
+		{"mid", 50, 1.0},
+		{"top", 99, 0.6},
+	})
+	flat, err := PRFTopK(tr, StepWeight(2), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat[0] != "mid" {
+		t.Fatalf("flat weight picked %v, want mid (certain member)", flat)
+	}
+	sharp, err := PRFTopK(tr, GeometricWeight(0.05), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharp[0] != "top" {
+		t.Fatalf("sharp weight picked %v, want top", sharp)
+	}
+}
+
+func TestPRFValidation(t *testing.T) {
+	tr := mustTree(t, []blockSpec{{"a", 1, 0.5}})
+	if _, err := PRFTopK(tr, StepWeight(2), 3, 2); err == nil {
+		t.Fatal("cutoff below k must be rejected")
+	}
+}

@@ -1,0 +1,236 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/exact"
+	"consensus/internal/genfunc"
+	"consensus/internal/numeric"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+// allKSubsets enumerates all k-subsets of keys as unordered candidate
+// answers (order is irrelevant to d_Delta).
+func allKSubsets(keys []string, k int) []List {
+	var out []List
+	var rec func(start int, cur List)
+	rec = func(start int, cur List) {
+		if len(cur) == k {
+			out = append(out, append(List(nil), cur...))
+			return
+		}
+		for i := start; i < len(keys); i++ {
+			rec(i+1, append(cur, keys[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// allKLists enumerates all ordered k-lists of keys.
+func allKLists(keys []string, k int) []List {
+	var out []List
+	used := make([]bool, len(keys))
+	var rec func(cur List)
+	rec = func(cur List) {
+		if len(cur) == k {
+			out = append(out, append(List(nil), cur...))
+			return
+		}
+		for i, key := range keys {
+			if !used[i] {
+				used[i] = true
+				rec(append(cur, key))
+				used[i] = false
+			}
+		}
+	}
+	rec(nil)
+	return out
+}
+
+func TestExpectedNormSymDiffMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(3), 2)
+		k := 2
+		rd, err := genfunc.Ranks(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := exact.MustEnumerate(tr)
+		for _, tau := range allKSubsets(tr.Keys(), k) {
+			got := ExpectedNormSymDiff(rd, tau, k)
+			want := exact.ExpectedOver(ws, func(w *types.World) float64 {
+				return NormSymDiff(tau, FromWorld(w, k), k)
+			})
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Fatalf("trial %d tau %v: closed form %g enum %g (tree %s)", trial, tau, got, want, tr)
+			}
+		}
+	}
+}
+
+// Theorem 3 (experiment E6): the k tuples with the largest Pr(r(t)<=k)
+// minimize E[d_Delta] over all k-subsets.
+func TestMeanSymDiffIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 20; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(4), 2)
+		k := 1 + rng.Intn(3)
+		tau, rd, err := MeanSymDiff(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tau.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		tauE := ExpectedNormSymDiff(rd, tau, k)
+		if k > len(tr.Keys()) {
+			k = len(tr.Keys())
+		}
+		for _, cand := range allKSubsets(tr.Keys(), k) {
+			if e := ExpectedNormSymDiff(rd, cand, k); e < tauE-1e-9 {
+				t.Fatalf("trial %d: %v with E=%g beats mean %v with E=%g (tree %s)",
+					trial, cand, e, tau, tauE, tr)
+			}
+		}
+	}
+}
+
+// Theorem 4 (experiment E7): the DP median is the optimal possible answer:
+// no possible world's top-k answer has smaller expected distance.
+func TestMedianSymDiffIsOptimalPossible(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 30; trial++ {
+		tr := workload.Nested(rng, 3+rng.Intn(4), 2)
+		k := 1 + rng.Intn(3)
+		tau, rd, err := MedianSymDiff(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := exact.MustEnumerate(tr)
+		// The median must be the answer of some possible world.
+		found := false
+		for _, ww := range ws {
+			if FromWorld(ww.World, k).Equal(tau) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: median %v is not any possible world's answer (tree %s)", trial, tau, tr)
+		}
+		tauE := ExpectedNormSymDiff(rd, tau, k)
+		for _, ww := range ws {
+			cand := FromWorld(ww.World, k)
+			if e := ExpectedNormSymDiff(rd, cand, k); e < tauE-1e-9 {
+				t.Fatalf("trial %d: possible answer %v with E=%g beats median %v with E=%g (tree %s)",
+					trial, cand, e, tau, tauE, tr)
+			}
+		}
+	}
+}
+
+func TestMedianSymDiffFigure1iii(t *testing.T) {
+	// For the three-world database of Figure 1(ii), with k=2:
+	// candidates are (t3,t2) [pw1], (t3,t1) [pw2], (t2,t4) [pw3].
+	// Pr(r<=2): t3: .6, t2: .7, t1: .3, t4: .4, t5: 0.
+	// Sums: pw1: 1.3, pw2: 0.9, pw3: 1.1 -> median is pw1's answer.
+	tau, _, err := MedianSymDiff(andxor.Figure1iii(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tau.Equal(List{"t3", "t2"}) {
+		t.Fatalf("median = %v, want [t3 t2]", tau)
+	}
+}
+
+func TestMeanSymDiffFigure1iii(t *testing.T) {
+	// Mean = 2 tuples with largest Pr(r<=2): t2 (.7) and t3 (.6).
+	tau, _, err := MeanSymDiff(andxor.Figure1iii(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tau.Equal(List{"t2", "t3"}) {
+		t.Fatalf("mean = %v, want [t2 t3]", tau)
+	}
+}
+
+func TestMeanEqualsMedianWhenMeanPossible(t *testing.T) {
+	// On Figure 1(i) with k=2 the mean answer set happens to be realized
+	// by a possible world; mean and median then agree as sets.
+	tr := andxor.Figure1i()
+	k := 2
+	mean, rd, err := MeanSymDiff(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, _, err := MedianSymDiff(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanE := ExpectedNormSymDiff(rd, mean, k)
+	medE := ExpectedNormSymDiff(rd, med, k)
+	if medE < meanE-1e-12 {
+		t.Fatalf("median E %g below mean E %g: impossible", medE, meanE)
+	}
+}
+
+func TestMedianHandlesSmallWorlds(t *testing.T) {
+	// A single tuple with existence probability 0.9 and k=3: every
+	// possible world has at most one tuple, so the median answer is the
+	// one-tuple list.
+	tr, err := andxor.Independent([]andxor.TupleProb{
+		{Leaf: types.Leaf{Key: "a", Score: 5}, Prob: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, _, err := MedianSymDiff(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tau.Equal(List{"a"}) {
+		t.Fatalf("median = %v, want [a]", tau)
+	}
+}
+
+func TestMedianPrefersShorterAnswerWhenBetter(t *testing.T) {
+	// Two tuples: a with probability 0.9, b with probability 0.05; k=2.
+	// Candidate answers: [a b] (world {a,b}), [a] (world {a}), [b], [].
+	// E-scores favor [a]: including b costs 1-2*Pr(r(b)<=2) ~ +0.9.
+	tr, err := andxor.Independent([]andxor.TupleProb{
+		{Leaf: types.Leaf{Key: "a", Score: 5}, Prob: 0.9},
+		{Leaf: types.Leaf{Key: "b", Score: 3}, Prob: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, _, err := MedianSymDiff(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tau.Equal(List{"a"}) {
+		t.Fatalf("median = %v, want [a]", tau)
+	}
+}
+
+func TestMeanSymDiffScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	tr := workload.BID(rng, 300, 2)
+	tau, rd, err := MeanSymDiff(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tau) != 10 {
+		t.Fatalf("got %d answers", len(tau))
+	}
+	if e := ExpectedNormSymDiff(rd, tau, 10); math.IsNaN(e) || e < 0 || e > 1 {
+		t.Fatalf("E = %g out of range", e)
+	}
+}

@@ -1,0 +1,70 @@
+package types
+
+import "testing"
+
+func TestLeafString(t *testing.T) {
+	cases := []struct {
+		l    Leaf
+		want string
+	}{
+		{Leaf{Key: "a", Score: 7}, "a(7)"},
+		{Leaf{Key: "a", Label: "g"}, "a(g)"},
+		{Leaf{Key: "a", Score: 7, Label: "g"}, "a(7,g)"},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.l, got, c.want)
+		}
+	}
+}
+
+func TestNilWorldAccessors(t *testing.T) {
+	var w *World
+	if w.Len() != 0 {
+		t.Fatal("nil world must have length 0")
+	}
+	if w.Contains(Leaf{Key: "a"}) || w.HasKey("a") {
+		t.Fatal("nil world contains nothing")
+	}
+	if _, ok := w.Lookup("a"); ok {
+		t.Fatal("nil world lookup must fail")
+	}
+	if w.Leaves() != nil {
+		t.Fatal("nil world has no leaves")
+	}
+	if d := SymDiff(w, &World{}); d != 0 {
+		t.Fatalf("SymDiff(nil, empty) = %d", d)
+	}
+	if d := Jaccard(w, &World{}); d != 0 {
+		t.Fatalf("Jaccard(nil, empty) = %g", d)
+	}
+}
+
+func TestMustWorldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustWorld must panic on key conflicts")
+		}
+	}()
+	MustWorld(Leaf{Key: "a", Score: 1}, Leaf{Key: "a", Score: 2})
+}
+
+func TestByScoreDescTieBreak(t *testing.T) {
+	w := MustWorld(Leaf{Key: "b", Score: 1}, Leaf{Key: "a", Score: 1})
+	desc := w.ByScoreDesc()
+	if desc[0].Key != "a" || desc[1].Key != "b" {
+		t.Fatalf("tie-break wrong: %v", desc)
+	}
+}
+
+func TestEqualNilSafety(t *testing.T) {
+	var a *World
+	b := &World{}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("nil and empty worlds are equal")
+	}
+	c := MustWorld(Leaf{Key: "x"})
+	if a.Equal(c) || c.Equal(a) {
+		t.Fatal("nil and nonempty worlds differ")
+	}
+}

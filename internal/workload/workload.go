@@ -1,0 +1,299 @@
+// Package workload generates the synthetic probabilistic databases used by
+// tests, experiments and benchmarks.
+//
+// The paper has no datasets of its own (it is a theory paper), so the
+// workloads here are chosen to exercise each model class it discusses:
+// tuple-independent databases, block-independent disjoint (BID) databases /
+// x-tuples, and deeply nested and/xor trees with both coexistence and
+// mutual-exclusion correlations.  All generators are deterministic given
+// the caller-supplied *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+)
+
+// scorePool hands out distinct scores in random order so that the no-ties
+// assumption of Section 5 holds across keys.
+type scorePool struct {
+	perm []int
+	next int
+}
+
+func newScorePool(rng *rand.Rand, n int) *scorePool {
+	return &scorePool{perm: rng.Perm(n)}
+}
+
+func (s *scorePool) take() float64 {
+	v := s.perm[s.next]
+	s.next++
+	return float64(v + 1)
+}
+
+// Independent returns a tuple-independent database of n tuples t1..tn with
+// distinct scores and existence probabilities drawn uniformly from
+// [0.05, 0.95].
+func Independent(rng *rand.Rand, n int) *andxor.Tree {
+	pool := newScorePool(rng, n)
+	tuples := make([]andxor.TupleProb, n)
+	for i := 0; i < n; i++ {
+		tuples[i] = andxor.TupleProb{
+			Leaf: types.Leaf{Key: fmt.Sprintf("t%d", i+1), Score: pool.take()},
+			Prob: 0.05 + 0.9*rng.Float64(),
+		}
+	}
+	t, err := andxor.Independent(tuples)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BID returns a block-independent disjoint database with nBlocks tuples,
+// each holding between 1 and maxAlts alternatives with random probabilities
+// summing to at most 1 (so tuples may be absent).
+func BID(rng *rand.Rand, nBlocks, maxAlts int) *andxor.Tree {
+	pool := newScorePool(rng, nBlocks*maxAlts)
+	blocks := make([]andxor.Block, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		na := 1 + rng.Intn(maxAlts)
+		alts := make([]types.Leaf, na)
+		probs := randomSubSimplex(rng, na)
+		for j := 0; j < na; j++ {
+			alts[j] = types.Leaf{Key: fmt.Sprintf("t%d", i+1), Score: pool.take()}
+		}
+		blocks[i] = andxor.Block{Alternatives: alts, Probs: probs}
+	}
+	t, err := andxor.BID(blocks)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Labeled returns a BID database whose alternatives carry labels g1..gm,
+// for group-by aggregate and clustering workloads.  Scores remain distinct
+// so the same tree can also serve ranking queries.
+func Labeled(rng *rand.Rand, nBlocks, maxAlts, nLabels int) *andxor.Tree {
+	pool := newScorePool(rng, nBlocks*maxAlts)
+	blocks := make([]andxor.Block, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		na := 1 + rng.Intn(maxAlts)
+		alts := make([]types.Leaf, na)
+		probs := randomSubSimplex(rng, na)
+		for j := 0; j < na; j++ {
+			alts[j] = types.Leaf{
+				Key:   fmt.Sprintf("t%d", i+1),
+				Score: pool.take(),
+				Label: fmt.Sprintf("g%d", 1+rng.Intn(nLabels)),
+			}
+		}
+		blocks[i] = andxor.Block{Alternatives: alts, Probs: probs}
+	}
+	t, err := andxor.BID(blocks)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Nested returns a random and/xor tree over nKeys tuple keys mixing
+// coexistence and mutual exclusion: keys are recursively partitioned, each
+// part going under a random and- or or-node, with key blocks (possibly
+// multi-alternative) at the bottom.  The construction respects the key
+// constraint by keeping key sets of sibling subtrees disjoint.
+func Nested(rng *rand.Rand, nKeys, maxAlts int) *andxor.Tree {
+	if nKeys < 1 {
+		panic("workload: nKeys must be positive")
+	}
+	pool := newScorePool(rng, nKeys*maxAlts)
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("t%d", i+1)
+	}
+	var build func(keys []string, depth int) *andxor.Node
+	build = func(keys []string, depth int) *andxor.Node {
+		if len(keys) == 1 || depth <= 0 {
+			// A single or-block per key, under an and-node if several
+			// keys remain at the recursion floor.
+			if len(keys) == 1 {
+				return keyBlock(rng, pool, keys[0], maxAlts)
+			}
+			children := make([]*andxor.Node, len(keys))
+			for i, k := range keys {
+				children[i] = keyBlock(rng, pool, k, maxAlts)
+			}
+			return andxor.NewAnd(children...)
+		}
+		// Partition keys into 2..4 nonempty parts.
+		parts := partition(rng, keys, 2+rng.Intn(3))
+		children := make([]*andxor.Node, len(parts))
+		for i, part := range parts {
+			children[i] = build(part, depth-1)
+		}
+		if rng.Intn(2) == 0 {
+			return andxor.NewAnd(children...)
+		}
+		return andxor.NewOr(children, randomSubSimplex(rng, len(children)))
+	}
+	depth := 2
+	if nKeys > 8 {
+		depth = 3
+	}
+	t, err := andxor.New(build(keys, depth))
+	if err != nil {
+		panic(err) // construction respects all constraints
+	}
+	return t
+}
+
+// NestedLabeled is Nested with labels attached to every alternative, for
+// clustering workloads over correlated databases.
+func NestedLabeled(rng *rand.Rand, nKeys, maxAlts, nLabels int) *andxor.Tree {
+	t := Nested(rng, nKeys, maxAlts)
+	// Rebuild with labels: walk and relabel leaves via JSON round-trip
+	// would lose determinism; instead rebuild the node structure.
+	var relabel func(n *andxor.Node) *andxor.Node
+	relabel = func(n *andxor.Node) *andxor.Node {
+		switch n.Kind() {
+		case andxor.KindLeaf:
+			l := n.Leaf()
+			l.Label = fmt.Sprintf("g%d", 1+rng.Intn(nLabels))
+			return andxor.NewLeaf(l)
+		case andxor.KindAnd:
+			cs := make([]*andxor.Node, len(n.Children()))
+			for i, c := range n.Children() {
+				cs[i] = relabel(c)
+			}
+			return andxor.NewAnd(cs...)
+		default:
+			cs := make([]*andxor.Node, len(n.Children()))
+			for i, c := range n.Children() {
+				cs[i] = relabel(c)
+			}
+			return andxor.NewOr(cs, append([]float64(nil), n.Probs()...))
+		}
+	}
+	out, err := andxor.New(relabel(t.Root()))
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// keyBlock builds an or-node over 1..maxAlts alternatives of one key.
+func keyBlock(rng *rand.Rand, pool *scorePool, key string, maxAlts int) *andxor.Node {
+	na := 1 + rng.Intn(maxAlts)
+	leaves := make([]*andxor.Node, na)
+	for j := 0; j < na; j++ {
+		leaves[j] = andxor.NewLeaf(types.Leaf{Key: key, Score: pool.take()})
+	}
+	return andxor.NewOr(leaves, randomSubSimplex(rng, na))
+}
+
+// partition splits keys into at most want nonempty parts, randomly.
+func partition(rng *rand.Rand, keys []string, want int) [][]string {
+	if want > len(keys) {
+		want = len(keys)
+	}
+	shuffled := append([]string(nil), keys...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	parts := make([][]string, want)
+	for i, k := range shuffled {
+		if i < want {
+			parts[i] = append(parts[i], k) // guarantee non-emptiness
+		} else {
+			j := rng.Intn(want)
+			parts[j] = append(parts[j], k)
+		}
+	}
+	return parts
+}
+
+// randomSubSimplex returns n non-negative values whose sum is at most 1
+// (strictly less with probability ~2/3 so or-node deficits get exercised).
+func randomSubSimplex(rng *rand.Rand, n int) []float64 {
+	ws := make([]float64, n)
+	sum := 0.0
+	for i := range ws {
+		ws[i] = rng.Float64() + 1e-3
+		sum += ws[i]
+	}
+	scale := 1.0
+	if rng.Intn(3) > 0 {
+		scale = 0.3 + 0.69*rng.Float64()
+	}
+	for i := range ws {
+		ws[i] = ws[i] / sum * scale
+	}
+	return ws
+}
+
+// GroupMatrix returns an n x m matrix P with rows on the probability
+// simplex: P[i][j] is the probability that tuple i takes group j
+// (Section 6.1's model).  Roughly half the entries are zeroed (then rows
+// renormalized) so the bipartite structure is sparse like real group-bys.
+func GroupMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	p := make([][]float64, n)
+	for i := range p {
+		row := make([]float64, m)
+		sum := 0.0
+		for j := range row {
+			if m > 1 && rng.Float64() < 0.4 {
+				continue // leave a zero
+			}
+			row[j] = rng.Float64() + 1e-3
+			sum += row[j]
+		}
+		if sum == 0 {
+			j := rng.Intn(m)
+			row[j] = 1
+			sum = 1
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		p[i] = row
+	}
+	return p
+}
+
+// Clause is a 2-literal disjunction over boolean variables 0..n-1; Neg
+// marks negated literals.
+type Clause struct {
+	Var [2]int
+	Neg [2]bool
+}
+
+// Random2CNF returns a random MAX-2-SAT instance with nVars variables and
+// nClauses clauses whose two literals mention distinct variables (the shape
+// the Section 4.1 reduction uses).
+func Random2CNF(rng *rand.Rand, nVars, nClauses int) []Clause {
+	if nVars < 2 {
+		panic("workload: need at least two variables")
+	}
+	out := make([]Clause, nClauses)
+	for i := range out {
+		a := rng.Intn(nVars)
+		b := rng.Intn(nVars - 1)
+		if b >= a {
+			b++
+		}
+		out[i] = Clause{Var: [2]int{a, b}, Neg: [2]bool{rng.Intn(2) == 0, rng.Intn(2) == 0}}
+	}
+	return out
+}
+
+// RandomRankings returns count random permutations of 0..n-1, the classical
+// rank-aggregation workload.
+func RandomRankings(rng *rand.Rand, count, n int) [][]int {
+	out := make([][]int, count)
+	for i := range out {
+		out[i] = rng.Perm(n)
+	}
+	return out
+}

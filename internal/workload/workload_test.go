@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/exact"
+	"consensus/internal/numeric"
+)
+
+func TestIndependentShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := Independent(rng, 10)
+	if len(tr.Keys()) != 10 || tr.NumLeaves() != 10 {
+		t.Fatalf("keys=%d leaves=%d", len(tr.Keys()), tr.NumLeaves())
+	}
+	if !tr.ScoresDistinctAcrossKeys() {
+		t.Fatal("scores must be distinct")
+	}
+	for _, p := range tr.MarginalProbs() {
+		if p < 0.05 || p > 0.95 {
+			t.Fatalf("marginal %g out of range", p)
+		}
+	}
+}
+
+func TestBIDShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := BID(rng, 8, 3)
+	if len(tr.Keys()) != 8 {
+		t.Fatalf("keys=%d", len(tr.Keys()))
+	}
+	if !tr.ScoresDistinctAcrossKeys() {
+		t.Fatal("scores must be distinct")
+	}
+	for _, p := range tr.KeyMarginals() {
+		if p < 0 || p > 1+1e-12 {
+			t.Fatalf("marginal %g out of range", p)
+		}
+	}
+}
+
+func TestLabeledAssignsLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Labeled(rng, 6, 2, 3)
+	for _, l := range tr.LeafAlternatives() {
+		if l.Label == "" {
+			t.Fatal("every alternative must carry a label")
+		}
+	}
+}
+
+// Nested trees must be valid (construction panics otherwise), have the
+// requested key set, and define a proper probability distribution.
+func TestNestedValidDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		tr := Nested(rng, n, 3)
+		if len(tr.Keys()) != n {
+			t.Fatalf("trial %d: keys=%d want %d", trial, len(tr.Keys()), n)
+		}
+		if !tr.ScoresDistinctAcrossKeys() {
+			t.Fatal("scores must be distinct")
+		}
+		ws := exact.MustEnumerate(tr)
+		if !numeric.AlmostEqual(exact.TotalProb(ws), 1, 1e-9) {
+			t.Fatalf("trial %d: distribution sums to %g", trial, exact.TotalProb(ws))
+		}
+	}
+}
+
+func TestNestedLabeled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NestedLabeled(rng, 6, 2, 3)
+	for _, l := range tr.LeafAlternatives() {
+		if l.Label == "" {
+			t.Fatal("every alternative must carry a label")
+		}
+	}
+	ws := exact.MustEnumerate(tr)
+	if !numeric.AlmostEqual(exact.TotalProb(ws), 1, 1e-9) {
+		t.Fatalf("distribution sums to %g", exact.TotalProb(ws))
+	}
+}
+
+func TestGroupMatrixRowsOnSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := GroupMatrix(rng, 20, 5)
+	for i, row := range p {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("row %d has negative entry", i)
+			}
+			sum += v
+		}
+		if !numeric.AlmostEqual(sum, 1, 1e-9) {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestRandom2CNFDistinctVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range Random2CNF(rng, 5, 50) {
+		if c.Var[0] == c.Var[1] {
+			t.Fatal("clause literals must mention distinct variables")
+		}
+		if c.Var[0] < 0 || c.Var[0] >= 5 || c.Var[1] < 0 || c.Var[1] >= 5 {
+			t.Fatal("variable out of range")
+		}
+	}
+}
+
+func TestRandomRankingsArePermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, r := range RandomRankings(rng, 5, 7) {
+		seen := make([]bool, 7)
+		for _, v := range r {
+			if v < 0 || v >= 7 || seen[v] {
+				t.Fatalf("not a permutation: %v", r)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Nested(rand.New(rand.NewSource(99)), 6, 3)
+	b := Nested(rand.New(rand.NewSource(99)), 6, 3)
+	if a.String() != b.String() {
+		t.Fatal("generators must be deterministic for a fixed seed")
+	}
+}

@@ -1,0 +1,35 @@
+package consensus
+
+import (
+	"consensus/internal/rankagg"
+)
+
+// Classical rank aggregation (Section 2 of the paper): consensus answers
+// generalize these inconsistent-information aggregation problems, so the
+// substrate is exported for direct use.  Rankings are permutations of
+// 0..n-1 (ranking[i] = item at position i).
+var (
+	// KendallTau counts discordant pairs between two full rankings in
+	// O(n log n).
+	KendallTau = rankagg.KendallTau
+	// SpearmanFootrule is the L1 distance between position vectors.
+	SpearmanFootrule = rankagg.Footrule
+	// FootruleAggregate computes the footrule-optimal aggregation by
+	// bipartite matching (a 2-approximation of the Kemeny optimum).
+	FootruleAggregate = rankagg.FootruleAggregate
+	// KemenyExact computes a Kemeny-optimal aggregation by subset DP
+	// (n <= 16).
+	KemenyExact = rankagg.KemenyExact
+	// KemenyScore is the total Kendall distance of a candidate to the
+	// inputs.
+	KemenyScore = rankagg.KemenyScore
+	// BestInputRanking picks the input closest to the rest (the classical
+	// 2-approximation).
+	BestInputRanking = rankagg.BestInput
+	// BordaAggregate aggregates by total position (Borda count).
+	BordaAggregate = rankagg.Borda
+	// MajorityTournament and FASPivot expose the pivot-style aggregation
+	// used for Kendall consensus.
+	MajorityTournament = rankagg.MajorityTournament
+	FASPivot           = rankagg.FASPivot
+)

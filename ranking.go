@@ -1,0 +1,57 @@
+package consensus
+
+import (
+	"consensus/internal/aggregate"
+	"consensus/internal/topk"
+)
+
+// Parameterized ranking functions (the family from the authors' companion
+// work that Section 5.3's Upsilon_H belongs to): rank tuples by
+// Upsilon_w(t) = sum_i w(i) Pr(r(t) = i) for a position-weight function w.
+type (
+	// WeightFunc assigns a non-negative weight to each 1-based rank
+	// position.
+	WeightFunc = topk.WeightFunc
+)
+
+var (
+	// StepWeight (w = 1 on 1..k) recovers PT-k / global top-k / the
+	// Theorem 3 mean answer.
+	StepWeight = topk.StepWeight
+	// HarmonicTailWeight recovers Upsilon_H of Section 5.3.
+	HarmonicTailWeight = topk.HarmonicTailWeight
+	// GeometricWeight emphasizes top positions (alpha < 1).
+	GeometricWeight = topk.GeometricWeight
+)
+
+// PRFValues computes Upsilon_w(t) for every tuple key, truncating rank
+// sums at cutoff.
+func PRFValues(t *Tree, w WeightFunc, cutoff int) (map[string]float64, error) {
+	return topk.PRF(t, w, cutoff)
+}
+
+// PRFTopK returns the k tuples with the largest Upsilon_w values.
+func PRFTopK(t *Tree, w WeightFunc, k, cutoff int) (TopKList, error) {
+	return topk.PRFTopK(t, w, k, cutoff)
+}
+
+// Group-by counts over arbitrarily correlated trees (the Section 6.1
+// matrix model generalized through the Example 2 generating function).
+
+// GroupLabels returns the distinct labels of the tree's alternatives.
+func GroupLabels(t *Tree) []string { return aggregate.Labels(t) }
+
+// GroupCountMeanFromTree returns the expected count per label under any
+// correlation model.
+func GroupCountMeanFromTree(t *Tree) map[string]float64 { return aggregate.TreeMeanCounts(t) }
+
+// GroupCountDistribution returns Pr(count(label) = c) for c = 0..n.
+func GroupCountDistribution(t *Tree, label string) []float64 {
+	return aggregate.TreeCountDistribution(t, label)
+}
+
+// GroupCountExpectedSqDistFromTree returns E[||r - v||^2] over the given
+// labels for a candidate count vector v, under any correlation model.
+func GroupCountExpectedSqDistFromTree(t *Tree, labels []string, v []float64) float64 {
+	return aggregate.TreeExpectedSqDist(t, labels, v)
+}

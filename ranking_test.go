@@ -1,0 +1,67 @@
+package consensus
+
+import (
+	"testing"
+
+	"consensus/internal/numeric"
+)
+
+func TestPRFFacade(t *testing.T) {
+	db := quickDB(t)
+	vals, err := PRFValues(db, StepWeight(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step weight over 1..2 = Pr(r(t) <= 2).
+	rd, err := RankDistribution(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range rd.Keys() {
+		if !numeric.AlmostEqual(vals[key], rd.PrTopK(key), 1e-12) {
+			t.Fatalf("key %s: PRF %g vs PrTopK %g", key, vals[key], rd.PrTopK(key))
+		}
+	}
+	tau, err := PRFTopK(db, HarmonicTailWeight(2), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tau) != 2 || tau[0] != "a" {
+		t.Fatalf("PRF top-2 = %v", tau)
+	}
+	if _, err := PRFTopK(db, GeometricWeight(0.5), 3, 2); err == nil {
+		t.Fatal("cutoff below k must error")
+	}
+}
+
+func TestGroupCountFacade(t *testing.T) {
+	db := quickDB(t)
+	labels := GroupLabels(db)
+	if len(labels) != 2 || labels[0] != "g1" || labels[1] != "g2" {
+		t.Fatalf("labels = %v", labels)
+	}
+	means := GroupCountMeanFromTree(db)
+	// g1: a (0.9) + c (0.4); g2: b (0.6).
+	if !numeric.AlmostEqual(means["g1"], 1.3, 1e-12) || !numeric.AlmostEqual(means["g2"], 0.6, 1e-12) {
+		t.Fatalf("means = %v", means)
+	}
+	dist := GroupCountDistribution(db, "g1")
+	// Pr(g1 = 2) = 0.9 * 0.4.
+	if !numeric.AlmostEqual(dist[2], 0.36, 1e-12) {
+		t.Fatalf("dist = %v", dist)
+	}
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if !numeric.AlmostEqual(sum, 1, 1e-12) {
+		t.Fatalf("distribution sums to %g", sum)
+	}
+	// The mean vector minimizes the expected squared distance.
+	v := []float64{means["g1"], means["g2"]}
+	base := GroupCountExpectedSqDistFromTree(db, labels, v)
+	v[0] += 0.5
+	if worse := GroupCountExpectedSqDistFromTree(db, labels, v); worse <= base {
+		t.Fatalf("perturbed %g should exceed mean %g", worse, base)
+	}
+}

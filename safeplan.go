@@ -1,0 +1,49 @@
+package consensus
+
+import (
+	"consensus/internal/spj"
+)
+
+// Safe-plan machinery (the paper's "future work: exploring connections to
+// safe plans" and the Dalvi–Suciu dichotomy discussed in its Section 2):
+// boolean conjunctive queries over tuple-independent tables, a hierarchy
+// test deciding safety, an extensional evaluator for safe queries and an
+// exact lineage-based evaluator for everything else.
+type (
+	// CQ is a boolean conjunctive query.
+	CQ = spj.Query
+	// CQSubgoal is one atom of a conjunctive query.
+	CQSubgoal = spj.Subgoal
+	// CQTerm is a variable or constant argument.
+	CQTerm = spj.Term
+	// ProbTable is a tuple-independent probabilistic table.
+	ProbTable = spj.Table
+	// ProbTableRow is one row of a ProbTable.
+	ProbTableRow = spj.TableRow
+	// ProbDatabase maps relation names to tables.
+	ProbDatabase = spj.Database
+)
+
+var (
+	// CQVar and CQConst build query terms.
+	CQVar   = spj.Var
+	CQConst = spj.Const
+)
+
+// IsSafeQuery reports whether the query admits a safe (extensional) plan:
+// self-join-free and hierarchical.
+func IsSafeQuery(q *CQ) bool {
+	return !q.HasSelfJoin() && q.IsHierarchical()
+}
+
+// EvalSafeQuery computes the query probability extensionally; it errors
+// on unsafe queries.
+func EvalSafeQuery(q *CQ, db ProbDatabase) (float64, error) {
+	return spj.EvalSafe(q, db)
+}
+
+// EvalQueryLineage computes the exact query probability intensionally
+// (correct for every query, exponential in the worst case).
+func EvalQueryLineage(q *CQ, db ProbDatabase) (float64, error) {
+	return spj.EvalLineage(q, db)
+}

@@ -1,0 +1,49 @@
+package consensus
+
+import (
+	"testing"
+
+	"consensus/internal/numeric"
+)
+
+func TestSafePlanFacade(t *testing.T) {
+	db := ProbDatabase{
+		"R": {Name: "R", Rows: []ProbTableRow{{Vals: []string{"a"}, Prob: 0.5}}},
+		"S": {Name: "S", Rows: []ProbTableRow{{Vals: []string{"a", "b"}, Prob: 0.5}}},
+		"T": {Name: "T", Rows: []ProbTableRow{{Vals: []string{"b"}, Prob: 0.5}}},
+	}
+	safe := &CQ{Subgoals: []CQSubgoal{
+		{Relation: "R", Args: []CQTerm{CQVar("x")}},
+		{Relation: "S", Args: []CQTerm{CQVar("x"), CQVar("y")}},
+	}}
+	h0 := &CQ{Subgoals: []CQSubgoal{
+		{Relation: "R", Args: []CQTerm{CQVar("x")}},
+		{Relation: "S", Args: []CQTerm{CQVar("x"), CQVar("y")}},
+		{Relation: "T", Args: []CQTerm{CQVar("y")}},
+	}}
+	if !IsSafeQuery(safe) || IsSafeQuery(h0) {
+		t.Fatal("safety classification wrong")
+	}
+	p, err := EvalSafeQuery(safe, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(p, 0.25, 1e-12) {
+		t.Fatalf("Pr = %g, want 0.25", p)
+	}
+	if _, err := EvalSafeQuery(h0, db); err == nil {
+		t.Fatal("unsafe query must be rejected by the extensional evaluator")
+	}
+	pl, err := EvalQueryLineage(h0, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(pl, 0.125, 1e-12) {
+		t.Fatalf("lineage Pr = %g, want 0.125", pl)
+	}
+	if _, err := EvalQueryLineage(&CQ{Subgoals: []CQSubgoal{
+		{Relation: "R", Args: []CQTerm{CQConst("a")}},
+	}}, db); err != nil {
+		t.Fatal(err)
+	}
+}
