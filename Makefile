@@ -1,0 +1,32 @@
+# Contributor and CI entry points.  CI (.github/workflows/ci.yml) invokes
+# exactly these targets so local runs reproduce CI verbatim.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every benchmark, no tests (-run XXX),
+# proving the bench harness itself stays green without burning CI minutes.
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+lint:
+	@fmt_out="$$(gofmt -l .)"; \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

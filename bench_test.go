@@ -473,6 +473,40 @@ func BenchmarkB10MonteCarlo(b *testing.B) {
 	}
 }
 
+// B11: end-to-end serving throughput of the engine subsystem through the
+// public API, on the BenchmarkE6 workload: a warm mixed batch of the
+// typical per-tree queries.  Compare against E6 (~the cost of ONE uncached
+// mean-top-k call) to see what the intermediate cache buys; the
+// cached-vs-cold microbenchmarks live in internal/engine.
+func BenchmarkB11EngineServing(b *testing.B) {
+	eng := NewEngine(EngineOptions{})
+	if err := eng.Register("db", workload.BID(rand.New(rand.NewSource(7)), 200, 2)); err != nil {
+		b.Fatal(err)
+	}
+	reqs := []Request{
+		{Tree: "db", Op: OpTopKMean, K: 10},
+		{Tree: "db", Op: OpTopKMean, K: 10, Metric: "footrule"},
+		{Tree: "db", Op: OpTopKMedian, K: 10},
+		{Tree: "db", Op: OpRankDist, K: 10},
+		{Tree: "db", Op: OpSizeDist},
+		{Tree: "db", Op: OpMembership},
+	}
+	for _, resp := range eng.Do(reqs) { // warm the intermediate cache
+		if !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, resp := range eng.Do(reqs) {
+			if !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	}
+}
+
 // BenchmarkEnumerationOracle records the (exponential) cost of the
 // brute-force oracle the validations rely on, for context.
 func BenchmarkEnumerationOracle(b *testing.B) {

@@ -12,8 +12,13 @@
 //	consensusctl -db db.json rank -k 5
 //	consensusctl -db db.json cluster -restarts 20
 //	consensusctl -db db.json groupby
+//	consensusctl serve -addr :8080 [-db db.json -name default]
 //
-// With -db - the tree is read from stdin.
+// With -db - the tree is read from stdin.  The serve subcommand starts the
+// concurrent consensus-serving engine over HTTP/JSON (see package
+// consensus/internal/engine for the endpoint list); -db optionally
+// preloads one tree, and further trees can be registered at runtime with
+// PUT /v1/trees/{name}.
 package main
 
 import (
@@ -33,6 +38,10 @@ func main() {
 	metric := flag.String("metric", "symdiff", "top-k metric: symdiff | intersection | footrule | kendall")
 	restarts := flag.Int("restarts", 20, "pivot restarts for clustering")
 	seed := flag.Int64("seed", 1, "random seed for randomized algorithms")
+	addr := flag.String("addr", ":8080", "listen address for serve")
+	name := flag.String("name", "default", "registration name of the preloaded tree for serve")
+	workers := flag.Int("workers", 0, "engine worker-pool size for serve (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "engine cache entries for serve (0 = default, negative disables)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -45,6 +54,20 @@ func main() {
 		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
 			usage()
 		}
+	}
+	if cmd == "serve" {
+		// Serving needs no preloaded tree; -db is opt-in here, so the
+		// global default of "-" (stdin) does not apply.
+		dbPath := *db
+		if !flagWasSet("db") {
+			dbPath = ""
+		}
+		if err := runServe(serveConfig{
+			addr: *addr, db: dbPath, name: *name, workers: *workers, cache: *cacheSize,
+		}); err != nil {
+			fail(err)
+		}
+		return
 	}
 	tree, err := loadTree(*db)
 	if err != nil {
@@ -157,8 +180,20 @@ func loadTree(path string) (*consensus.Tree, error) {
 	return consensus.ParseTree(data)
 }
 
+// flagWasSet reports whether the named flag was explicitly provided.
+func flagWasSet(name string) bool {
+	set := false
+	flag.CommandLine.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: consensusctl -db <file|-> <mean-world|median-world|size-dist|topk|topk-median|rank|cluster|groupby>")
+	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N]")
 	os.Exit(2)
 }
 

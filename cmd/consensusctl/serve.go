@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	consensus "consensus"
+)
+
+// serveConfig carries the serve-subcommand flags.
+type serveConfig struct {
+	addr    string
+	db      string // optional tree to preload ("" = none, "-" = stdin)
+	name    string // registration name for the preloaded tree
+	workers int
+	cache   int
+}
+
+// runServe starts the HTTP/JSON consensus-serving engine.  It blocks until
+// the listener fails.
+func runServe(cfg serveConfig) error {
+	eng := consensus.NewEngine(consensus.EngineOptions{
+		Workers:      cfg.workers,
+		CacheEntries: cfg.cache,
+	})
+	if cfg.db != "" {
+		tree, err := loadTree(cfg.db)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", cfg.db, err)
+		}
+		if err := eng.Register(cfg.name, tree); err != nil {
+			return err
+		}
+		log.Printf("registered tree %q (%d tuples, %d alternatives)",
+			cfg.name, len(tree.Keys()), tree.NumLeaves())
+	}
+	log.Printf("consensusctl: serving consensus queries on %s", cfg.addr)
+	srv := &http.Server{
+		Addr:    cfg.addr,
+		Handler: eng.Handler(),
+		// Shed slow-loris clients and idle keep-alives; the read timeout
+		// still leaves ample room for a maxTreeBytes upload.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}

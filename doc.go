@@ -24,7 +24,12 @@
 //     together with the prior ranking semantics (U-top-k, PT-k, global
 //     top-k, expected rank, expected score) as baselines;
 //   - consensus group-by count answers (Section 6.1) and consensus
-//     clusterings (Section 6.2).
+//     clusterings (Section 6.2);
+//   - a concurrent serving engine (NewEngine) that registers trees by name,
+//     answers typed requests through a bounded worker pool, and memoizes
+//     the expensive generating-function intermediates in an LRU cache with
+//     singleflight deduplication, so repeated and concurrent queries
+//     against the same tree pay the polynomial inference cost once.
 //
 // # Quick start
 //
@@ -35,6 +40,24 @@
 //	})
 //	top2, _ := consensus.TopKMean(db, 2, consensus.MetricSymmetricDifference)
 //	world := consensus.MeanWorld(db)
+//
+// # Serving
+//
+// For query traffic, register trees with an Engine instead of calling the
+// algorithm functions directly; repeated queries hit the intermediate
+// cache:
+//
+//	eng := consensus.NewEngine(consensus.EngineOptions{})
+//	eng.Register("db", db)
+//	resp := eng.Query(consensus.Request{Tree: "db", Op: consensus.OpTopKMean, K: 2})
+//	batch := eng.Do([]consensus.Request{
+//		{Tree: "db", Op: consensus.OpRankDist, K: 2},
+//		{Tree: "db", Op: consensus.OpMeanWorld},
+//	})
+//	_, _, _ = resp, batch, http.ListenAndServe(":8080", eng.Handler())
+//
+// The same engine serves HTTP/JSON via Engine.Handler; `consensusctl
+// serve` wraps it as a ready-made server.
 //
 // See examples/ for runnable end-to-end programs, DESIGN.md for the system
 // inventory and EXPERIMENTS.md for the paper-vs-measured record.

@@ -1,0 +1,51 @@
+package consensus
+
+import "consensus/internal/engine"
+
+// Engine-layer re-exports: the concurrent consensus-serving subsystem.
+// An Engine registers trees by name and answers typed requests through a
+// bounded worker pool, memoizing the expensive generating-function
+// intermediates (rank distributions, world-size polynomials, Upsilon
+// statistics) in an LRU cache with singleflight deduplication.  Use
+// Engine.Handler to serve the same requests over HTTP/JSON (see the
+// consensusctl serve subcommand).
+type (
+	// Engine is the concurrent consensus-query service.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine.
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of engine activity.
+	EngineStats = engine.Stats
+	// Request is one typed consensus query against a registered tree.
+	Request = engine.Request
+	// Response is the answer to one Request.
+	Response = engine.Response
+	// Op selects the query kind of a Request.
+	Op = engine.Op
+)
+
+// NewEngine builds an engine; the zero EngineOptions selects GOMAXPROCS
+// workers and the default cache size.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// Request operations served by the engine.
+const (
+	OpTopKMean    = engine.OpTopKMean
+	OpTopKMedian  = engine.OpTopKMedian
+	OpRankDist    = engine.OpRankDist
+	OpMeanWorld   = engine.OpMeanWorld
+	OpMedianWorld = engine.OpMedianWorld
+	OpSizeDist    = engine.OpSizeDist
+	OpMembership  = engine.OpMembership
+	OpWorldProb   = engine.OpWorldProb
+)
+
+// Metric names accepted in Request.Metric for OpTopKMean.  The engine
+// also accepts the Metric.String() spellings (e.g. "symmetric-difference"),
+// so both vocabularies work.
+const (
+	EngineMetricSymDiff      = engine.MetricSymDiff
+	EngineMetricIntersection = engine.MetricIntersection
+	EngineMetricFootrule     = engine.MetricFootrule
+	EngineMetricKendall      = engine.MetricKendall
+)

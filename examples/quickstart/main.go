@@ -73,4 +73,37 @@ func main() {
 	_, clustering, eDist := consensus.ConsensusClustering(db, rand.New(rand.NewSource(1)), 20)
 	fmt.Printf("\nconsensus clustering: %v  (expected pair disagreements %.3f)\n",
 		clustering, eDist)
+
+	// Serving: for query traffic, register the tree with an engine.  The
+	// engine answers typed requests through a worker pool and caches the
+	// generating-function intermediates, so the repeated queries below
+	// compute the rank distribution only once (see Stats).  The same
+	// engine serves HTTP/JSON via eng.Handler() — or run
+	// `consensusctl serve`.
+	eng := consensus.NewEngine(consensus.EngineOptions{})
+	if err := eng.Register("quickstart", db); err != nil {
+		log.Fatal(err)
+	}
+	batch := eng.Do([]consensus.Request{
+		{Tree: "quickstart", Op: consensus.OpTopKMean, K: 2},
+		{Tree: "quickstart", Op: consensus.OpTopKMean, K: 2, Metric: "footrule"},
+		{Tree: "quickstart", Op: consensus.OpRankDist, K: 2},
+		{Tree: "quickstart", Op: consensus.OpMeanWorld},
+	})
+	fmt.Println("\nengine batch answers:")
+	for _, resp := range batch {
+		if !resp.Ok() {
+			log.Fatal(resp.Error)
+		}
+		switch resp.Op {
+		case consensus.OpTopKMean:
+			fmt.Printf("  %-12s k=2: %v  (E[d] = %.3f)\n", resp.Op, resp.TopK, *resp.Expected)
+		case consensus.OpRankDist:
+			fmt.Printf("  %-12s Pr(r(a)<=2) = %.3f\n", resp.Op, resp.TopKProb["a"])
+		case consensus.OpMeanWorld:
+			fmt.Printf("  %-12s %v\n", resp.Op, resp.World)
+		}
+	}
+	stats := eng.Stats()
+	fmt.Printf("engine stats: %d computes, %d cache hits\n", stats.Computes, stats.Hits)
 }

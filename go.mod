@@ -1,0 +1,3 @@
+module consensus
+
+go 1.24

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/workload"
+)
+
+// benchTree matches the BenchmarkE6MeanTopKSymDiff workload in the root
+// bench suite, so the cached/uncached numbers here are directly comparable
+// to the raw library cost of one mean top-k query (~tens of ms).
+func benchTree() *andxor.Tree {
+	return workload.BID(rand.New(rand.NewSource(7)), 200, 2)
+}
+
+const benchK = 10
+
+// BenchmarkEngineCachedTopK measures repeated top-k queries against one
+// registered tree on a warm cache: every iteration pays only for the
+// request dispatch and the response copy, not the generating functions.
+func BenchmarkEngineCachedTopK(b *testing.B) {
+	e := New(Options{})
+	if err := e.Register("db", benchTree()); err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Tree: "db", Op: OpTopKMean, K: benchK}
+	if resp := e.Query(req); !resp.Ok() { // warm the cache
+		b.Fatal(resp.Error)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := e.Query(req); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+}
+
+// BenchmarkEngineUncachedTopK is the cold path: caching disabled, so every
+// query recomputes the rank distribution from scratch.  The cached variant
+// above must beat this by well over the 5x acceptance bar.
+func BenchmarkEngineUncachedTopK(b *testing.B) {
+	e := New(Options{CacheEntries: -1})
+	if err := e.Register("db", benchTree()); err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Tree: "db", Op: OpTopKMean, K: benchK}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := e.Query(req); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+}
+
+// BenchmarkEngineCachedTopKParallel drives the warm path from parallel
+// clients through the worker pool.
+func BenchmarkEngineCachedTopKParallel(b *testing.B) {
+	e := New(Options{})
+	if err := e.Register("db", benchTree()); err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Tree: "db", Op: OpTopKMean, K: benchK}
+	if resp := e.Query(req); !resp.Ok() {
+		b.Fatal(resp.Error)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if resp := e.Query(req); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineBatchMixed measures a warm mixed batch (the Engine.Do fan
+// -out) of the typical dashboard queries against one tree.
+func BenchmarkEngineBatchMixed(b *testing.B) {
+	e := New(Options{})
+	if err := e.Register("db", benchTree()); err != nil {
+		b.Fatal(err)
+	}
+	reqs := []Request{
+		{Tree: "db", Op: OpTopKMean, K: benchK},
+		{Tree: "db", Op: OpTopKMean, K: benchK, Metric: MetricFootrule},
+		{Tree: "db", Op: OpRankDist, K: benchK},
+		{Tree: "db", Op: OpSizeDist},
+		{Tree: "db", Op: OpMembership},
+	}
+	for _, resp := range e.Do(reqs) { // warm
+		if !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, resp := range e.Do(reqs) {
+			if !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineColdRankDist measures the one-time cost a fresh tree pays
+// on its first rank-distribution query (the intermediate the cache then
+// amortizes), including the RanksParallel fan-out.
+func BenchmarkEngineColdRankDist(b *testing.B) {
+	tr := benchTree()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := New(Options{})
+		if err := e.Register("db", tr); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if resp := e.Query(Request{Tree: "db", Op: OpRankDist, K: benchK}); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+}

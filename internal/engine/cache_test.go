@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCachePanickingComputeDoesNotWedge(t *testing.T) {
+	c := newCache(8)
+
+	// Waiters queued behind a panicking compute must unblock with an
+	// error, and the key must stay retryable.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var waiters sync.WaitGroup
+	go func() {
+		defer func() { _ = recover() }()
+		_, _ = c.get("k", func() (any, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+	waiterErrs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		waiters.Add(1)
+		go func(i int) {
+			defer waiters.Done()
+			_, waiterErrs[i] = c.get("k", func() (any, error) {
+				t.Error("waiter must not recompute while the entry is in flight")
+				return nil, nil
+			})
+		}(i)
+	}
+	// The hit counter increments before a waiter blocks on the in-flight
+	// entry; once all three are counted they are committed to sharing the
+	// panicking computation.
+	for c.hits.Load() < 3 {
+		runtime.Gosched()
+	}
+	close(release)
+	waiters.Wait()
+	for i, err := range waiterErrs {
+		if err == nil {
+			t.Errorf("waiter %d got no error from the panicked compute", i)
+		}
+	}
+
+	// The failed entry was dropped: a fresh compute succeeds.
+	v, err := c.get("k", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry after panic got (%v, %v), want (42, nil)", v, err)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newCache(8)
+	want := errors.New("transient")
+	if _, err := c.get("k", func() (any, error) { return nil, want }); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+	v, err := c.get("k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after error got (%v, %v), want (ok, nil)", v, err)
+	}
+	if c.len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.len())
+	}
+}

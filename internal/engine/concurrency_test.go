@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"consensus/internal/workload"
+)
+
+// TestConcurrentClientsOneTree hammers a single tree from many goroutines
+// and checks, via the engine's compute counters, that every expensive
+// intermediate was computed exactly once: the singleflight cache must
+// deduplicate concurrent misses, not just repeated sequential queries.
+func TestConcurrentClientsOneTree(t *testing.T) {
+	e, _ := newTestEngine(t, Options{})
+	const (
+		clients = 32
+		rounds  = 8
+		k       = 10
+	)
+	reqs := []Request{
+		{Tree: "db", Op: OpTopKMean, K: k, Metric: MetricSymDiff},
+		{Tree: "db", Op: OpTopKMean, K: k, Metric: MetricFootrule},
+		{Tree: "db", Op: OpTopKMedian, K: k},
+		{Tree: "db", Op: OpRankDist, K: k},
+		{Tree: "db", Op: OpSizeDist},
+		{Tree: "db", Op: OpMembership},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, req := range reqs {
+					if resp := e.Query(req); !resp.Ok() {
+						select {
+						case errs <- fmt.Sprintf("client %d: %s: %s", c, req.Op, resp.Error):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	// Distinct cache entries across all clients and rounds: ranks/10,
+	// topk-mean/symdiff, topk-mean/footrule, upsilons/10, topk-median,
+	// size-dist, membership = 7 computes total.
+	if got := e.Stats().Computes; got != 7 {
+		t.Errorf("computes = %d, want 7: concurrent clients must share every intermediate", got)
+	}
+	if hits := e.Stats().Hits; hits == 0 {
+		t.Error("no cache hits recorded under concurrent load")
+	}
+}
+
+// TestConcurrentClientsAgreeOnAnswer checks that all concurrent callers of
+// the same query observe the identical answer (the in-flight entry is
+// shared, not racily recomputed).
+func TestConcurrentClientsAgreeOnAnswer(t *testing.T) {
+	e, _ := newTestEngine(t, Options{})
+	const clients = 16
+	req := Request{Tree: "db", Op: OpTopKMean, K: 10}
+	answers := make([][]string, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			answers[c] = e.Query(req).TopK
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < clients; c++ {
+		if !reflect.DeepEqual(answers[c], answers[0]) {
+			t.Fatalf("client %d saw %v, client 0 saw %v", c, answers[c], answers[0])
+		}
+	}
+}
+
+// TestManyTreesPoolSaturation registers more trees than pool slots and
+// fans a large mixed batch across them through Engine.Do; every response
+// must arrive, in order, with no slot leaked (a follow-up query would hang
+// if release were missed).
+func TestManyTreesPoolSaturation(t *testing.T) {
+	e := New(Options{Workers: 4})
+	const trees = 12
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < trees; i++ {
+		if err := e.Register(fmt.Sprintf("t%02d", i), workload.BID(rng, 24, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reqs []Request
+	for round := 0; round < 4; round++ {
+		for i := 0; i < trees; i++ {
+			reqs = append(reqs, Request{Tree: fmt.Sprintf("t%02d", i), Op: OpTopKMean, K: 5})
+			reqs = append(reqs, Request{Tree: fmt.Sprintf("t%02d", i), Op: OpSizeDist})
+		}
+	}
+	resps := e.Do(reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, resp := range resps {
+		if !resp.Ok() {
+			t.Fatalf("request %d (%s/%s) failed: %s", i, reqs[i].Tree, reqs[i].Op, resp.Error)
+		}
+		if resp.Tree != reqs[i].Tree || resp.Op != reqs[i].Op {
+			t.Fatalf("response %d is out of order: %s/%s for %s/%s", i, resp.Tree, resp.Op, reqs[i].Tree, reqs[i].Op)
+		}
+	}
+	if got := e.Stats().Trees; got != trees {
+		t.Errorf("stats report %d trees, want %d", got, trees)
+	}
+	// Pool slots were all released: a final query completes.
+	if resp := e.Query(Request{Tree: "t00", Op: OpMembership}); !resp.Ok() {
+		t.Fatalf("post-batch query failed: %s", resp.Error)
+	}
+}
+
+// TestBatchMixedValidity checks that failures inside a batch stay local to
+// their request.
+func TestBatchMixedValidity(t *testing.T) {
+	e, _ := newTestEngine(t, Options{Workers: 2})
+	resps := e.Do([]Request{
+		{Tree: "db", Op: OpTopKMean, K: 5},
+		{Tree: "ghost", Op: OpTopKMean, K: 5},
+		{Tree: "db", Op: "bogus"},
+		{Tree: "db", Op: OpSizeDist},
+	})
+	if !resps[0].Ok() || !resps[3].Ok() {
+		t.Errorf("valid requests failed: %q, %q", resps[0].Error, resps[3].Error)
+	}
+	if resps[1].Ok() || resps[2].Ok() {
+		t.Error("invalid requests must fail individually")
+	}
+}
+
+// TestConcurrentRegisterAndQuery exercises registration churn under query
+// load; run with -race in CI.
+func TestConcurrentRegisterAndQuery(t *testing.T) {
+	e, _ := newTestEngine(t, Options{})
+	fresh := workload.BID(rand.New(rand.NewSource(6)), 24, 2)
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// "db" stays registered throughout; only its generation moves.
+			if err := e.Register("db", fresh); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var clients sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			for i := 0; i < 50; i++ {
+				if resp := e.Query(Request{Tree: "db", Op: OpTopKMean, K: 5}); !resp.Ok() {
+					t.Errorf("query during churn failed: %s", resp.Error)
+					return
+				}
+			}
+		}()
+	}
+	clients.Wait()
+	close(stop)
+	<-churnDone
+	// Every superseded generation was purged (by the retirer or by the
+	// last in-flight query to notice); only the live generation's couple
+	// of entries may remain.
+	if got := e.Stats().CacheEntries; got > 2 {
+		t.Errorf("churn left %d cache entries resident; dead generations must be purged", got)
+	}
+}

@@ -1,0 +1,560 @@
+// Package engine turns the consensus library into a concurrent
+// consensus-query service: it registers and/xor trees by name and serves
+// typed requests (rank distributions, mean/median top-k answers under the
+// Section 5 metrics, consensus worlds, world-size and membership
+// probabilities) through a bounded worker pool.
+//
+// The expensive intermediates behind those queries — the rank
+// distribution of Section 3.3, world-size polynomials and the Upsilon
+// statistics of Section 5.4 — are memoized per tree in an LRU cache with
+// singleflight deduplication, so concurrent requests against the same
+// tree compute each intermediate once and every later query pays only for
+// the cheap final step (a sort or a small assignment problem).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"consensus/internal/andxor"
+	"consensus/internal/genfunc"
+	"consensus/internal/setconsensus"
+	"consensus/internal/topk"
+	"consensus/internal/types"
+)
+
+// DefaultCacheEntries is the LRU capacity used when Options.CacheEntries
+// is zero.
+const DefaultCacheEntries = 512
+
+// Options configures a new Engine.
+type Options struct {
+	// Workers bounds the number of concurrently executing queries;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheEntries is the LRU capacity (in cached intermediates, not
+	// bytes); 0 selects DefaultCacheEntries, negative disables caching.
+	CacheEntries int
+	// RankWorkers is the per-query parallelism of rank-distribution
+	// computations (genfunc.RanksParallel); <= 0 selects GOMAXPROCS.
+	RankWorkers int
+}
+
+// Engine is a concurrent consensus-query service over named trees.  All
+// methods are safe for concurrent use.
+type Engine struct {
+	mu      sync.RWMutex
+	trees   map[string]*treeEntry
+	nextGen uint64
+
+	cache       *cache
+	sem         chan struct{}
+	rankWorkers int
+}
+
+// treeEntry pins a registered tree together with its registration
+// generation; the generation namespaces cache keys, so re-registering a
+// name invalidates every cached intermediate of the old tree (the old
+// entries are also purged eagerly, see Register).
+type treeEntry struct {
+	tree *andxor.Tree
+	gen  uint64
+
+	// mu guards rankKs: the rank cutoffs computed under this generation,
+	// sorted ascending.  A resident distribution with cutoff K' >= k
+	// satisfies every ...Ranks consumer, so topk queries reuse the
+	// smallest resident entry covering k instead of recomputing.
+	mu     sync.Mutex
+	rankKs []int
+
+	// retired is set when this generation is replaced or unregistered.
+	// Queries already in flight on the old entry may insert cache entries
+	// after the retirer's purge ran; they re-purge on completion when they
+	// see the flag, so no dead-generation entry outlives its last reader.
+	retired atomic.Bool
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	// Trees is the number of registered trees.
+	Trees int `json:"trees"`
+	// CacheEntries is the number of resident cached intermediates.
+	CacheEntries int `json:"cache_entries"`
+	// Computes counts cache misses, i.e. intermediates actually computed.
+	Computes int64 `json:"computes"`
+	// Hits counts lookups served by a resident or in-flight entry.
+	Hits int64 `json:"hits"`
+}
+
+// New builds an engine with the given options.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	capEntries := opts.CacheEntries
+	switch {
+	case capEntries == 0:
+		capEntries = DefaultCacheEntries
+	case capEntries < 0:
+		capEntries = 0 // cache disabled
+	}
+	rankWorkers := opts.RankWorkers
+	if rankWorkers <= 0 {
+		rankWorkers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		trees:       make(map[string]*treeEntry),
+		nextGen:     1,
+		cache:       newCache(capEntries),
+		sem:         make(chan struct{}, workers),
+		rankWorkers: rankWorkers,
+	}
+}
+
+// Register makes t queryable under name, replacing any previous tree of
+// that name (and implicitly invalidating its cached intermediates).
+func (e *Engine) Register(name string, t *andxor.Tree) error {
+	if name == "" {
+		return fmt.Errorf("engine: tree name must be non-empty")
+	}
+	// '@' and '/' delimit the generation-namespaced cache keys; a name
+	// containing them could alias another tree's key prefix and have its
+	// cache wrongly purged on that tree's re-registration.
+	if strings.ContainsAny(name, "@/") {
+		return fmt.Errorf("engine: tree name %q must not contain '@' or '/'", name)
+	}
+	if t == nil {
+		return fmt.Errorf("engine: tree %q is nil", name)
+	}
+	e.mu.Lock()
+	old := e.trees[name]
+	e.trees[name] = &treeEntry{tree: t, gen: e.nextGen}
+	e.nextGen++
+	e.mu.Unlock()
+	if old != nil {
+		e.retire(old, name)
+	}
+	return nil
+}
+
+// genPrefix is the cache-key namespace of one (tree, generation) pair;
+// every cached intermediate key starts with it, and retire/exec purge by
+// it.  The '@'/'/' rejection in Register keeps it unambiguous.
+func genPrefix(name string, gen uint64) string {
+	return fmt.Sprintf("%s@%d/", name, gen)
+}
+
+// retire purges the cache entries of a replaced or removed generation.
+// The flag-then-purge order pairs with exec's insert-then-check: whichever
+// of the two purges runs last sees every insert (the cache mutex
+// serializes them), so dead entries cannot survive.
+func (e *Engine) retire(te *treeEntry, name string) {
+	te.retired.Store(true)
+	e.cache.removePrefix(genPrefix(name, te.gen))
+}
+
+// Unregister removes name and reports whether it was registered.  The
+// tree's cached intermediates are dropped so they stop occupying LRU
+// slots.
+func (e *Engine) Unregister(name string) bool {
+	e.mu.Lock()
+	old, ok := e.trees[name]
+	delete(e.trees, name)
+	e.mu.Unlock()
+	if ok {
+		e.retire(old, name)
+	}
+	return ok
+}
+
+// Tree returns the tree registered under name.
+func (e *Engine) Tree(name string) (*andxor.Tree, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	te, ok := e.trees[name]
+	if !ok {
+		return nil, false
+	}
+	return te.tree, true
+}
+
+// Trees returns the registered names, sorted.
+func (e *Engine) Trees() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.trees))
+	for name := range e.trees {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of engine activity.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	n := len(e.trees)
+	e.mu.RUnlock()
+	return Stats{
+		Trees:        n,
+		CacheEntries: e.cache.len(),
+		Computes:     e.cache.computes.Load(),
+		Hits:         e.cache.hits.Load(),
+	}
+}
+
+// Query executes one request through the worker pool.
+func (e *Engine) Query(req Request) Response {
+	return e.QueryContext(context.Background(), req)
+}
+
+// QueryContext is Query with cancellation: a request still queued for a
+// pool slot when ctx is cancelled returns an error response instead of
+// blocking (and computing an answer nobody will read).  Cancellation does
+// not interrupt a computation already running.
+func (e *Engine) QueryContext(ctx context.Context, req Request) Response {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Response{Tree: req.Tree, Op: req.Op, Error: fmt.Sprintf("engine: %v", ctx.Err())}
+	}
+	defer func() { <-e.sem }()
+	return e.exec(req)
+}
+
+// Do executes a batch of requests, fanning out across the worker pool and
+// returning the responses in request order.  Requests that share a tree
+// deduplicate their intermediate computations through the cache, so a
+// batch of q queries against one tree performs the expensive generating-
+// function work once.
+func (e *Engine) Do(reqs []Request) []Response {
+	return e.DoContext(context.Background(), reqs)
+}
+
+// DoContext is Do with cancellation: requests not yet dispatched when ctx
+// is cancelled come back as error responses, in-flight computations run to
+// completion.
+func (e *Engine) DoContext(ctx context.Context, reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	// Spawn at most one goroutine per pool slot, not per request, so a
+	// huge batch cannot allocate unbounded goroutines upfront.
+	workers := cap(e.sem)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.QueryContext(ctx, reqs[i])
+			}
+		}()
+	}
+feed:
+	for i := range reqs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	// Requests never dispatched (feed stopped early) get an explicit
+	// cancellation response; a processed slot always has Op or Error set.
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Op == "" && out[i].Error == "" && out[i].Tree == "" {
+				out[i] = Response{Tree: reqs[i].Tree, Op: reqs[i].Op, Error: fmt.Sprintf("engine: %v", err)}
+			}
+		}
+	}
+	return out
+}
+
+// exec runs one request to completion; the caller holds a pool slot.
+func (e *Engine) exec(req Request) Response {
+	resp := Response{Tree: req.Tree, Op: req.Op}
+	if err := req.validate(); err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	e.mu.RLock()
+	te, ok := e.trees[req.Tree]
+	e.mu.RUnlock()
+	if !ok {
+		resp.Error = fmt.Sprintf("engine: unknown tree %q", req.Tree)
+		return resp
+	}
+	if err := e.dispatch(&resp, te, req); err != nil {
+		// Drop any partially populated answer fields: an error response
+		// carries the error alone.
+		resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+	}
+	if te.retired.Load() {
+		// The tree was replaced or removed while we were computing; any
+		// intermediate we just inserted is keyed to a dead generation.
+		// Purge again so it does not linger in the LRU unreachable.
+		e.cache.removePrefix(genPrefix(req.Tree, te.gen))
+	}
+	return resp
+}
+
+func (e *Engine) dispatch(resp *Response, te *treeEntry, req Request) error {
+	switch req.Op {
+	case OpRankDist:
+		k := clampK(te.tree, req.K)
+		// Any resident distribution with cutoff >= k serves this: the
+		// k-width response is an exact truncation of a larger one.
+		rd, err := e.ranksAtLeast(te, req.Tree, k)
+		if err != nil {
+			return err
+		}
+		keys := req.Keys
+		if len(keys) == 0 {
+			keys = rd.Keys()
+		}
+		resp.Ranks = make(map[string][]float64, len(keys))
+		resp.TopKProb = make(map[string]float64, len(keys))
+		for _, key := range keys {
+			dist := rd.Dist(key)
+			if dist == nil {
+				// Surface a key typo instead of fabricating a
+				// probability-zero answer for a tuple that does not exist.
+				return fmt.Errorf("engine: tree %q has no tuple key %q", req.Tree, key)
+			}
+			if len(dist) > k {
+				dist = dist[:k]
+			}
+			resp.Ranks[key] = dist
+			resp.TopKProb[key] = rd.PrLE(key, k)
+		}
+		return nil
+
+	case OpTopKMean:
+		res, err := e.topkMean(te, req)
+		if err != nil {
+			return err
+		}
+		resp.TopK = append([]string(nil), res.tau...)
+		// The Kendall consensus is served by the footrule optimum
+		// (Section 5.5 equivalence), but the footrule objective value is
+		// not the expected Kendall distance; leave Expected unset rather
+		// than report a number for the wrong metric.
+		if req.Metric != MetricKendall {
+			resp.Expected = ptr(res.expected)
+		}
+		return nil
+
+	case OpTopKMedian:
+		k := clampK(te.tree, req.K)
+		v, err := e.cache.get(e.key(te, req.Tree, "topk-median/%d", k), func() (any, error) {
+			rd, err := e.ranksAtLeast(te, req.Tree, k)
+			if err != nil {
+				return nil, err
+			}
+			tau, err := topk.MedianSymDiffRanks(te.tree, rd, k)
+			if err != nil {
+				return nil, err
+			}
+			return topkResult{tau: tau, expected: topk.ExpectedNormSymDiff(rd, tau, k)}, nil
+		})
+		if err != nil {
+			return err
+		}
+		res := v.(topkResult)
+		resp.TopK = append([]string(nil), res.tau...)
+		resp.Expected = ptr(res.expected)
+		return nil
+
+	case OpMeanWorld, OpMedianWorld:
+		v, err := e.cache.get(e.key(te, req.Tree, "%s", req.Op), func() (any, error) {
+			var w *types.World
+			if req.Op == OpMeanWorld {
+				w = setconsensus.MeanWorldSymDiff(te.tree)
+			} else {
+				w = setconsensus.MedianWorldSymDiff(te.tree)
+			}
+			return worldResult{world: w, expected: setconsensus.ExpectedSymDiff(te.tree, w)}, nil
+		})
+		if err != nil {
+			return err
+		}
+		res := v.(worldResult)
+		resp.World = res.world.Leaves()
+		resp.Expected = ptr(res.expected)
+		return nil
+
+	case OpSizeDist:
+		v, err := e.cache.get(e.key(te, req.Tree, "size-dist"), func() (any, error) {
+			return []float64(genfunc.WorldSizeDist(te.tree)), nil
+		})
+		if err != nil {
+			return err
+		}
+		resp.SizeDist = append([]float64(nil), v.([]float64)...)
+		return nil
+
+	case OpMembership:
+		v, err := e.cache.get(e.key(te, req.Tree, "membership"), func() (any, error) {
+			return te.tree.KeyMarginals(), nil
+		})
+		if err != nil {
+			return err
+		}
+		all := v.(map[string]float64)
+		keys := req.Keys
+		if len(keys) == 0 {
+			keys = te.tree.Keys()
+		}
+		resp.Probs = make(map[string]float64, len(keys))
+		for _, key := range keys {
+			p, ok := all[key]
+			if !ok {
+				return fmt.Errorf("engine: tree %q has no tuple key %q", req.Tree, key)
+			}
+			resp.Probs[key] = p
+		}
+		return nil
+
+	case OpWorldProb:
+		w, err := types.NewWorld(req.World...)
+		if err != nil {
+			return err
+		}
+		resp.Value = ptr(andxor.WorldProb(te.tree, w))
+		return nil
+	}
+	return fmt.Errorf("engine: unknown op %q", req.Op)
+}
+
+// topkResult / worldResult are the cached final answers.
+type topkResult struct {
+	tau      topk.List
+	expected float64
+}
+
+type worldResult struct {
+	world    *types.World
+	expected float64
+}
+
+// topkMean answers OpTopKMean, caching the deterministic result per
+// (tree, metric, k).  The Kendall consensus is the footrule optimum
+// (Section 5.5's factor-2 equivalence), so both metrics share one entry.
+func (e *Engine) topkMean(te *treeEntry, req Request) (topkResult, error) {
+	metric, _ := normalizeMetric(req.Metric) // validate() already vetted it
+	if metric == MetricKendall {
+		metric = MetricFootrule
+	}
+	k := clampK(te.tree, req.K)
+	v, err := e.cache.get(e.key(te, req.Tree, "topk-mean/%s/%d", metric, k), func() (any, error) {
+		rd, err := e.ranksAtLeast(te, req.Tree, k)
+		if err != nil {
+			return nil, err
+		}
+		switch metric {
+		case MetricSymDiff:
+			tau := topk.MeanSymDiffRanks(rd, k)
+			return topkResult{tau: tau, expected: topk.ExpectedNormSymDiff(rd, tau, k)}, nil
+		case MetricIntersection:
+			tau, err := topk.MeanIntersectionRanks(rd, k)
+			if err != nil {
+				return nil, err
+			}
+			return topkResult{tau: tau, expected: topk.ExpectedIntersection(rd, tau, k)}, nil
+		default: // MetricFootrule (also serving Kendall)
+			u, err := e.upsilons(te, req.Tree, k)
+			if err != nil {
+				return nil, err
+			}
+			tau, exp, err := topk.MeanFootruleRanks(rd, u, k)
+			if err != nil {
+				return nil, err
+			}
+			return topkResult{tau: tau, expected: exp}, nil
+		}
+	})
+	if err != nil {
+		return topkResult{}, err
+	}
+	return v.(topkResult), nil
+}
+
+// ranks returns the (cached) rank distribution of the tree with cutoff
+// exactly k, recording the cutoff so ranksAtLeast can find it later.
+func (e *Engine) ranks(te *treeEntry, name string, k int) (*genfunc.RankDist, error) {
+	v, err := e.cache.get(e.key(te, name, "ranks/%d", k), func() (any, error) {
+		return genfunc.RanksParallel(te.tree, k, e.rankWorkers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rd := v.(*genfunc.RankDist)
+	te.mu.Lock()
+	pos := sort.SearchInts(te.rankKs, k)
+	if pos == len(te.rankKs) || te.rankKs[pos] != k {
+		te.rankKs = append(te.rankKs, 0)
+		copy(te.rankKs[pos+1:], te.rankKs[pos:])
+		te.rankKs[pos] = k
+	}
+	te.mu.Unlock()
+	return rd, nil
+}
+
+// ranksAtLeast returns a (cached) rank distribution with cutoff >= k,
+// preferring the smallest resident distribution that already covers k:
+// every ...Ranks consumer accepts rd.K >= k, so a top-k query after a
+// larger rank-dist query reuses that work instead of recomputing.
+func (e *Engine) ranksAtLeast(te *treeEntry, name string, k int) (*genfunc.RankDist, error) {
+	te.mu.Lock()
+	candidates := append([]int(nil), te.rankKs...)
+	te.mu.Unlock()
+	for _, kk := range candidates {
+		if kk < k {
+			continue
+		}
+		if v, ok := e.cache.peek(e.key(te, name, "ranks/%d", kk)); ok {
+			return v.(*genfunc.RankDist), nil
+		}
+	}
+	return e.ranks(te, name, k)
+}
+
+// upsilons returns the (cached) Section 5.4 Upsilon statistics for cutoff k.
+func (e *Engine) upsilons(te *treeEntry, name string, k int) (*topk.Upsilons, error) {
+	v, err := e.cache.get(e.key(te, name, "upsilons/%d", k), func() (any, error) {
+		rd, err := e.ranksAtLeast(te, name, k)
+		if err != nil {
+			return nil, err
+		}
+		return topk.NewUpsilons(rd, k), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*topk.Upsilons), nil
+}
+
+// key builds a cache key namespaced by the tree's registration generation.
+func (e *Engine) key(te *treeEntry, name, format string, args ...any) string {
+	return genPrefix(name, te.gen) + fmt.Sprintf(format, args...)
+}
+
+// clampK caps k at the number of tuples, matching the library's top-k
+// conventions and letting oversized cutoffs share one cache entry.
+func clampK(t *andxor.Tree, k int) int {
+	if n := len(t.Keys()); k > n {
+		return n
+	}
+	return k
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"consensus/internal/andxor"
+)
+
+// maxTreeBytes bounds the accepted size of an uploaded tree document;
+// maxQueryBytes bounds query and batch bodies, which are far smaller.
+const (
+	maxTreeBytes  = 64 << 20
+	maxQueryBytes = 8 << 20
+)
+
+// Handler exposes the engine over HTTP/JSON using the and/xor tree codecs:
+//
+//	PUT    /v1/trees/{name}   register the tree in the request body
+//	GET    /v1/trees/{name}   download a registered tree as JSON
+//	DELETE /v1/trees/{name}   unregister a tree
+//	GET    /v1/trees          list registered tree names
+//	POST   /v1/query          execute one Request, returning its Response
+//	POST   /v1/batch          execute {"requests": [...]} as one batch
+//	GET    /v1/stats          engine statistics
+//	GET    /healthz           liveness probe
+//
+// Query failures are reported in Response.Error with status 200; non-2xx
+// statuses are reserved for transport-level problems (malformed JSON,
+// unknown routes, missing trees on the tree resource endpoints).
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/trees", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"trees": e.Trees()})
+	})
+
+	registerTree := func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTreeBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		tree, err := andxor.UnmarshalTree(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := e.Register(name, tree); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tree":   name,
+			"keys":   len(tree.Keys()),
+			"leaves": tree.NumLeaves(),
+		})
+	}
+	mux.HandleFunc("PUT /v1/trees/{name}", registerTree)
+	mux.HandleFunc("POST /v1/trees/{name}", registerTree)
+
+	mux.HandleFunc("GET /v1/trees/{name}", func(w http.ResponseWriter, r *http.Request) {
+		tree, ok := e.Tree(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("engine: unknown tree %q", r.PathValue("name")))
+			return
+		}
+		writeJSON(w, http.StatusOK, tree)
+	})
+
+	mux.HandleFunc("DELETE /v1/trees/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if !e.Unregister(r.PathValue("name")) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("engine: unknown tree %q", r.PathValue("name")))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+	})
+
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, e.QueryContext(r.Context(), req))
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var batch struct {
+			Requests []Request `json:"requests"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&batch); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string][]Response{"responses": e.DoContext(r.Context(), batch.Requests)})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	// An over-limit body is a size problem, not a syntax problem; tell
+	// the client so it does not retry the same payload as "bad JSON".
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+
+	"consensus/internal/types"
+)
+
+// Op selects the query kind a Request asks for.
+type Op string
+
+const (
+	// OpTopKMean asks for the mean top-k answer under Request.Metric.
+	OpTopKMean Op = "topk-mean"
+	// OpTopKMedian asks for the median top-k answer (symmetric difference).
+	OpTopKMedian Op = "topk-median"
+	// OpRankDist asks for the rank distribution up to rank K per tuple.
+	OpRankDist Op = "rank-dist"
+	// OpMeanWorld asks for the mean world under symmetric difference.
+	OpMeanWorld Op = "mean-world"
+	// OpMedianWorld asks for a median world under symmetric difference.
+	OpMedianWorld Op = "median-world"
+	// OpSizeDist asks for the world-size distribution Pr(|pw| = i).
+	OpSizeDist Op = "size-dist"
+	// OpMembership asks for the per-key marginal presence probabilities.
+	OpMembership Op = "membership"
+	// OpWorldProb asks for the probability of the world in Request.World.
+	OpWorldProb Op = "world-prob"
+)
+
+// Metric names accepted by OpTopKMean requests.
+const (
+	MetricSymDiff      = "symdiff"
+	MetricIntersection = "intersection"
+	MetricFootrule     = "footrule"
+	MetricKendall      = "kendall"
+)
+
+// Request is one typed consensus query against a registered tree.
+type Request struct {
+	// Tree is the name the target tree was registered under.
+	Tree string `json:"tree"`
+	// Op is the query kind.
+	Op Op `json:"op"`
+	// K is the rank cutoff for top-k and rank-distribution queries;
+	// values beyond the tree's tuple count are clamped to it (which also
+	// bounds the work an oversized cutoff can demand).
+	K int `json:"k,omitempty"`
+	// Metric selects the top-k distance for OpTopKMean; empty means
+	// "symdiff".
+	Metric string `json:"metric,omitempty"`
+	// Keys optionally restricts OpRankDist / OpMembership output to the
+	// given tuple keys.
+	Keys []string `json:"keys,omitempty"`
+	// World carries the candidate world for OpWorldProb.
+	World []types.Leaf `json:"world,omitempty"`
+}
+
+// Response is the answer to one Request.  Exactly the fields relevant to
+// the request's Op are populated; Error is set instead when the query
+// failed.
+type Response struct {
+	Tree  string `json:"tree"`
+	Op    Op     `json:"op"`
+	Error string `json:"error,omitempty"`
+
+	// TopK is the consensus top-k answer (best first).
+	TopK []string `json:"topk,omitempty"`
+	// Expected is the expected distance achieved by the returned answer,
+	// when the engine can compute it in closed form.  It is a pointer so
+	// that a legitimate zero distance survives JSON omitempty: absent
+	// means "not computed for this op", not "zero".
+	Expected *float64 `json:"expected,omitempty"`
+	// Ranks maps tuple key -> [Pr(r=1), ..., Pr(r=K)].
+	Ranks map[string][]float64 `json:"ranks,omitempty"`
+	// TopKProb maps tuple key -> Pr(r <= K).
+	TopKProb map[string]float64 `json:"topk_prob,omitempty"`
+	// SizeDist holds Pr(|pw| = i) at index i.
+	SizeDist []float64 `json:"size_dist,omitempty"`
+	// World is the consensus world answer as its sorted alternatives.
+	World []types.Leaf `json:"world,omitempty"`
+	// Probs maps tuple key -> marginal presence probability.
+	Probs map[string]float64 `json:"probs,omitempty"`
+	// Value is the scalar answer of OpWorldProb; a pointer for the same
+	// reason as Expected (a world of probability exactly 0 is a real
+	// answer).
+	Value *float64 `json:"value,omitempty"`
+}
+
+// ptr boxes a scalar answer for the pointer-valued Response fields.
+func ptr(v float64) *float64 { return &v }
+
+// Ok reports whether the response carries an answer rather than an error.
+func (r *Response) Ok() bool { return r.Error == "" }
+
+// validate rejects structurally bad requests before any tree lookup.
+func (r *Request) validate() error {
+	if r.Tree == "" {
+		return fmt.Errorf("engine: request is missing the tree name")
+	}
+	switch r.Op {
+	case OpTopKMean, OpTopKMedian, OpRankDist:
+		if r.K < 1 {
+			return fmt.Errorf("engine: op %q needs a positive k, got %d", r.Op, r.K)
+		}
+	case OpMeanWorld, OpMedianWorld, OpSizeDist, OpMembership, OpWorldProb:
+	case "":
+		return fmt.Errorf("engine: request is missing the op")
+	default:
+		return fmt.Errorf("engine: unknown op %q", r.Op)
+	}
+	if r.Op == OpTopKMean {
+		if _, ok := normalizeMetric(r.Metric); !ok {
+			return fmt.Errorf("engine: unknown metric %q", r.Metric)
+		}
+	}
+	return nil
+}
+
+// normalizeMetric maps a request metric name to its canonical spelling.
+// The long names are what consensus.Metric.String() prints, so clients of
+// the root package can pass those directly.
+func normalizeMetric(metric string) (string, bool) {
+	switch metric {
+	case "", MetricSymDiff, "symmetric-difference":
+		return MetricSymDiff, true
+	case MetricIntersection:
+		return MetricIntersection, true
+	case MetricFootrule:
+		return MetricFootrule, true
+	case MetricKendall:
+		return MetricKendall, true
+	default:
+		return "", false
+	}
+}

@@ -105,6 +105,18 @@ func (rd *RankDist) PrLE(key string, i int) float64 {
 // Theorem 3 and the PT-k ranking function.
 func (rd *RankDist) PrTopK(key string) float64 { return rd.PrLE(key, rd.K) }
 
+// Dist returns a copy of the rank distribution of key: element i-1 holds
+// Pr(r(t) = i) for 1 <= i <= K.  Unknown keys yield nil.  The copy lets
+// callers (e.g. serving layers marshalling responses) hand the slice out
+// without aliasing the shared, possibly cached, distribution.
+func (rd *RankDist) Dist(key string) []float64 {
+	d, ok := rd.eq[key]
+	if !ok {
+		return nil
+	}
+	return append([]float64(nil), d[1:]...)
+}
+
 func errRankCutoff(k int) error {
 	return fmt.Errorf("genfunc: rank cutoff k = %d must be positive", k)
 }

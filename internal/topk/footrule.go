@@ -95,8 +95,19 @@ func MeanFootrule(t *andxor.Tree, k int) (List, float64, *genfunc.RankDist, erro
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	u := NewUpsilons(rd, k)
+	tau, e, err := MeanFootruleRanks(rd, NewUpsilons(rd, k), k)
+	return tau, e, rd, err
+}
+
+// MeanFootruleRanks is MeanFootrule on precomputed rank-distribution and
+// Upsilon statistics (u must have been built with the same k after
+// clamping), so callers holding cached intermediates pay only for the
+// assignment problem.
+func MeanFootruleRanks(rd *genfunc.RankDist, u *Upsilons, k int) (List, float64, error) {
 	keys := rd.Keys()
+	if k > len(keys) {
+		k = len(keys)
+	}
 	cost := make([][]float64, k)
 	for i := 1; i <= k; i++ {
 		row := make([]float64, len(keys))
@@ -107,11 +118,11 @@ func MeanFootrule(t *andxor.Tree, k int) (List, float64, *genfunc.RankDist, erro
 	}
 	rowTo, total, err := assignment.Min(cost)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, err
 	}
 	out := make(List, k)
 	for i, ti := range rowTo {
 		out[i] = keys[ti]
 	}
-	return out, FootruleConstant(rd, u, k) + total, rd, nil
+	return out, FootruleConstant(rd, u, k) + total, nil
 }

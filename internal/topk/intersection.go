@@ -71,17 +71,27 @@ func MeanIntersection(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	tau, err := MeanIntersectionRanks(rd, k)
+	return tau, rd, err
+}
+
+// MeanIntersectionRanks is MeanIntersection on a precomputed rank
+// distribution with cutoff rd.K >= k.
+func MeanIntersectionRanks(rd *genfunc.RankDist, k int) (List, error) {
 	keys := rd.Keys()
+	if k > len(keys) {
+		k = len(keys)
+	}
 	profit := IntersectionProfit(rd, keys, k)
 	rowTo, _, err := assignment.Max(profit)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	out := make(List, k)
 	for j, ti := range rowTo {
 		out[j] = keys[ti]
 	}
-	return out, rd, nil
+	return out, nil
 }
 
 // UpsilonH returns the ranking-function values Upsilon_H(t) =
@@ -111,6 +121,12 @@ func MeanIntersectionUpsilon(t *andxor.Tree, k int) (List, *genfunc.RankDist, er
 	if err != nil {
 		return nil, nil, err
 	}
+	return MeanIntersectionUpsilonRanks(rd, k), rd, nil
+}
+
+// MeanIntersectionUpsilonRanks is MeanIntersectionUpsilon on a precomputed
+// rank distribution with cutoff rd.K >= k.
+func MeanIntersectionUpsilonRanks(rd *genfunc.RankDist, k int) List {
 	ups := UpsilonH(rd, k)
 	keys := append([]string(nil), rd.Keys()...)
 	sort.SliceStable(keys, func(i, j int) bool {
@@ -122,7 +138,7 @@ func MeanIntersectionUpsilon(t *andxor.Tree, k int) (List, *genfunc.RankDist, er
 	if len(keys) > k {
 		keys = keys[:k]
 	}
-	return List(keys), rd, nil
+	return List(keys)
 }
 
 // IntersectionObjective returns A(tau) = sum_{i=1..k} (1/i) sum_{t in

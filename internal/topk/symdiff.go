@@ -53,9 +53,16 @@ func MeanSymDiff(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return MeanSymDiffRanks(rd, k), rd, nil
+}
+
+// MeanSymDiffRanks is MeanSymDiff on a precomputed rank distribution with
+// cutoff rd.K >= k, letting callers (notably the serving engine) amortize
+// the expensive Ranks computation across queries.
+func MeanSymDiffRanks(rd *genfunc.RankDist, k int) List {
 	keys := append([]string(nil), rd.Keys()...)
 	sort.SliceStable(keys, func(i, j int) bool {
-		pi, pj := rd.PrTopK(keys[i]), rd.PrTopK(keys[j])
+		pi, pj := rd.PrLE(keys[i], k), rd.PrLE(keys[j], k)
 		if pi != pj {
 			return pi > pj
 		}
@@ -64,7 +71,7 @@ func MeanSymDiff(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
 	if len(keys) > k {
 		keys = keys[:k]
 	}
-	return List(keys), rd, nil
+	return List(keys)
 }
 
 // MedianSymDiff returns a median top-k answer under the normalized
@@ -86,11 +93,18 @@ func MedianSymDiff(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	tau, err := MedianSymDiffRanks(t, rd, k)
+	return tau, rd, err
+}
+
+// MedianSymDiffRanks is MedianSymDiff on a precomputed rank distribution
+// with cutoff rd.K >= k.
+func MedianSymDiffRanks(t *andxor.Tree, rd *genfunc.RankDist, k int) (List, error) {
 	if k > len(t.Keys()) {
 		k = len(t.Keys())
 	}
 	if k == 0 {
-		return List{}, rd, nil
+		return List{}, nil
 	}
 	// Candidate thresholds: every distinct leaf score.
 	scoreSet := map[float64]bool{}
@@ -128,14 +142,14 @@ func MedianSymDiff(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
 		}
 	}
 	if math.IsInf(bestVal, -1) {
-		return nil, nil, fmt.Errorf("topk: tree admits no possible world")
+		return nil, fmt.Errorf("topk: tree admits no possible world")
 	}
 	sort.Slice(bestLeaves, func(i, j int) bool { return bestLeaves[i].Score > bestLeaves[j].Score })
 	out := make(List, len(bestLeaves))
 	for i, l := range bestLeaves {
 		out[i] = l.Key
 	}
-	return out, rd, nil
+	return out, nil
 }
 
 // dpEntry is one row of a node's DP table: the best achievable total
@@ -163,7 +177,7 @@ func medianDP(t *andxor.Tree, rd *genfunc.RankDist, k int, a float64) []dpEntry 
 			}
 			if l.Score >= a {
 				if k >= 1 {
-					tab[1] = dpEntry{val: rd.PrTopK(l.Key) - 0.5, leaves: []types.Leaf{l}}
+					tab[1] = dpEntry{val: rd.PrLE(l.Key, k) - 0.5, leaves: []types.Leaf{l}}
 				}
 			} else {
 				// Below the threshold the leaf is present in the world but
