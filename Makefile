@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt
+# Coverage floor (percent) enforced on the serving-engine packages.
+COVER_FLOOR ?= 60
+COVER_PKGS  ?= ./internal/approx ./internal/engine
+
+.PHONY: all build test race bench lint fmt cover fuzz
 
 all: build test
 
@@ -18,8 +22,24 @@ race:
 
 # Benchmark smoke: one iteration of every benchmark, no tests (-run XXX),
 # proving the bench harness itself stays green without burning CI minutes.
+# -short skips the deliberately slow exact large-tree baseline; drop it
+# locally to measure the exact-vs-approx acceptance ratio.
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x ./...
+	$(GO) test -short -run XXX -bench . -benchtime 1x ./...
+
+# Coverage gate: the adaptive-backend and engine packages must stay above
+# the floor, so new serving code lands with tests.
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$total >= $(COVER_FLOOR)) }" || { \
+		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Fuzz smoke: a short randomized run of the HTTP request-decoding fuzz
+# target, enough to catch decode/validation panics without burning CI time.
+fuzz:
+	$(GO) test ./internal/engine -run XXX -fuzz FuzzHandlerQuery -fuzztime 10s
 
 lint:
 	@fmt_out="$$(gofmt -l .)"; \

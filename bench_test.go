@@ -7,6 +7,7 @@ package consensus
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -465,7 +466,7 @@ func BenchmarkB10MonteCarlo(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := montecarlo.ExpectedValue(tr, func(w *types.World) float64 {
+		if _, err := montecarlo.ExpectedValue(context.Background(), tr, func(w *types.World) float64 {
 			return float64(w.Len())
 		}, 100, rng); err != nil {
 			b.Fatal(err)

@@ -42,6 +42,9 @@ func main() {
 	name := flag.String("name", "default", "registration name of the preloaded tree for serve")
 	workers := flag.Int("workers", 0, "engine worker-pool size for serve (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "engine cache entries for serve (0 = default, negative disables)")
+	mode := flag.String("mode", "", "serve: default evaluation mode for requests that set none: exact | approx | auto")
+	epsilon := flag.Float64("epsilon", 0, "serve: default error-budget half-width for approx/auto requests (0 = library default)")
+	delta := flag.Float64("delta", 0, "serve: default error-budget failure probability (0 = library default)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -64,6 +67,7 @@ func main() {
 		}
 		if err := runServe(serveConfig{
 			addr: *addr, db: dbPath, name: *name, workers: *workers, cache: *cacheSize,
+			mode: *mode, epsilon: *epsilon, delta: *delta,
 		}); err != nil {
 			fail(err)
 		}
@@ -193,7 +197,7 @@ func flagWasSet(name string) bool {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: consensusctl -db <file|-> <mean-world|median-world|size-dist|topk|topk-median|rank|cluster|groupby>")
-	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N]")
+	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N -mode exact|approx|auto -epsilon E -delta D]")
 	os.Exit(2)
 }
 

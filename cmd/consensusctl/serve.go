@@ -16,14 +16,31 @@ type serveConfig struct {
 	name    string // registration name for the preloaded tree
 	workers int
 	cache   int
+	mode    string  // default evaluation mode for requests without one
+	epsilon float64 // default error budget half-width for approx/auto
+	delta   float64 // default error budget failure probability
 }
 
 // runServe starts the HTTP/JSON consensus-serving engine.  It blocks until
 // the listener fails.
 func runServe(cfg serveConfig) error {
+	switch cfg.mode {
+	case "", consensus.ModeExact, consensus.ModeApprox, consensus.ModeAuto:
+	default:
+		return fmt.Errorf("unknown -mode %q (want exact, approx or auto)", cfg.mode)
+	}
+	if cfg.epsilon < 0 {
+		return fmt.Errorf("-epsilon must be non-negative, got %v", cfg.epsilon)
+	}
+	if cfg.delta < 0 || cfg.delta >= 1 {
+		return fmt.Errorf("-delta must lie in [0, 1), got %v", cfg.delta)
+	}
 	eng := consensus.NewEngine(consensus.EngineOptions{
-		Workers:      cfg.workers,
-		CacheEntries: cfg.cache,
+		Workers:        cfg.workers,
+		CacheEntries:   cfg.cache,
+		DefaultMode:    cfg.mode,
+		DefaultEpsilon: cfg.epsilon,
+		DefaultDelta:   cfg.delta,
 	})
 	if cfg.db != "" {
 		tree, err := loadTree(cfg.db)

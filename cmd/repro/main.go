@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,17 +23,27 @@ import (
 )
 
 func main() {
-	id := flag.String("id", "", "run only the experiment with this id (e.g. F1a, E7)")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit arguments and output streams and
+// returns the process exit code, so tests can drive it in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	id := fs.String("id", "", "run only the experiment with this id (e.g. F1a, E7)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	all := experiments.All()
 	if *list {
 		for _, exp := range all {
 			r := exp()
-			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", r.ID, r.Title)
 		}
-		return
+		return 0
 	}
 
 	failed := 0
@@ -44,17 +55,18 @@ func main() {
 			continue
 		}
 		ran++
-		fmt.Println(r.Format())
+		fmt.Fprintln(stdout, r.Format())
 		if !r.Pass {
 			failed++
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "repro: no experiment with id %q\n", *id)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "repro: no experiment with id %q\n", *id)
+		return 2
 	}
-	fmt.Printf("%d experiments, %d failed, %.2fs\n", ran, failed, time.Since(start).Seconds())
+	fmt.Fprintf(stdout, "%d experiments, %d failed, %.2fs\n", ran, failed, time.Since(start).Seconds())
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsEveryExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d (stderr %q)", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) < 15 {
+		t.Fatalf("-list printed %d lines, want the full F*/E* catalogue", len(lines))
+	}
+	row := regexp.MustCompile(`^(F\d+[ab]?|E\d+)\s+\S`)
+	for _, line := range lines {
+		if !row.MatchString(line) {
+			t.Errorf("listing line %q does not look like '<id> <title>'", line)
+		}
+	}
+}
+
+func TestSingleExperimentRuns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-id", "E1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-id E1 exited %d (stderr %q)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "1 experiments, 0 failed") {
+		t.Fatalf("unexpected -id E1 output:\n%s", out)
+	}
+}
+
+func TestFullRunPassesAndSummarizes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("full run exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !regexp.MustCompile(`\d+ experiments, 0 failed`).MatchString(stdout.String()) {
+		t.Fatalf("full run summary missing:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "[FAIL]") {
+		t.Fatalf("full run reports failures:\n%s", stdout.String())
+	}
+}
+
+func TestUnknownIDAndBadFlagsExitNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-id", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-id nope exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nope") {
+		t.Fatalf("stderr %q does not name the unknown id", stderr.String())
+	}
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

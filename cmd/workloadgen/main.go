@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -20,12 +21,26 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "independent", "workload kind: independent | bid | nested | labeled")
-	n := flag.Int("n", 20, "number of tuples")
-	alts := flag.Int("alts", 2, "max alternatives per tuple (bid/nested/labeled)")
-	labels := flag.Int("labels", 3, "number of group labels (labeled)")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit arguments and output streams and
+// returns the process exit code, so tests can drive it in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("kind", "independent", "workload kind: independent | bid | nested | labeled")
+	n := fs.Int("n", 20, "number of tuples")
+	alts := fs.Int("alts", 2, "max alternatives per tuple (bid/nested/labeled)")
+	labels := fs.Int("labels", 3, "number of group labels (labeled)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n < 1 {
+		fmt.Fprintf(stderr, "workloadgen: -n must be positive, got %d\n", *n)
+		return 2
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var tree *andxor.Tree
@@ -39,14 +54,15 @@ func main() {
 	case "labeled":
 		tree = workload.Labeled(rng, *n, *alts, *labels)
 	default:
-		fmt.Fprintf(os.Stderr, "workloadgen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "workloadgen: unknown kind %q\n", *kind)
+		return 2
 	}
 	data, err := tree.MarshalJSON()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "workloadgen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "workloadgen: %v\n", err)
+		return 1
 	}
-	os.Stdout.Write(data)
-	fmt.Println()
+	stdout.Write(data)
+	fmt.Fprintln(stdout)
+	return 0
 }

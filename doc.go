@@ -29,7 +29,12 @@
 //     answers typed requests through a bounded worker pool, and memoizes
 //     the expensive generating-function intermediates in an LRU cache with
 //     singleflight deduplication, so repeated and concurrent queries
-//     against the same tree pay the polynomial inference cost once.
+//     against the same tree pay the polynomial inference cost once;
+//   - an adaptive Monte-Carlo backend: every engine request may carry an
+//     evaluation mode ("exact", "approx", "auto") and an error budget
+//     (epsilon, delta), and the engine either runs the exact algorithms or
+//     worker-sharded sampling with Hoeffding / empirical-Bernstein
+//     stopping, reporting the realized confidence radius in the response.
 //
 // # Quick start
 //
@@ -58,6 +63,30 @@
 //
 // The same engine serves HTTP/JSON via Engine.Handler; `consensusctl
 // serve` wraps it as a ready-made server.
+//
+// # Approximate answers with error budgets
+//
+// The exact generating-function algorithms cost roughly n^2 k^2 operations
+// per rank distribution, which prices very large trees out of interactive
+// serving.  Requests can instead name an error budget and let the engine
+// choose the backend per query:
+//
+//	resp := eng.Query(consensus.Request{
+//		Tree: "db", Op: consensus.OpTopKMean, K: 10,
+//		Mode: consensus.ModeAuto, Epsilon: 0.02, Delta: 0.001,
+//	})
+//	if resp.Approx != nil && resp.Approx.Backend == "approx" {
+//		// *resp.Expected is within resp.Approx.Radius (<= 0.02) of the
+//		// true expectation with probability >= 0.999.
+//	}
+//
+// ModeAuto picks by estimated cost (small trees stay exact and bit-exact;
+// large trees sample), ModeApprox forces sampling, and the same fields
+// ride through the HTTP API ("mode", "epsilon", "delta", "seed") and the
+// `consensusctl serve -mode auto` flags.  Sampled responses carry
+// approx: {backend, radius, samples, epsilon, delta}; exact and sampled
+// intermediates are cached under separate keys, so budgets never collide.
+// Consensus worlds, median top-k and world probabilities are exact-only.
 //
 // See examples/ for runnable end-to-end programs, DESIGN.md for the system
 // inventory and EXPERIMENTS.md for the paper-vs-measured record.

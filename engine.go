@@ -22,6 +22,10 @@ type (
 	Response = engine.Response
 	// Op selects the query kind of a Request.
 	Op = engine.Op
+	// ApproxInfo describes how an approx/auto request was served: the
+	// backend, and for sampled answers the confidence radius, sample
+	// count and effective error budget.
+	ApproxInfo = engine.ApproxInfo
 )
 
 // NewEngine builds an engine; the zero EngineOptions selects GOMAXPROCS
@@ -48,4 +52,14 @@ const (
 	EngineMetricIntersection = engine.MetricIntersection
 	EngineMetricFootrule     = engine.MetricFootrule
 	EngineMetricKendall      = engine.MetricKendall
+)
+
+// Evaluation modes accepted in Request.Mode: the exact generating-function
+// backend (the default), the Monte-Carlo sampling backend with an
+// (epsilon, delta) error budget, or automatic per-request selection by
+// estimated cost.
+const (
+	ModeExact  = engine.ModeExact
+	ModeApprox = engine.ModeApprox
+	ModeAuto   = engine.ModeAuto
 )

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"math/rand"
 
 	"consensus/internal/genfunc"
@@ -18,7 +19,14 @@ type Comparison = montecarlo.Comparison
 // for quantities without a closed form or on databases too large to
 // enumerate.
 func EstimateExpected(t *Tree, f func(*World) float64, samples int, rng *rand.Rand) (Estimate, error) {
-	return montecarlo.ExpectedValue(t, f, samples, rng)
+	return montecarlo.ExpectedValue(context.Background(), t, f, samples, rng)
+}
+
+// EstimateExpectedContext is EstimateExpected with cancellation: the
+// sampling loop stops promptly when ctx is cancelled or its deadline
+// passes, returning the context's error.
+func EstimateExpectedContext(ctx context.Context, t *Tree, f func(*World) float64, samples int, rng *rand.Rand) (Estimate, error) {
+	return montecarlo.ExpectedValue(ctx, t, f, samples, rng)
 }
 
 // CompareAnswers estimates E[fA(pw)] and E[fB(pw)] with common random

@@ -106,4 +106,28 @@ func main() {
 	}
 	stats := eng.Stats()
 	fmt.Printf("engine stats: %d computes, %d cache hits\n", stats.Computes, stats.Hits)
+
+	// Adaptive evaluation: requests may carry an error budget and let the
+	// engine choose between the exact generating functions and Monte-Carlo
+	// sampling per query ("auto").  This tiny tree stays exact; on a tree
+	// with thousands of alternatives the same request switches to sampling
+	// and the response reports the confidence radius actually achieved.
+	budgeted := eng.Query(consensus.Request{
+		Tree: "quickstart", Op: consensus.OpTopKMean, K: 2,
+		Mode: consensus.ModeAuto, Epsilon: 0.02, Delta: 0.001,
+	})
+	if !budgeted.Ok() {
+		log.Fatal(budgeted.Error)
+	}
+	fmt.Printf("\nauto-mode top-2 with budget (eps=0.02, delta=0.001): %v via %s backend\n",
+		budgeted.TopK, budgeted.Approx.Backend)
+	forced := eng.Query(consensus.Request{
+		Tree: "quickstart", Op: consensus.OpTopKMean, K: 2,
+		Mode: consensus.ModeApprox, Epsilon: 0.02, Delta: 0.001,
+	})
+	if !forced.Ok() {
+		log.Fatal(forced.Error)
+	}
+	fmt.Printf("forced sampling: E[d] = %.3f +/- %.3f (%d worlds drawn)\n",
+		*forced.Expected, forced.Approx.Radius, forced.Approx.Samples)
 }

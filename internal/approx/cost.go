@@ -1,0 +1,99 @@
+package approx
+
+// Evaluation modes a request can ask for and backend names reported back.
+const (
+	// ModeExact always runs the exact generating-function algorithms.
+	ModeExact = "exact"
+	// ModeApprox forces the Monte-Carlo backend.
+	ModeApprox = "approx"
+	// ModeAuto lets the engine choose by estimated cost.
+	ModeAuto = "auto"
+
+	// BackendExact / BackendApprox name the backend that actually served
+	// a request, reported in responses.
+	BackendExact  = "exact"
+	BackendApprox = "approx"
+)
+
+// ValidMode reports whether mode is one of the accepted spellings; the
+// empty string means "exact" for backward compatibility.
+func ValidMode(mode string) bool {
+	switch mode {
+	case "", ModeExact, ModeApprox, ModeAuto:
+		return true
+	}
+	return false
+}
+
+// autoMinLeaves is the tree size below which auto mode always stays exact:
+// small trees answer exactly in microseconds and their exact intermediates
+// are reusable across every budget, so sampling buys nothing.
+const autoMinLeaves = 512
+
+// sampleOpCost is the modelled cost of drawing one world relative to one
+// polynomial-coefficient operation of the exact path: a tree walk step
+// (one RNG draw per or-node) plus the rank-scan share, measured at
+// roughly 4x a fused multiply-add on the truncated polynomials.
+const sampleOpCost = 4
+
+// exactRanksCost models the exact rank-distribution cost: n per-leaf
+// generating functions, each walking n leaves and multiplying truncated
+// bivariate polynomials of ~2k coefficients — about 4*n^2*k^2 coefficient
+// operations.
+func exactRanksCost(numLeaves, k int) float64 {
+	n := float64(numLeaves)
+	kk := float64(k)
+	return 4 * n * n * kk * kk
+}
+
+// rankSamples returns the draws Ranks would need under the budget, or 0
+// when the budget is infeasible within max samples.
+func rankSamples(numKeys, k int, b Budget, max int) int {
+	b = b.Normalized()
+	m := 2 * k * numKeys
+	if m < 1 {
+		return 0
+	}
+	n, err := hoeffdingSamples(b.Epsilon, b.Delta/float64(m), max)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ChooseRanks picks the backend for a rank-distribution-driven query
+// (rank-dist itself and the symmetric-difference mean top-k) in auto mode:
+// approximate exactly when the tree is large enough that the modelled
+// sampling cost undercuts the exact generating functions.
+func ChooseRanks(numLeaves, numKeys, k int, b Budget) string {
+	if numLeaves < autoMinLeaves {
+		return BackendExact
+	}
+	samples := rankSamples(numKeys, k, b, DefaultMaxSamples)
+	if samples == 0 {
+		return BackendExact // infeasible budget: let the exact path serve it
+	}
+	if sampleOpCost*float64(samples)*float64(numLeaves) < exactRanksCost(numLeaves, k) {
+		return BackendApprox
+	}
+	return BackendExact
+}
+
+// ChooseSizeDist picks the backend for world-size-distribution queries in
+// auto mode.  The exact path is one untruncated polynomial evaluation
+// (~n^2 coefficient operations), so sampling only wins on huge trees.
+func ChooseSizeDist(numLeaves int, b Budget) string {
+	if numLeaves < autoMinLeaves {
+		return BackendExact
+	}
+	b = b.Normalized()
+	samples, err := hoeffdingSamples(b.Epsilon, b.Delta/float64(numLeaves+1), DefaultMaxSamples)
+	if err != nil {
+		return BackendExact
+	}
+	n := float64(numLeaves)
+	if sampleOpCost*float64(samples)*n < n*n {
+		return BackendApprox
+	}
+	return BackendExact
+}

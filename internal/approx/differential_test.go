@@ -1,0 +1,220 @@
+package approx
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/genfunc"
+	"consensus/internal/topk"
+	"consensus/internal/workload"
+)
+
+// The differential harness cross-checks every sampling estimator against
+// the exact generating-function algorithms on randomly generated and/xor
+// trees, asserting that each estimate lands within its reported confidence
+// radius.  The budget uses delta = 1e-9, so with the seeded RNGs the
+// assertions are deterministic and a failure means a real bug (a biased
+// sampler or an unsound radius), not sampling noise.
+
+var diffBudget = Budget{Epsilon: 0.05, Delta: 1e-9}
+
+// diffTrees generates the differential workload: tuple-independent, BID
+// and deeply nested correlated trees, several seeds each.
+func diffTrees() map[string]*andxor.Tree {
+	out := make(map[string]*andxor.Tree)
+	for seed := int64(1); seed <= 3; seed++ {
+		out[fmt.Sprintf("independent/%d", seed)] = workload.Independent(rand.New(rand.NewSource(seed)), 24)
+		out[fmt.Sprintf("bid/%d", seed)] = workload.BID(rand.New(rand.NewSource(seed)), 18, 3)
+		out[fmt.Sprintf("nested/%d", seed)] = workload.Nested(rand.New(rand.NewSource(seed)), 14, 2)
+	}
+	return out
+}
+
+func TestDifferentialRankDist(t *testing.T) {
+	const k = 5
+	for name, tr := range diffTrees() {
+		t.Run(name, func(t *testing.T) {
+			exact, err := genfunc.Ranks(tr, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := Ranks(context.Background(), tr, k, diffBudget, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Info.Radius > diffBudget.Epsilon {
+				t.Fatalf("reported radius %g exceeds the epsilon budget %g", est.Info.Radius, diffBudget.Epsilon)
+			}
+			for _, key := range exact.Keys() {
+				for i := 1; i <= k; i++ {
+					if d := math.Abs(est.PrEq(key, i) - exact.PrEq(key, i)); d > est.Info.Radius {
+						t.Errorf("Pr(r(%s)=%d): estimate %g is %g from exact %g, radius %g",
+							key, i, est.PrEq(key, i), d, exact.PrEq(key, i), est.Info.Radius)
+					}
+					if d := math.Abs(est.PrLE(key, i) - exact.PrLE(key, i)); d > est.Info.Radius {
+						t.Errorf("Pr(r(%s)<=%d): estimate %g is %g from exact %g, radius %g",
+							key, i, est.PrLE(key, i), d, exact.PrLE(key, i), est.Info.Radius)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialSizeDist(t *testing.T) {
+	for name, tr := range diffTrees() {
+		t.Run(name, func(t *testing.T) {
+			exact := genfunc.WorldSizeDist(tr)
+			est, info, err := SizeDist(context.Background(), tr, diffBudget, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for size := range est {
+				if d := math.Abs(est[size] - exact.Coeff(size)); d > info.Radius {
+					t.Errorf("Pr(|pw|=%d): estimate %g is %g from exact %g, radius %g",
+						size, est[size], d, exact.Coeff(size), info.Radius)
+				}
+			}
+		})
+	}
+}
+
+func TestDifferentialMarginals(t *testing.T) {
+	for name, tr := range diffTrees() {
+		t.Run(name, func(t *testing.T) {
+			exact := tr.KeyMarginals()
+			est, info, err := Marginals(context.Background(), tr, diffBudget, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for key, p := range exact {
+				if d := math.Abs(est[key] - p); d > info.Radius {
+					t.Errorf("Pr(%s present): estimate %g is %g from exact %g, radius %g",
+						key, est[key], d, p, info.Radius)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialMeanSymDiffTopK checks the two-phase sampled mean top-k
+// answer: the phase-two estimate of E[d_Delta(tau, tau_pw)] must land
+// within its radius of the exact expectation of the same answer, and the
+// answer itself must be near-optimal — within 2*epsilon of the true
+// consensus, the bound implied by every phase-one probability being at
+// most epsilon off.
+func TestDifferentialMeanSymDiffTopK(t *testing.T) {
+	const k = 5
+	for name, tr := range diffTrees() {
+		t.Run(name, func(t *testing.T) {
+			rd, err := genfunc.Ranks(tr, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tau, est, err := MeanSymDiffTopK(context.Background(), tr, k, diffBudget, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exactE := topk.ExpectedNormSymDiff(rd, tau, k)
+			if d := math.Abs(est.Value - exactE); d > est.Radius {
+				t.Errorf("E[d_Delta(tau,.)]: estimate %g is %g from exact %g, radius %g",
+					est.Value, d, exactE, est.Radius)
+			}
+			optTau := topk.MeanSymDiffRanks(rd, k)
+			optE := topk.ExpectedNormSymDiff(rd, optTau, k)
+			if exactE > optE+2*diffBudget.Epsilon+1e-12 {
+				t.Errorf("sampled answer %v has expected distance %g, exceeding optimum %g by more than 2*epsilon", tau, exactE, optE)
+			}
+		})
+	}
+}
+
+// TestDifferentialExpectedKendall cross-checks the sampled expected
+// (normalized) Kendall distance against brute-force possible-world
+// enumeration on small independent trees — the quantity the paper itself
+// resorts to sampling for.
+func TestDifferentialExpectedKendall(t *testing.T) {
+	const k = 3
+	for seed := int64(1); seed <= 3; seed++ {
+		tr := workload.Independent(rand.New(rand.NewSource(seed)), 8)
+		rd, err := genfunc.Ranks(tr, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau := topk.MeanSymDiffRanks(rd, k)
+		est, err := ExpectedTopKDistance(context.Background(), tr, tau, k, "kendall", diffBudget, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := enumExpectedKendall(tr, tau, k)
+		if d := math.Abs(est.Value - exact); d > est.Radius {
+			t.Errorf("seed %d: E[d_K]: estimate %g is %g from enumerated %g, radius %g",
+				seed, est.Value, d, exact, est.Radius)
+		}
+	}
+}
+
+// enumExpectedKendall computes E[d_K(tau, tau_pw)] (normalized) exactly by
+// enumerating the 2^n worlds of a small tuple-independent tree.
+func enumExpectedKendall(tr *andxor.Tree, tau topk.List, k int) float64 {
+	leaves := tr.LeafAlternatives()
+	probs := tr.MarginalProbs()
+	n := len(leaves)
+	norm := float64(k * k) // max of Kendall(.,.,0): two disjoint answers
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		p := 1.0
+		w := &worldBuilder{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p *= probs[i]
+				w.add(leaves[i].Key, leaves[i].Score)
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		total += p * topk.Kendall(tau, w.topK(k), 0) / norm
+	}
+	return total
+}
+
+type worldBuilder struct {
+	keys   []string
+	scores []float64
+}
+
+func (w *worldBuilder) add(key string, score float64) {
+	w.keys = append(w.keys, key)
+	w.scores = append(w.scores, score)
+}
+
+func (w *worldBuilder) topK(k int) topk.List {
+	idx := make([]int, len(w.keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < len(idx); i++ { // tiny n: selection sort by score desc
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if w.scores[idx[j]] > w.scores[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make(topk.List, len(idx))
+	for i, j := range idx {
+		out[i] = w.keys[j]
+	}
+	return out
+}

@@ -108,6 +108,70 @@ func BenchmarkEngineBatchMixed(b *testing.B) {
 	}
 }
 
+// largeBenchTree is a tuple-independent database an order of magnitude
+// beyond the exact path's practical size: at 6000 alternatives one exact
+// rank-distribution computation costs ~4*n^2*k^2 coefficient operations
+// (tens of seconds single-threaded), while a few hundred alternatives
+// answer interactively.  The budget matches a dashboard-grade guarantee.
+func largeBenchTree() *andxor.Tree {
+	return workload.Independent(rand.New(rand.NewSource(17)), 6000)
+}
+
+var largeBenchReq = Request{
+	Tree: "big", Op: OpTopKMean, K: benchK,
+	Mode: ModeAuto, Epsilon: 0.05, Delta: 0.001,
+}
+
+// BenchmarkApproxLargeTree is the acceptance benchmark of the adaptive
+// backend: in auto mode the engine routes this tree (>= 10x beyond the
+// exact path's practical size, cf. benchTree's 400 alternatives) to the
+// Monte-Carlo backend and answers in a fraction of the exact cost —
+// compare BenchmarkExactLargeTree, which must be >= 5x slower.  Caching is
+// disabled so every iteration pays the full per-query cost.
+func BenchmarkApproxLargeTree(b *testing.B) {
+	e := New(Options{CacheEntries: -1})
+	if err := e.Register("big", largeBenchTree()); err != nil {
+		b.Fatal(err)
+	}
+	if resp := e.Query(largeBenchReq); !resp.Ok() {
+		b.Fatal(resp.Error)
+	} else if resp.Approx == nil || resp.Approx.Backend != "approx" {
+		b.Fatalf("auto mode served %+v, want the approx backend", resp.Approx)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := e.Query(largeBenchReq); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+}
+
+// BenchmarkExactLargeTree forces the same query through the exact
+// generating-function path on the same tree: the denominator of the
+// acceptance ratio (~23s per iteration vs ~0.6s approx).  It skips in
+// short mode so the CI bench smoke (`make bench`, which passes -short)
+// stays fast; run `go test ./internal/engine -bench LargeTree` to measure
+// the ratio.
+func BenchmarkExactLargeTree(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping the ~23s exact large-tree baseline in short mode")
+	}
+	e := New(Options{CacheEntries: -1})
+	if err := e.Register("big", largeBenchTree()); err != nil {
+		b.Fatal(err)
+	}
+	req := largeBenchReq
+	req.Mode = ModeExact
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := e.Query(req); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+}
+
 // BenchmarkEngineColdRankDist measures the one-time cost a fresh tree pays
 // on its first rank-distribution query (the intermediate the cache then
 // amortizes), including the RanksParallel fan-out.

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"consensus/internal/andxor"
+	"consensus/internal/approx"
 	"consensus/internal/genfunc"
 	"consensus/internal/setconsensus"
 	"consensus/internal/topk"
@@ -41,8 +42,20 @@ type Options struct {
 	// bytes); 0 selects DefaultCacheEntries, negative disables caching.
 	CacheEntries int
 	// RankWorkers is the per-query parallelism of rank-distribution
-	// computations (genfunc.RanksParallel); <= 0 selects GOMAXPROCS.
+	// computations (genfunc.RanksParallel) and of Monte-Carlo sampling
+	// shards; <= 0 selects GOMAXPROCS.
 	RankWorkers int
+
+	// DefaultMode is applied to requests that leave Request.Mode empty:
+	// ModeExact (also the meaning of ""), ModeApprox or ModeAuto.  A
+	// server fronting huge trees typically sets ModeAuto here so plain
+	// clients transparently get the cheaper backend.
+	DefaultMode string
+	// DefaultEpsilon / DefaultDelta are the error budget applied when an
+	// approx/auto request leaves Epsilon/Delta zero; zero falls through
+	// to approx.DefaultEpsilon / approx.DefaultDelta.
+	DefaultEpsilon float64
+	DefaultDelta   float64
 }
 
 // Engine is a concurrent consensus-query service over named trees.  All
@@ -55,6 +68,10 @@ type Engine struct {
 	cache       *cache
 	sem         chan struct{}
 	rankWorkers int
+
+	defaultMode    string
+	defaultEpsilon float64
+	defaultDelta   float64
 }
 
 // treeEntry pins a registered tree together with its registration
@@ -109,11 +126,14 @@ func New(opts Options) *Engine {
 		rankWorkers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		trees:       make(map[string]*treeEntry),
-		nextGen:     1,
-		cache:       newCache(capEntries),
-		sem:         make(chan struct{}, workers),
-		rankWorkers: rankWorkers,
+		trees:          make(map[string]*treeEntry),
+		nextGen:        1,
+		cache:          newCache(capEntries),
+		sem:            make(chan struct{}, workers),
+		rankWorkers:    rankWorkers,
+		defaultMode:    opts.DefaultMode,
+		defaultEpsilon: opts.DefaultEpsilon,
+		defaultDelta:   opts.DefaultDelta,
 	}
 }
 
@@ -217,7 +237,8 @@ func (e *Engine) Query(req Request) Response {
 // QueryContext is Query with cancellation: a request still queued for a
 // pool slot when ctx is cancelled returns an error response instead of
 // blocking (and computing an answer nobody will read).  Cancellation does
-// not interrupt a computation already running.
+// not interrupt an exact computation already running, but the Monte-Carlo
+// backend checks the context between sampling batches and stops promptly.
 func (e *Engine) QueryContext(ctx context.Context, req Request) Response {
 	select {
 	case e.sem <- struct{}{}:
@@ -225,7 +246,7 @@ func (e *Engine) QueryContext(ctx context.Context, req Request) Response {
 		return Response{Tree: req.Tree, Op: req.Op, Error: fmt.Sprintf("engine: %v", ctx.Err())}
 	}
 	defer func() { <-e.sem }()
-	return e.exec(req)
+	return e.exec(ctx, req)
 }
 
 // Do executes a batch of requests, fanning out across the worker pool and
@@ -282,7 +303,7 @@ feed:
 }
 
 // exec runs one request to completion; the caller holds a pool slot.
-func (e *Engine) exec(req Request) Response {
+func (e *Engine) exec(ctx context.Context, req Request) Response {
 	resp := Response{Tree: req.Tree, Op: req.Op}
 	if err := req.validate(); err != nil {
 		resp.Error = err.Error()
@@ -295,7 +316,7 @@ func (e *Engine) exec(req Request) Response {
 		resp.Error = fmt.Sprintf("engine: unknown tree %q", req.Tree)
 		return resp
 	}
-	if err := e.dispatch(&resp, te, req); err != nil {
+	if err := e.dispatch(ctx, &resp, te, req); err != nil {
 		// Drop any partially populated answer fields: an error response
 		// carries the error alone.
 		resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
@@ -309,7 +330,19 @@ func (e *Engine) exec(req Request) Response {
 	return resp
 }
 
-func (e *Engine) dispatch(resp *Response, te *treeEntry, req Request) error {
+func (e *Engine) dispatch(ctx context.Context, resp *Response, te *treeEntry, req Request) error {
+	backend, plan, err := e.backendFor(te, req)
+	if err != nil {
+		return err
+	}
+	if backend == approx.BackendApprox {
+		return e.dispatchApprox(ctx, resp, te, req, plan)
+	}
+	if plan.mode != ModeExact {
+		// The request was backend-aware (approx or auto): report which
+		// backend actually served it.
+		resp.Approx = &ApproxInfo{Backend: approx.BackendExact}
+	}
 	switch req.Op {
 	case OpRankDist:
 		k := clampK(te.tree, req.K)

@@ -399,12 +399,17 @@ func TestOversizedKClampsAndShares(t *testing.T) {
 	}
 	// Rank distributions clamp too (an absurd cutoff must not translate
 	// into absurd allocation), sharing the ranks/{n} intermediate.
-	r3 := mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: 1 << 30}))
+	r3 := mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: maxRequestK}))
 	for key, dist := range r3.Ranks {
 		if len(dist) != n {
 			t.Fatalf("rank dist for %s has %d entries, want clamp to %d", key, len(dist), n)
 		}
 		break
+	}
+	// Beyond the request limit the engine refuses outright rather than
+	// clamping, so adversarial cutoffs never reach a tree at all.
+	if resp := e.Query(Request{Tree: "db", Op: OpRankDist, K: maxRequestK + 1}); resp.Ok() {
+		t.Errorf("k beyond maxRequestK must be rejected, got %+v", resp)
 	}
 }
 

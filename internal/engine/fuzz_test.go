@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"consensus/internal/workload"
+)
+
+// FuzzHandlerQuery feeds arbitrary bodies to POST /v1/query: the handler
+// must never panic, must answer structurally invalid requests (malformed
+// JSON, huge k, negative epsilon, unknown ops/modes) with a 4xx status,
+// and must emit decodable JSON for every accepted request.
+func FuzzHandlerQuery(f *testing.F) {
+	e := New(Options{})
+	if err := e.Register("db", workload.Independent(rand.New(rand.NewSource(1)), 6)); err != nil {
+		f.Fatal(err)
+	}
+	h := e.Handler()
+
+	for _, seed := range []string{
+		`{"tree":"db","op":"topk-mean","k":3}`,
+		`{"tree":"db","op":"rank-dist","k":2,"mode":"approx","epsilon":0.2,"delta":0.1}`,
+		`{"tree":"db","op":"size-dist","mode":"auto"}`,
+		`{"tree":"db","op":"membership","keys":["t1","t9"]}`,
+		`{"tree":"db","op":"topk-mean","k":1073741824}`,
+		`{"tree":"db","op":"rank-dist","k":2,"epsilon":-1}`,
+		`{"tree":"db","op":"rank-dist","k":2,"delta":7}`,
+		`{"tree":"db","op":"rank-dist","k":2,"mode":"psychic"}`,
+		`{"tree":"db","op":"wat"}`,
+		`{"op":"size-dist"}`,
+		`{"tree":"ghost","op":"size-dist"}`,
+		`{"tree":"db","op":"world-prob","world":[{"Key":"t1","Score":1}]}`,
+		`{"tree":"db","op":"topk-mean","k":1e999}`,
+		`not json at all`,
+		`{"tree":`,
+		``,
+		`[]`,
+		`{"tree":"db","op":"topk-mean","k":-5}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		code := rec.Code
+		if code != http.StatusOK && (code < 400 || code >= 500) {
+			t.Fatalf("body %q: status %d, want 200 or 4xx", body, code)
+		}
+		if code == http.StatusOK {
+			var resp Response
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("body %q: 200 response is not a Response: %v (%s)", body, err, rec.Body.Bytes())
+			}
+		} else {
+			var errResp map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil || errResp["error"] == "" {
+				t.Fatalf("body %q: %d response lacks an error message (%s)", body, code, rec.Body.Bytes())
+			}
+		}
+	})
+}
+
+// TestHandlerQueryValidationStatuses pins the boundary the fuzz target
+// relies on: structurally invalid requests are 400s, semantic failures
+// stay 200-with-error.
+func TestHandlerQueryValidationStatuses(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", workload.Independent(rand.New(rand.NewSource(2)), 5)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"tree":"db","op":"topk-mean","k":3}`, http.StatusOK},
+		{`{"tree":"ghost","op":"size-dist"}`, http.StatusOK}, // unknown tree: semantic
+		{`{"tree":"db","op":"topk-mean","k":0}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"topk-mean","k":1073741824}`, http.StatusBadRequest}, // huge k
+		{`{"tree":"db","op":"rank-dist","k":2,"epsilon":-0.1}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"rank-dist","k":2,"delta":1}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"rank-dist","k":2,"mode":"maybe"}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"conjure"}`, http.StatusBadRequest},
+		{`garbage`, http.StatusBadRequest},
+	} {
+		if got := post(tc.body); got != tc.want {
+			t.Errorf("POST %s: status %d, want %d", tc.body, got, tc.want)
+		}
+	}
+}

@@ -28,9 +28,13 @@ const (
 //	GET    /v1/stats          engine statistics
 //	GET    /healthz           liveness probe
 //
-// Query failures are reported in Response.Error with status 200; non-2xx
-// statuses are reserved for transport-level problems (malformed JSON,
-// unknown routes, missing trees on the tree resource endpoints).
+// Structurally invalid single queries (unknown op or mode, k out of
+// range, negative epsilon, delta outside [0, 1)) are rejected with status
+// 400, like malformed JSON.  Semantic failures (unknown trees or tuple
+// keys, infeasible budgets, computation errors) are reported in
+// Response.Error with status 200; other non-2xx statuses are reserved for
+// transport-level problems (unknown routes, oversized bodies, missing
+// trees on the tree resource endpoints).
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -91,6 +95,13 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBytes)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := req.validate(); err != nil {
+			// A structurally bad request (huge k, negative epsilon, bad
+			// mode) is the client's bug: reject it at the transport level
+			// instead of wrapping it in a 200 response.
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}

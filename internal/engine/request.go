@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
+	"consensus/internal/approx"
 	"consensus/internal/types"
 )
 
@@ -36,6 +38,22 @@ const (
 	MetricKendall      = "kendall"
 )
 
+// Evaluation modes accepted in Request.Mode.
+const (
+	// ModeExact runs the exact generating-function algorithms (the
+	// default when Mode is empty and the engine has no default mode).
+	ModeExact = approx.ModeExact
+	// ModeApprox forces the Monte-Carlo sampling backend.
+	ModeApprox = approx.ModeApprox
+	// ModeAuto lets the engine pick the backend by estimated cost.
+	ModeAuto = approx.ModeAuto
+)
+
+// maxRequestK bounds the rank cutoff a request may ask for, keeping
+// adversarially huge k values (which would otherwise be clamped only
+// after a tree lookup) out of the engine entirely.
+const maxRequestK = 1 << 20
+
 // Request is one typed consensus query against a registered tree.
 type Request struct {
 	// Tree is the name the target tree was registered under.
@@ -54,6 +72,22 @@ type Request struct {
 	Keys []string `json:"keys,omitempty"`
 	// World carries the candidate world for OpWorldProb.
 	World []types.Leaf `json:"world,omitempty"`
+
+	// Mode selects the evaluation backend: ModeExact (also the meaning of
+	// the empty string, unless the engine sets a different default),
+	// ModeApprox to force Monte-Carlo sampling, or ModeAuto to let the
+	// engine choose by estimated cost.
+	Mode string `json:"mode,omitempty"`
+	// Epsilon and Delta form the error budget for approx/auto requests:
+	// the sampling backend reports estimates whose confidence radius is
+	// at most Epsilon with probability at least 1-Delta.  Zero selects
+	// the engine defaults (falling back to approx.DefaultEpsilon/Delta).
+	// Exact answers ignore the budget.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	// Seed selects the sampling RNG stream; zero means the engine's
+	// fixed default, so identical requests share cache entries.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Response is the answer to one Request.  Exactly the fields relevant to
@@ -85,6 +119,26 @@ type Response struct {
 	// reason as Expected (a world of probability exactly 0 is a real
 	// answer).
 	Value *float64 `json:"value,omitempty"`
+
+	// Approx describes how an approx/auto request was served; nil on
+	// plain exact requests.
+	Approx *ApproxInfo `json:"approx,omitempty"`
+}
+
+// ApproxInfo reports the backend that served an approx/auto request and,
+// when that backend sampled, the realized accuracy.
+type ApproxInfo struct {
+	// Backend is "exact" or "approx".
+	Backend string `json:"backend"`
+	// Radius is the confidence half-width of the sampled estimates
+	// (simultaneous across the coordinates of vector answers); zero when
+	// Backend is "exact".
+	Radius float64 `json:"radius,omitempty"`
+	// Samples is the number of worlds drawn.
+	Samples int `json:"samples,omitempty"`
+	// Epsilon and Delta echo the effective error budget.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
 }
 
 // ptr boxes a scalar answer for the pointer-valued Response fields.
@@ -103,6 +157,9 @@ func (r *Request) validate() error {
 		if r.K < 1 {
 			return fmt.Errorf("engine: op %q needs a positive k, got %d", r.Op, r.K)
 		}
+		if r.K > maxRequestK {
+			return fmt.Errorf("engine: k = %d exceeds the %d limit", r.K, maxRequestK)
+		}
 	case OpMeanWorld, OpMedianWorld, OpSizeDist, OpMembership, OpWorldProb:
 	case "":
 		return fmt.Errorf("engine: request is missing the op")
@@ -113,6 +170,15 @@ func (r *Request) validate() error {
 		if _, ok := normalizeMetric(r.Metric); !ok {
 			return fmt.Errorf("engine: unknown metric %q", r.Metric)
 		}
+	}
+	if !approx.ValidMode(r.Mode) {
+		return fmt.Errorf("engine: unknown mode %q (want exact, approx or auto)", r.Mode)
+	}
+	if r.Epsilon < 0 || math.IsNaN(r.Epsilon) || math.IsInf(r.Epsilon, 0) {
+		return fmt.Errorf("engine: epsilon %v must be a non-negative finite number", r.Epsilon)
+	}
+	if r.Delta < 0 || r.Delta >= 1 || math.IsNaN(r.Delta) {
+		return fmt.Errorf("engine: delta %v must lie in [0, 1)", r.Delta)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,6 +20,24 @@ import (
 	"consensus/internal/andxor"
 	"consensus/internal/types"
 )
+
+// ctxCheckEvery is how many samples an estimator draws between context
+// checks: often enough that cancellation lands promptly, rarely enough
+// that the check cost disappears next to the sampling itself.
+const ctxCheckEvery = 128
+
+// checkCtx returns the context's error on every ctxCheckEvery-th
+// iteration (including the first, so an already-cancelled context never
+// samples at all).
+func checkCtx(ctx context.Context, i int) error {
+	if i%ctxCheckEvery != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("montecarlo: sampling interrupted: %w", err)
+	}
+	return nil
+}
 
 // Estimate is a sample-mean estimate with uncertainty.
 type Estimate struct {
@@ -47,22 +66,32 @@ func HoeffdingRadius(n int, lo, hi, delta float64) float64 {
 
 // HoeffdingSamples returns the number of samples sufficient for a
 // (1-delta) confidence interval of half-width at most eps for a quantity
-// bounded in [lo, hi].
+// bounded in [lo, hi].  Budgets whose count would not even fit an int64
+// (adversarially tiny eps) are rejected rather than overflowed.
 func HoeffdingSamples(eps, lo, hi, delta float64) (int, error) {
 	if eps <= 0 || hi <= lo || delta <= 0 || delta >= 1 {
 		return 0, fmt.Errorf("montecarlo: need eps > 0, hi > lo, 0 < delta < 1")
 	}
 	n := math.Ceil((hi - lo) * (hi - lo) * math.Log(2/delta) / (2 * eps * eps))
+	if math.IsNaN(n) || n >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("montecarlo: budget (eps=%g, delta=%g) needs %g samples, beyond any feasible run", eps, delta, n)
+	}
 	return int(n), nil
 }
 
-// ExpectedValue estimates E[f(pw)] by drawing samples worlds.
-func ExpectedValue(t *andxor.Tree, f func(*types.World) float64, samples int, rng *rand.Rand) (Estimate, error) {
+// ExpectedValue estimates E[f(pw)] by drawing samples worlds.  It honors
+// ctx: a cancellation or deadline stops the sampling loop promptly and
+// returns the context's error, so callers with timeouts (e.g. serving
+// engines) never keep paying for an answer nobody will read.
+func ExpectedValue(ctx context.Context, t *andxor.Tree, f func(*types.World) float64, samples int, rng *rand.Rand) (Estimate, error) {
 	if samples <= 0 {
 		return Estimate{}, fmt.Errorf("montecarlo: samples must be positive, got %d", samples)
 	}
 	sum, sumSq := 0.0, 0.0
 	for i := 0; i < samples; i++ {
+		if err := checkCtx(ctx, i); err != nil {
+			return Estimate{}, err
+		}
 		v := f(t.Sample(rng))
 		sum += v
 		sumSq += v * v
@@ -122,13 +151,16 @@ func Compare(t *andxor.Tree, fA, fB func(*types.World) float64, samples int, rng
 
 // MarginalEstimates estimates every key's marginal presence probability in
 // one pass; useful as a smoke test of a tree against its analytic
-// marginals.
-func MarginalEstimates(t *andxor.Tree, samples int, rng *rand.Rand) (map[string]float64, error) {
+// marginals.  Like ExpectedValue it stops promptly when ctx is cancelled.
+func MarginalEstimates(ctx context.Context, t *andxor.Tree, samples int, rng *rand.Rand) (map[string]float64, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("montecarlo: samples must be positive, got %d", samples)
 	}
 	counts := make(map[string]int, len(t.Keys()))
 	for i := 0; i < samples; i++ {
+		if err := checkCtx(ctx, i); err != nil {
+			return nil, err
+		}
 		for _, l := range t.Sample(rng).Leaves() {
 			counts[l.Key]++
 		}

@@ -1,9 +1,11 @@
 package montecarlo
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"consensus/internal/exact"
 	"consensus/internal/numeric"
@@ -19,7 +21,7 @@ func TestExpectedValueMatchesExact(t *testing.T) {
 	ws := exact.MustEnumerate(tr)
 	f := func(w *types.World) float64 { return float64(w.Len()) }
 	want := exact.ExpectedOver(ws, f)
-	est, err := ExpectedValue(tr, f, 40000, rand.New(rand.NewSource(1)))
+	est, err := ExpectedValue(context.Background(), tr, f, 40000, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func TestExpectedValueMatchesExact(t *testing.T) {
 
 func TestExpectedValueValidation(t *testing.T) {
 	tr := workload.Independent(rand.New(rand.NewSource(202)), 3)
-	if _, err := ExpectedValue(tr, func(*types.World) float64 { return 0 }, 0, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := ExpectedValue(context.Background(), tr, func(*types.World) float64 { return 0 }, 0, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("samples=0 must error")
 	}
 }
@@ -80,7 +82,7 @@ func TestHoeffdingCoverage(t *testing.T) {
 	rng := rand.New(rand.NewSource(204))
 	misses := 0
 	for r := 0; r < reps; r++ {
-		est, err := ExpectedValue(tr, f, n, rng)
+		est, err := ExpectedValue(context.Background(), tr, f, n, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +158,7 @@ func TestCompareAgreesWithExactOrdering(t *testing.T) {
 func TestMarginalEstimates(t *testing.T) {
 	rng := rand.New(rand.NewSource(207))
 	tr := workload.BID(rng, 6, 2)
-	got, err := MarginalEstimates(tr, 60000, rand.New(rand.NewSource(4)))
+	got, err := MarginalEstimates(context.Background(), tr, 60000, rand.New(rand.NewSource(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +168,41 @@ func TestMarginalEstimates(t *testing.T) {
 			t.Fatalf("marginal %s: sampled %g, exact %g", k, got[k], p)
 		}
 	}
-	if _, err := MarginalEstimates(tr, 0, rand.New(rand.NewSource(4))); err == nil {
+	if _, err := MarginalEstimates(context.Background(), tr, 0, rand.New(rand.NewSource(4))); err == nil {
 		t.Fatal("samples=0 must error")
+	}
+}
+
+// TestCancellationStopsSampling verifies both estimators honor context
+// cancellation: with a sample count that would take minutes to drain, a
+// cancelled context must return its error in well under a second.
+func TestCancellationStopsSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(208))
+	tr := workload.BID(rng, 40, 2)
+	const farTooMany = 1 << 30
+
+	// Already-cancelled context: not a single batch beyond the first
+	// check may run.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := ExpectedValue(cancelled, tr, func(w *types.World) float64 { return float64(w.Len()) }, farTooMany, rng); err == nil {
+		t.Fatal("ExpectedValue with a cancelled context must error")
+	}
+	if _, err := MarginalEstimates(cancelled, tr, farTooMany, rng); err == nil {
+		t.Fatal("MarginalEstimates with a cancelled context must error")
+	}
+
+	// Cancellation arriving mid-loop stops it promptly too.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancelMid()
+	}()
+	if _, err := ExpectedValue(ctx, tr, func(w *types.World) float64 { return float64(w.Len()) }, farTooMany, rng); err == nil {
+		t.Fatal("ExpectedValue must stop when cancelled mid-run")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to stop the sampling loops", elapsed)
 	}
 }

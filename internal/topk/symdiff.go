@@ -16,12 +16,22 @@ func FromWorld(w *types.World, k int) List {
 	return List(w.TopK(k))
 }
 
+// RankSource is the rank-distribution view the symmetric-difference
+// consensus algorithms consume: the covered tuple keys (sorted) and the
+// cumulative rank probabilities Pr(r(t) <= i).  It is satisfied by the
+// exact *genfunc.RankDist and by sampling-based estimates (package
+// internal/approx), so the same Theorem 3/4 code serves both backends.
+type RankSource interface {
+	Keys() []string
+	PrLE(key string, i int) float64
+}
+
 // ExpectedNormSymDiff returns E[d_Delta(tau, tau_pw)] in closed form from a
 // rank distribution with cutoff k (the rewriting in the proof of
 // Theorem 3): E[|tau delta tau_pw|] = sum_{t in tau} Pr(r(t) > k) +
 // sum_{t not in tau} Pr(r(t) <= k), normalized by 2k.  Foreign keys in tau
 // contribute Pr(r(t) > k) = 1.
-func ExpectedNormSymDiff(rd *genfunc.RankDist, tau List, k int) float64 {
+func ExpectedNormSymDiff(rd RankSource, tau List, k int) float64 {
 	e := 0.0
 	for _, key := range rd.Keys() {
 		if tau.Contains(key) {
@@ -59,7 +69,7 @@ func MeanSymDiff(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
 // MeanSymDiffRanks is MeanSymDiff on a precomputed rank distribution with
 // cutoff rd.K >= k, letting callers (notably the serving engine) amortize
 // the expensive Ranks computation across queries.
-func MeanSymDiffRanks(rd *genfunc.RankDist, k int) List {
+func MeanSymDiffRanks(rd RankSource, k int) List {
 	keys := append([]string(nil), rd.Keys()...)
 	sort.SliceStable(keys, func(i, j int) bool {
 		pi, pj := rd.PrLE(keys[i], k), rd.PrLE(keys[j], k)
@@ -99,7 +109,7 @@ func MedianSymDiff(t *andxor.Tree, k int) (List, *genfunc.RankDist, error) {
 
 // MedianSymDiffRanks is MedianSymDiff on a precomputed rank distribution
 // with cutoff rd.K >= k.
-func MedianSymDiffRanks(t *andxor.Tree, rd *genfunc.RankDist, k int) (List, error) {
+func MedianSymDiffRanks(t *andxor.Tree, rd RankSource, k int) (List, error) {
 	if k > len(t.Keys()) {
 		k = len(t.Keys())
 	}
@@ -164,7 +174,7 @@ type dpEntry struct {
 // returns the full root table: entry j holds the best achievable total
 // weight sum (Pr(r(t)<=k) - 1/2) over possible worlds with exactly j
 // leaves of score >= a, with value -Inf when no such world exists.
-func medianDP(t *andxor.Tree, rd *genfunc.RankDist, k int, a float64) []dpEntry {
+func medianDP(t *andxor.Tree, rd RankSource, k int, a float64) []dpEntry {
 	var walk func(n *andxor.Node) []dpEntry // index = size, nil entry = unachievable
 	negInf := math.Inf(-1)
 	walk = func(n *andxor.Node) []dpEntry {
