@@ -3,11 +3,17 @@
 
 GO ?= go
 
-# Coverage floor (percent) enforced on the serving-engine packages.
-COVER_FLOOR ?= 60
-COVER_PKGS  ?= ./internal/approx ./internal/engine
+# Coverage floor (percent) enforced on the serving-engine packages and the
+# query-family packages it wires in (actual coverage ~90%).
+COVER_FLOOR ?= 70
+COVER_PKGS  ?= ./internal/approx ./internal/engine ./internal/rankagg \
+               ./internal/cluster ./internal/aggregate ./internal/spj \
+               ./internal/setconsensus
 
-.PHONY: all build test race bench lint fmt cover fuzz
+# Fixed benchtime so bench.json artifacts are comparable across commits.
+BENCHTIME ?= 20x
+
+.PHONY: all build test race bench bench-json lint fmt cover fuzz vulncheck
 
 all: build test
 
@@ -26,6 +32,18 @@ race:
 # locally to measure the exact-vs-approx acceptance ratio.
 bench:
 	$(GO) test -short -run XXX -bench . -benchtime 1x ./...
+
+# Benchmark regression tracking: run the engine benchmarks with a fixed
+# -benchtime and emit both the raw benchstat-compatible text (bench.txt)
+# and a parsed bench.json; CI uploads both as artifacts on pushes to main
+# so the perf trajectory accumulates.
+# (No pipe here: a redirect keeps `go test`'s exit status visible to make,
+# so a panicking benchmark fails the target instead of shipping a partial
+# artifact.)
+bench-json:
+	$(GO) test -short -run XXX -bench . -benchtime $(BENCHTIME) -count 1 ./internal/engine > bench.txt
+	cat bench.txt
+	$(GO) run ./cmd/benchjson -in bench.txt -out bench.json
 
 # Coverage gate: the adaptive-backend and engine packages must stay above
 # the floor, so new serving code lands with tests.
@@ -47,6 +65,13 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 	$(GO) vet ./...
+
+# Known-vulnerability scan.  Fetches govulncheck at a pinned version, so
+# this target needs network access (CI always has it; offline local runs
+# can skip it).
+GOVULNCHECK_VERSION ?= v1.1.4
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output (the format
+// benchstat consumes) into a machine-readable bench.json, so CI can
+// upload benchmark results as an artifact and the performance trajectory
+// accumulates in a diff-friendly form.  The raw text is kept alongside
+// (CI uploads both), so benchstat comparisons against older runs remain
+// possible.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchtime 20x ./internal/engine | benchjson -out bench.json
+//	benchjson -in bench.txt -out bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name including the -P GOMAXPROCS suffix as
+	// printed by the testing package (e.g. "BenchmarkEngineCachedTopK-8").
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported metric
+	// (ns/op, B/op, allocs/op, and any custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the bench.json document.
+type Report struct {
+	// Context carries the goos/goarch/pkg/cpu header lines.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds the parsed results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run executes the command with explicit streams and returns the exit
+// code, so tests can drive it in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "-", "bench text input path, or - for stdin")
+	out := fs.String("out", "bench.json", "output path, or - for stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var src io.Reader = stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	report, err := Parse(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in input")
+		return 1
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// Parse reads benchstat-format benchmark output: context header lines
+// ("goos: linux"), benchmark result lines ("BenchmarkX-8  100  17 ns/op
+// ..."), and anything else (PASS/ok lines), which is ignored.
+func Parse(r io.Reader) (*Report, error) {
+	report := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				report.Benchmarks = append(report.Benchmarks, *b)
+			}
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			report.Context[key] = strings.TrimSpace(val)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName-P  iters  v1 u1  v2 u2 ..."
+// line; lines that merely start with "Benchmark" without the tab-
+// separated result shape (e.g. a log line) return (nil, nil).
+func parseBenchLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	// A result line has the name, the iteration count, and then (value,
+	// unit) pairs: at least 4 fields, even count.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // not a result line
+	}
+	b := &Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad metric value %q in %q", fields[i], line)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: consensus/internal/engine
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkEngineCachedTopK-8   	   85050	     13295 ns/op	    1234 B/op	      12 allocs/op
+BenchmarkEngineColdTopK-8     	      33	  34012345 ns/op
+PASS
+ok  	consensus/internal/engine	2.184s
+`
+
+func TestParseSample(t *testing.T) {
+	report, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Context["pkg"]; got != "consensus/internal/engine" {
+		t.Errorf("pkg context %q", got)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "BenchmarkEngineCachedTopK-8" || b.Iterations != 85050 {
+		t.Errorf("first benchmark %+v", b)
+	}
+	if b.Metrics["ns/op"] != 13295 || b.Metrics["B/op"] != 1234 || b.Metrics["allocs/op"] != 12 {
+		t.Errorf("metrics %v", b.Metrics)
+	}
+	if report.Benchmarks[1].Metrics["ns/op"] != 34012345 {
+		t.Errorf("second benchmark metrics %v", report.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	report, err := Parse(strings.NewReader("BenchmarkSomething prints a log line\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise", len(report.Benchmarks))
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", out}, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("round-tripped %d benchmarks, want 2", len(report.Benchmarks))
+	}
+}
+
+func TestRunWritesJSONToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", "-"}, strings.NewReader(sample), &stdout, &stderr); code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr.String())
+	}
+	var report Report
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not JSON: %v", err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("stdout carried %d benchmarks, want 2", len(report.Benchmarks))
+	}
+}
+
+func TestRunFailsOnEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", "-"}, strings.NewReader("PASS\n"), &stdout, &stderr); code != 1 {
+		t.Fatalf("exited %d on empty input, want 1", code)
+	}
+}

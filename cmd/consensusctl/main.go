@@ -18,7 +18,12 @@
 // concurrent consensus-serving engine over HTTP/JSON (see package
 // consensus/internal/engine for the endpoint list); -db optionally
 // preloads one tree, and further trees can be registered at runtime with
-// PUT /v1/trees/{name}.
+// PUT /v1/trees/{name}.  The served op set covers every consensus query
+// family of the paper: topk-mean, topk-median, rank-dist, mean-world,
+// median-world, mean-world-jaccard, median-world-jaccard, size-dist,
+// membership, world-prob, clustering-mean, aggregate-mean,
+// aggregate-median, ranking-consensus and spj-eval (the last posts its
+// query and tables inline; see workloadgen -kind spj for a generator).
 package main
 
 import (

@@ -1,5 +1,7 @@
 // Command workloadgen emits synthetic probabilistic databases as and/xor
-// tree JSON on stdout, in the format consensusctl consumes.
+// tree JSON on stdout, in the format consensusctl consumes, plus ready-
+// made engine request payloads for the query families that post their own
+// data (spj-eval).
 //
 // Usage:
 //
@@ -7,9 +9,17 @@
 //	workloadgen -kind bid -n 50 -alts 3
 //	workloadgen -kind nested -n 30
 //	workloadgen -kind labeled -n 40 -alts 2 -labels 5
+//	workloadgen -kind nested-labeled -n 30 -alts 2 -labels 4
+//	workloadgen -kind spj -n 8            # safe R(x),S(x,y) request
+//	workloadgen -kind spj -n 8 -unsafe    # non-hierarchical H0 request
+//
+// The spj kinds emit a complete POST /v1/query body ({"op":"spj-eval",
+// "spj":{...}}) rather than a tree, since SPJ evaluation travels with the
+// request instead of a registered tree.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +27,7 @@ import (
 	"os"
 
 	"consensus/internal/andxor"
+	"consensus/internal/engine"
 	"consensus/internal/workload"
 )
 
@@ -29,10 +40,11 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	kind := fs.String("kind", "independent", "workload kind: independent | bid | nested | labeled")
-	n := fs.Int("n", 20, "number of tuples")
+	kind := fs.String("kind", "independent", "workload kind: independent | bid | nested | labeled | nested-labeled | spj")
+	n := fs.Int("n", 20, "number of tuples (spj: domain values per relation)")
 	alts := fs.Int("alts", 2, "max alternatives per tuple (bid/nested/labeled)")
-	labels := fs.Int("labels", 3, "number of group labels (labeled)")
+	labels := fs.Int("labels", 3, "number of group labels (labeled/nested-labeled)")
+	unsafe := fs.Bool("unsafe", false, "spj: emit the non-hierarchical H0 query instead of a safe one")
 	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -43,6 +55,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *kind == "spj" {
+		// The payload must stay servable.  The engine caps total rows at
+		// engine.MaxSPJRows (this generator emits 2n safe / 3n unsafe
+		// rows), and unsafe queries additionally hit the lineage bindings
+		// bound: H0's three subgoals enumerate n^3 bindings, capped at
+		// engine.MaxSPJBindings.
+		if *unsafe {
+			if max := cbrt(engine.MaxSPJBindings); *n > max {
+				fmt.Fprintf(stderr, "workloadgen: -kind spj -unsafe -n %d would enumerate n^3 > %d lineage bindings, over the engine's limit; use -n <= %d\n",
+					*n, engine.MaxSPJBindings, max)
+				return 2
+			}
+		} else if 2**n > engine.MaxSPJRows {
+			fmt.Fprintf(stderr, "workloadgen: -kind spj -n %d emits %d rows, over the engine's %d-row limit; use -n <= %d\n",
+				*n, 2**n, engine.MaxSPJRows, engine.MaxSPJRows/2)
+			return 2
+		}
+		data, err := json.Marshal(spjRequest(rng, *n, *unsafe))
+		if err != nil {
+			fmt.Fprintf(stderr, "workloadgen: %v\n", err)
+			return 1
+		}
+		stdout.Write(data)
+		fmt.Fprintln(stdout)
+		return 0
+	}
 	var tree *andxor.Tree
 	switch *kind {
 	case "independent":
@@ -53,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tree = workload.Nested(rng, *n, *alts)
 	case "labeled":
 		tree = workload.Labeled(rng, *n, *alts, *labels)
+	case "nested-labeled":
+		tree = workload.NestedLabeled(rng, *n, *alts, *labels)
 	default:
 		fmt.Fprintf(stderr, "workloadgen: unknown kind %q\n", *kind)
 		return 2
@@ -65,4 +105,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stdout.Write(data)
 	fmt.Fprintln(stdout)
 	return 0
+}
+
+// cbrt returns the largest integer whose cube is at most v.
+func cbrt(v int) int {
+	n := 1
+	for (n+1)*(n+1)*(n+1) <= v {
+		n++
+	}
+	return n
+}
+
+// spjRequest builds a complete spj-eval engine request over randomized
+// tuple-independent tables R(x), S(x,y) and (for the unsafe variant) T(y):
+// the safe query is the hierarchical R(x),S(x,y), the unsafe one the
+// canonical non-hierarchical H0 = R(x),S(x,y),T(y) whose evaluation falls
+// back to lineage.
+func spjRequest(rng *rand.Rand, n int, unsafe bool) engine.Request {
+	val := func(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+	tables := map[string][]engine.SPJRow{}
+	for i := 0; i < n; i++ {
+		tables["R"] = append(tables["R"], engine.SPJRow{
+			Vals: []string{val("a", i)}, Prob: 0.05 + 0.9*rng.Float64(),
+		})
+		tables["S"] = append(tables["S"], engine.SPJRow{
+			Vals: []string{val("a", rng.Intn(n)), val("b", rng.Intn(n))}, Prob: 0.05 + 0.9*rng.Float64(),
+		})
+	}
+	query := []engine.SPJSubgoal{
+		{Relation: "R", Args: []engine.SPJTerm{{Var: "x"}}},
+		{Relation: "S", Args: []engine.SPJTerm{{Var: "x"}, {Var: "y"}}},
+	}
+	if unsafe {
+		for i := 0; i < n; i++ {
+			tables["T"] = append(tables["T"], engine.SPJRow{
+				Vals: []string{val("b", i)}, Prob: 0.05 + 0.9*rng.Float64(),
+			})
+		}
+		query = append(query, engine.SPJSubgoal{Relation: "T", Args: []engine.SPJTerm{{Var: "y"}}})
+	}
+	return engine.Request{
+		Op:  engine.OpSPJEval,
+		SPJ: &engine.SPJRequest{Query: query, Tables: tables},
+	}
 }

@@ -2,13 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"consensus/internal/andxor"
+	"consensus/internal/engine"
 )
 
 func TestGeneratesParsableTreeOfRequestedSize(t *testing.T) {
-	for _, kind := range []string{"independent", "bid", "nested", "labeled"} {
+	for _, kind := range []string{"independent", "bid", "nested", "labeled", "nested-labeled"} {
 		var stdout, stderr bytes.Buffer
 		if code := run([]string{"-kind", kind, "-n", "7", "-seed", "3"}, &stdout, &stderr); code != 0 {
 			t.Fatalf("kind %s exited %d (stderr %q)", kind, code, stderr.String())
@@ -39,11 +41,45 @@ func TestDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestSPJKindEmitsServableRequest(t *testing.T) {
+	for _, unsafe := range []bool{false, true} {
+		args := []string{"-kind", "spj", "-n", "4", "-seed", "6"}
+		wantMethod := "safe-plan"
+		if unsafe {
+			args = append(args, "-unsafe")
+			wantMethod = "lineage"
+		}
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("args %v exited %d (stderr %q)", args, code, stderr.String())
+		}
+		var req engine.Request
+		if err := json.Unmarshal(bytes.TrimSpace(stdout.Bytes()), &req); err != nil {
+			t.Fatalf("spj output is not a request: %v", err)
+		}
+		// The emitted payload must be directly servable by an engine.
+		resp := engine.New(engine.Options{}).Query(req)
+		if !resp.Ok() {
+			t.Fatalf("engine rejected generated request: %s", resp.Error)
+		}
+		if resp.Method != wantMethod {
+			t.Fatalf("unsafe=%v served via %q, want %q", unsafe, resp.Method, wantMethod)
+		}
+		if resp.Value == nil || *resp.Value < 0 || *resp.Value > 1 {
+			t.Fatalf("unsafe=%v served probability %v", unsafe, resp.Value)
+		}
+	}
+}
+
 func TestBadInputsExitNonzero(t *testing.T) {
 	for _, args := range [][]string{
 		{"-kind", "wat"},
 		{"-n", "0"},
 		{"-not-a-flag"},
+		// Over the unsafe lineage-bindings cap: 200^3 > 4096.
+		{"-kind", "spj", "-n", "200", "-unsafe"},
+		// Over the engine's row limit for the safe kind: 300*2 = 600 > 512.
+		{"-kind", "spj", "-n", "300"},
 	} {
 		var stdout, stderr bytes.Buffer
 		if code := run(args, &stdout, &stderr); code != 2 {

@@ -246,29 +246,11 @@ func GroupByCountExpectedDistance(p [][]float64, v []float64) (float64, error) {
 // probability 1 (attribute-level uncertainty only, the Section 6.1 model)
 // into the (matrix, group names) form the aggregate functions consume.
 func GroupMatrixFromTree(t *Tree) ([][]float64, []string, error) {
-	keys := t.Keys()
-	groupIdx := map[string]int{}
-	var groups []string
-	for _, l := range t.LeafAlternatives() {
-		if _, ok := groupIdx[l.Label]; !ok {
-			groupIdx[l.Label] = len(groups)
-			groups = append(groups, l.Label)
-		}
-	}
-	rowIdx := map[string]int{}
-	for i, k := range keys {
-		rowIdx[k] = i
-	}
-	p := make([][]float64, len(keys))
-	for i := range p {
-		p[i] = make([]float64, len(groups))
-	}
-	probs := t.MarginalProbs()
-	for i, l := range t.LeafAlternatives() {
-		p[rowIdx[l.Key]][groupIdx[l.Label]] += probs[i]
-	}
-	if err := aggregate.Validate(p); err != nil {
-		return nil, nil, fmt.Errorf("consensus: tree is not a total group assignment: %w", err)
+	p, groups, err := aggregate.MatrixFromTree(t)
+	if err != nil {
+		// Keep the root package's error prefix convention while
+		// preserving the wrapped cause for errors.Is/As.
+		return nil, nil, fmt.Errorf("consensus: %w", err)
 	}
 	return p, groups, nil
 }

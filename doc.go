@@ -25,6 +25,11 @@
 //     top-k, expected rank, expected score) as baselines;
 //   - consensus group-by count answers (Section 6.1) and consensus
 //     clusterings (Section 6.2);
+//   - consensus full rankings via the classical aggregation rules
+//     (Section 2: optimal footrule matching, exact Kemeny, Borda) over
+//     the possible worlds' induced rankings;
+//   - SPJ query evaluation through safe plans (the Dalvi-Suciu
+//     dichotomy), with exact lineage evaluation as the unsafe fallback;
 //   - a concurrent serving engine (NewEngine) that registers trees by name,
 //     answers typed requests through a bounded worker pool, and memoizes
 //     the expensive generating-function intermediates in an LRU cache with
@@ -63,6 +68,53 @@
 //
 // The same engine serves HTTP/JSON via Engine.Handler; `consensusctl
 // serve` wraps it as a ready-made server.
+//
+// # Query families served by the engine
+//
+// Every consensus query family of the paper is one Request.Op, with the
+// cost class the paper's results table assigns it (poly-time exact, or
+// NP-hard/#P-hard with the stated approximation):
+//
+//	op                    family        cost class (paper result)
+//	--------------------  ------------  ----------------------------------------
+//	topk-mean             top-k         poly (Theorems 3, 4, 7; Kendall served
+//	                                    by the footrule 2-approximation)
+//	topk-median           top-k         poly for symdiff (Theorem 6)
+//	mean-world            set           poly (Theorem 2)
+//	median-world          set           poly (Theorem 2)
+//	mean-world-jaccard    set           poly, tuple-independent (Section 4.2)
+//	median-world-jaccard  set           poly, BID (Section 4.2)
+//	ranking-consensus     full ranking  footrule/borda poly per world set;
+//	                                    Kemeny NP-hard, exact DP <= 16 tuples;
+//	                                    world set enumerated or sampled
+//	clustering-mean       clustering    NP-hard (CONSENSUS-CLUSTERING);
+//	                                    exact <= 10 tuples, else CC-Pivot
+//	aggregate-mean        aggregate     poly (linearity of expectation)
+//	aggregate-median      aggregate     exact search <= 12 tuples, else the
+//	                                    deterministic 4-approx (Corollary 2)
+//	spj-eval              SPJ           poly for safe plans (hierarchical,
+//	                                    self-join free); #P-hard otherwise,
+//	                                    served by exact lineage evaluation
+//	rank-dist/size-dist/  primitives    poly (Section 3.3 generating
+//	membership/world-prob               functions)
+//
+// Querying a consensus clustering and an SPJ consensus answer:
+//
+//	resp := eng.Query(consensus.Request{Tree: "db", Op: consensus.OpClusteringMean})
+//	for i, group := range resp.Clusters {
+//		fmt.Println("cluster", i, group) // tuple keys clustered together
+//	}
+//	resp = eng.Query(consensus.Request{Op: consensus.OpSPJEval, SPJ: &consensus.SPJRequest{
+//		Query: []consensus.SPJSubgoal{
+//			{Relation: "R", Args: []consensus.SPJTerm{{Var: "x"}}},
+//			{Relation: "S", Args: []consensus.SPJTerm{{Var: "x"}, {Var: "y"}}},
+//		},
+//		Tables: map[string][]consensus.SPJRow{
+//			"R": {{Vals: []string{"a"}, Prob: 0.5}},
+//			"S": {{Vals: []string{"a", "u"}, Prob: 0.4}},
+//		},
+//	}})
+//	// resp.Value is Pr(q); resp.Method says "safe-plan" or "lineage".
 //
 // # Approximate answers with error budgets
 //

@@ -26,22 +26,52 @@ type (
 	// backend, and for sampled answers the confidence radius, sample
 	// count and effective error budget.
 	ApproxInfo = engine.ApproxInfo
+	// SPJRequest is the payload of an OpSPJEval request: a boolean
+	// conjunctive query plus its tuple-independent probabilistic tables,
+	// posted inline.
+	SPJRequest = engine.SPJRequest
+	// SPJSubgoal is one atom of an SPJRequest query.
+	SPJSubgoal = engine.SPJSubgoal
+	// SPJTerm is a subgoal argument (exactly one of Var/Const set).
+	SPJTerm = engine.SPJTerm
+	// SPJRow is one probabilistic tuple of a posted SPJ table.
+	SPJRow = engine.SPJRow
 )
 
 // NewEngine builds an engine; the zero EngineOptions selects GOMAXPROCS
 // workers and the default cache size.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
-// Request operations served by the engine.
+// Request operations served by the engine, covering every consensus query
+// family of the paper: top-k (mean/median), set answers (symmetric
+// difference and Jaccard), full rankings, clusterings, group-by
+// aggregates, SPJ evaluation, and the probability primitives.
 const (
-	OpTopKMean    = engine.OpTopKMean
-	OpTopKMedian  = engine.OpTopKMedian
-	OpRankDist    = engine.OpRankDist
-	OpMeanWorld   = engine.OpMeanWorld
-	OpMedianWorld = engine.OpMedianWorld
-	OpSizeDist    = engine.OpSizeDist
-	OpMembership  = engine.OpMembership
-	OpWorldProb   = engine.OpWorldProb
+	OpTopKMean           = engine.OpTopKMean
+	OpTopKMedian         = engine.OpTopKMedian
+	OpRankDist           = engine.OpRankDist
+	OpMeanWorld          = engine.OpMeanWorld
+	OpMedianWorld        = engine.OpMedianWorld
+	OpSizeDist           = engine.OpSizeDist
+	OpMembership         = engine.OpMembership
+	OpWorldProb          = engine.OpWorldProb
+	OpMeanWorldJaccard   = engine.OpMeanWorldJaccard
+	OpMedianWorldJaccard = engine.OpMedianWorldJaccard
+	OpClusteringMean     = engine.OpClusteringMean
+	OpAggregateMean      = engine.OpAggregateMean
+	OpAggregateMedian    = engine.OpAggregateMedian
+	OpRankingConsensus   = engine.OpRankingConsensus
+	OpSPJEval            = engine.OpSPJEval
+)
+
+// Aggregation rules accepted in Request.Method for OpRankingConsensus and
+// matrix sources accepted in Request.GroupBy for the aggregate ops.
+const (
+	RankMethodFootrule = engine.MethodFootrule
+	RankMethodKemeny   = engine.MethodKemeny
+	RankMethodBorda    = engine.MethodBorda
+	GroupByRank        = engine.GroupByRank
+	GroupByLabel       = engine.GroupByLabel
 )
 
 // Metric names accepted in Request.Metric for OpTopKMean.  The engine

@@ -239,6 +239,10 @@ func IsPossible(p [][]float64, r []int) (bool, error) {
 	return true, nil
 }
 
+// MaxExactTuples is the largest tuple count ExactMedian accepts; the
+// search is exponential in it.
+const MaxExactTuples = 12
+
 // ExactMedian exhaustively enumerates all m^n support-respecting
 // assignments, deduplicates their count vectors, and returns the possible
 // answer minimizing the expected squared distance.  Exponential; for
@@ -248,8 +252,8 @@ func ExactMedian(p [][]float64) ([]int, float64, error) {
 		return nil, 0, err
 	}
 	n, m := len(p), len(p[0])
-	if n > 12 {
-		return nil, 0, fmt.Errorf("aggregate: exact median limited to 12 tuples, got %d", n)
+	if n > MaxExactTuples {
+		return nil, 0, fmt.Errorf("aggregate: exact median limited to %d tuples, got %d", MaxExactTuples, n)
 	}
 	counts := make([]int, m)
 	best := math.Inf(1)

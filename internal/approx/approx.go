@@ -128,6 +128,26 @@ type Estimate struct {
 	Samples int
 }
 
+// FixedSamples returns the Hoeffding-sufficient sample count for a
+// [0,1]-valued mean under the budget, erroring out when the budget needs
+// more than max draws (<= 0 selects DefaultMaxSamples).  Exposed for
+// callers that sample outside this package (e.g. the engine's consensus-
+// ranking sampler) but want the same budget arithmetic and caps.
+func FixedSamples(b Budget, max int) (int, error) {
+	b = b.Normalized()
+	if max <= 0 {
+		max = DefaultMaxSamples
+	}
+	return hoeffdingSamples(b.Epsilon, b.Delta, max)
+}
+
+// FixedRadius returns the realized (1-delta) confidence half-width of a
+// mean of n samples of a [0,1]-bounded quantity under the budget: the
+// Radius companion of FixedSamples.
+func FixedRadius(n int, b Budget) float64 {
+	return hoeffdingRadius(n, b.Normalized().Delta)
+}
+
 // hoeffdingSamples returns the sample count sufficient for half-width eps
 // on a [0,1]-valued mean at confidence 1-delta (montecarlo owns the
 // formula), erroring out when the budget needs more than max draws.

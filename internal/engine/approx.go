@@ -73,6 +73,17 @@ func (e *Engine) backendFor(te *treeEntry, req Request) (string, approxPlan, err
 			return approx.ChooseRanks(numLeaves, numKeys, clampK(te.tree, req.K), plan.budget), plan, nil
 		case OpSizeDist:
 			return approx.ChooseSizeDist(numLeaves, plan.budget), plan, nil
+		case OpRankingConsensus:
+			// The exact path enumerates the full world distribution, which
+			// grows exponentially with leaf count; small trees stay exact
+			// and bit-reproducible, larger ones sample.  14 leaves bounds
+			// the raw world count by the 2^14 enumeration cap (each leaf at
+			// most doubles the branch count); if an unusual shape still
+			// overflows, dispatch falls back to sampling.
+			if numLeaves <= 14 {
+				return approx.BackendExact, plan, nil
+			}
+			return approx.BackendApprox, plan, nil
 		default: // OpMembership: the exact marginal walk is O(n), always cheaper
 			return approx.BackendExact, plan, nil
 		}
@@ -82,12 +93,13 @@ func (e *Engine) backendFor(te *treeEntry, req Request) (string, approxPlan, err
 }
 
 // approxSupports reports whether the sampling backend can answer the
-// request at all.  Consensus worlds, median top-k and world probabilities
-// stay exact-only: their answers are discrete optimizers, not estimable
-// expectations.
+// request at all.  Consensus worlds (symmetric-difference and Jaccard),
+// median top-k, world probabilities, clusterings, aggregates and SPJ
+// evaluation stay exact-only: their answers are discrete optimizers or
+// closed-form computations, not estimable expectations.
 func approxSupports(req Request) error {
 	switch req.Op {
-	case OpRankDist, OpSizeDist, OpMembership:
+	case OpRankDist, OpSizeDist, OpMembership, OpRankingConsensus:
 		return nil
 	case OpTopKMean:
 		metric, _ := normalizeMetric(req.Metric)
@@ -96,7 +108,7 @@ func approxSupports(req Request) error {
 		}
 		return fmt.Errorf("engine: metric %q has an exact mean algorithm; the approx backend serves symdiff and kendall only", metric)
 	default:
-		return fmt.Errorf("engine: op %q is exact-only; the approx backend serves rank-dist, topk-mean, size-dist and membership", req.Op)
+		return fmt.Errorf("engine: op %q is exact-only; the approx backend serves rank-dist, topk-mean, size-dist, membership and ranking-consensus", req.Op)
 	}
 }
 
@@ -131,9 +143,10 @@ type approxTopK struct {
 	est approx.Estimate
 }
 
-// getSampled is cache.get for sampling computations.  A compute closure
-// captures the first requester's context, so if that requester cancels
-// mid-sampling its cancellation error lands on every singleflight waiter,
+// getSampled is cache.get for context-aware computations (sampling, SPJ
+// evaluation).  A compute closure captures the first requester's context,
+// so if that requester cancels mid-compute its cancellation error lands on
+// every singleflight waiter,
 // including waiters whose own contexts are healthy.  Failed entries are
 // dropped from the cache, so a live waiter simply retries — becoming the
 // new computer under its own context — instead of surfacing a stranger's
@@ -277,6 +290,21 @@ func (e *Engine) dispatchApprox(ctx context.Context, resp *Response, te *treeEnt
 			resp.Probs[key] = p
 		}
 		resp.Approx = approxInfo(res.info.Radius, res.info.Samples, plan)
+		return nil
+
+	case OpRankingConsensus:
+		method, _ := normalizeMethod(req.Method)
+		v, err := e.getSampled(ctx, e.key(te, req.Tree, "%sranking-consensus/%s", prefix, method), func() (any, error) {
+			return sampleRankingConsensus(ctx, te.tree, method, plan)
+		})
+		if err != nil {
+			return err
+		}
+		res := v.(sampledRanking)
+		resp.Ranking = append([]string(nil), res.ranking...)
+		resp.Expected = ptr(res.expected)
+		resp.Method = method + "/sampled"
+		resp.Approx = approxInfo(res.radius, res.samples, plan)
 		return nil
 	}
 	return approxSupports(req)

@@ -56,6 +56,40 @@ func BenchmarkEngineUncachedTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineFamilyMix drives one warm query per consensus family
+// through the engine, the serving-layer cost of the full op surface: all
+// answers come from the cache, so this measures dispatch + response
+// copying across heterogeneous response shapes.
+func BenchmarkEngineFamilyMix(b *testing.B) {
+	e := New(Options{})
+	if err := e.Register("db", workload.Labeled(rand.New(rand.NewSource(8)), 30, 2, 3)); err != nil {
+		b.Fatal(err)
+	}
+	safe, _ := spjFixture()
+	reqs := []Request{
+		{Tree: "db", Op: OpTopKMean, K: 5},
+		{Tree: "db", Op: OpMeanWorld},
+		{Tree: "db", Op: OpClusteringMean},
+		{Tree: "db", Op: OpAggregateMean, K: 5},
+		{Tree: "db", Op: OpRankingConsensus, Mode: ModeAuto},
+		{Op: OpSPJEval, SPJ: safe},
+	}
+	for _, resp := range e.Do(reqs) { // warm every family's cache entry
+		if !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, resp := range e.Do(reqs) {
+			if !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	}
+}
+
 // BenchmarkEngineCachedTopKParallel drives the warm path from parallel
 // clients through the worker pool.
 func BenchmarkEngineCachedTopKParallel(b *testing.B) {

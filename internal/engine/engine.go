@@ -1,19 +1,27 @@
 // Package engine turns the consensus library into a concurrent
 // consensus-query service: it registers and/xor trees by name and serves
-// typed requests (rank distributions, mean/median top-k answers under the
-// Section 5 metrics, consensus worlds, world-size and membership
-// probabilities) through a bounded worker pool.
+// every consensus query family of the paper through a bounded worker
+// pool — rank distributions, mean/median top-k answers under the
+// Section 5 metrics, consensus worlds under the symmetric-difference and
+// Jaccard distances (Section 4), consensus full rankings aggregated with
+// the footrule/Kemeny/Borda rules (Section 2), consensus clusterings
+// (Section 6.2), group-by aggregate answers (Section 6.1), world-size and
+// membership probabilities, and SPJ query evaluation through safe plans
+// with a lineage fallback (the Dalvi-Suciu dichotomy of Section 2).
 //
 // The expensive intermediates behind those queries — the rank
-// distribution of Section 3.3, world-size polynomials and the Upsilon
-// statistics of Section 5.4 — are memoized per tree in an LRU cache with
-// singleflight deduplication, so concurrent requests against the same
-// tree compute each intermediate once and every later query pays only for
-// the cheap final step (a sort or a small assignment problem).
+// distribution of Section 3.3, world-size polynomials, the Upsilon
+// statistics of Section 5.4, co-clustering matrices, enumerated or
+// sampled world-ranking distributions, SPJ lineage probabilities — are
+// memoized per tree in an LRU cache with singleflight deduplication, so
+// concurrent requests against the same tree compute each intermediate
+// once and every later query pays only for the cheap final step (a sort
+// or a small assignment problem).
 package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -309,6 +317,14 @@ func (e *Engine) exec(ctx context.Context, req Request) Response {
 		resp.Error = err.Error()
 		return resp
 	}
+	if req.Op == OpSPJEval {
+		// The query and database travel with the request; no registered
+		// tree (or generation-namespaced cache entry) is involved.
+		if err := e.dispatchSPJ(ctx, &resp, req); err != nil {
+			resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+		}
+		return resp
+	}
 	e.mu.RLock()
 	te, ok := e.trees[req.Tree]
 	e.mu.RUnlock()
@@ -466,8 +482,46 @@ func (e *Engine) dispatch(ctx context.Context, resp *Response, te *treeEntry, re
 		}
 		resp.Value = ptr(andxor.WorldProb(te.tree, w))
 		return nil
+
+	case OpMeanWorldJaccard, OpMedianWorldJaccard:
+		return e.jaccardWorld(resp, te, req)
+
+	case OpClusteringMean:
+		return e.clusteringMean(resp, te, req)
+
+	case OpAggregateMean, OpAggregateMedian:
+		return e.aggregateAnswer(resp, te, req)
+
+	case OpRankingConsensus:
+		err := e.rankingConsensus(resp, te, req)
+		if err != nil && plan.mode == ModeAuto && errors.Is(err, errRankingEnumeration) {
+			// The leaf-count heuristic underestimated the world count (the
+			// enumeration cap is on raw worlds, not leaves); auto mode owns
+			// the backend choice, so degrade to sampling instead of
+			// surfacing an error that tells the client to do exactly that.
+			return e.dispatchApprox(ctx, resp, te, req, plan)
+		}
+		return err
 	}
 	return fmt.Errorf("engine: unknown op %q", req.Op)
+}
+
+// dispatchSPJ answers OpSPJEval.  Mode handling mirrors dispatch: the op
+// is exact-only (a safe plan or lineage evaluation, never sampling), so a
+// forced approx mode is an error and auto/approx-aware requests report the
+// exact backend.
+func (e *Engine) dispatchSPJ(ctx context.Context, resp *Response, req Request) error {
+	mode := effectiveMode(req.Mode, e.defaultMode)
+	switch mode {
+	case ModeExact:
+	case ModeApprox:
+		return approxSupports(req)
+	case ModeAuto:
+		resp.Approx = &ApproxInfo{Backend: approx.BackendExact}
+	default:
+		return fmt.Errorf("engine: unknown mode %q (want exact, approx or auto)", mode)
+	}
+	return e.spjEval(ctx, resp, req)
 }
 
 // topkResult / worldResult are the cached final answers.

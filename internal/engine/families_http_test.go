@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"consensus/internal/aggregate"
+	"consensus/internal/cluster"
+	"consensus/internal/exact"
+	"consensus/internal/rankagg"
+	"consensus/internal/setconsensus"
+	"consensus/internal/spj"
+	"consensus/internal/workload"
+)
+
+// postQuery posts one request body and decodes the Response (status must
+// be 200).
+func postQuery(t *testing.T, srv *httptest.Server, body string) Response {
+	t.Helper()
+	httpResp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d, want 200", body, httpResp.StatusCode)
+	}
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatalf("POST %s: decoding response: %v", body, err)
+	}
+	return resp
+}
+
+// TestHandlerServesEveryFamily drives one query per consensus family over
+// HTTP and checks the served answer against the corresponding internal-
+// package call on the same small trees.
+func TestHandlerServesEveryFamily(t *testing.T) {
+	e := New(Options{})
+	indep := workload.Independent(rand.New(rand.NewSource(21)), 8)
+	labeled := labeledTotal(rand.New(rand.NewSource(22)), 7, 2, 3)
+	if err := e.Register("indep", indep); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("labeled", labeled); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	safeSPJ, _ := spjFixture()
+	spjBody, err := json.Marshal(safeSPJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		family string
+		body   string
+		check  func(t *testing.T, resp Response)
+	}{
+		{"top-k", `{"tree":"indep","op":"topk-mean","k":3}`, func(t *testing.T, resp Response) {
+			res, err := e.topkMean(mustEntry(t, e, "indep"), Request{Tree: "indep", Op: OpTopKMean, K: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp.TopK, []string(res.tau)) {
+				t.Errorf("topk: served %v, library %v", resp.TopK, res.tau)
+			}
+		}},
+		{"set", `{"tree":"indep","op":"mean-world-jaccard"}`, func(t *testing.T, resp Response) {
+			w, exp, err := setconsensus.MeanWorldJaccard(indep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp.World, w.Leaves()) || math.Abs(*resp.Expected-exp) > 1e-12 {
+				t.Errorf("jaccard: served %v (%v), library %v (%v)", resp.World, *resp.Expected, w.Leaves(), exp)
+			}
+		}},
+		{"full ranking", `{"tree":"indep","op":"ranking-consensus","method":"footrule"}`, func(t *testing.T, resp Response) {
+			worlds, err := exact.Enumerate(indep, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rankings := make([][]int, len(worlds))
+			weights := make([]float64, len(worlds))
+			for i, ww := range worlds {
+				rankings[i] = worldRanking(indep, ww.World)
+				weights[i] = ww.Prob
+			}
+			perm, _, err := rankagg.FootruleAggregateWeighted(rankings, weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := indep.Keys()
+			want := make([]string, len(keys))
+			for pos, idx := range perm {
+				want[pos] = keys[idx]
+			}
+			if !reflect.DeepEqual(resp.Ranking, want) {
+				t.Errorf("ranking: served %v, library %v", resp.Ranking, want)
+			}
+		}},
+		{"clustering", `{"tree":"labeled","op":"clustering-mean"}`, func(t *testing.T, resp Response) {
+			ins := cluster.FromTree(labeled)
+			c, exp, err := ins.Exact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp.Clusters, clusterKeys(ins, c)) || math.Abs(*resp.Expected-exp) > 1e-12 {
+				t.Errorf("clustering: served %v (%v), library %v (%v)", resp.Clusters, *resp.Expected, clusterKeys(ins, c), exp)
+			}
+		}},
+		{"aggregate", `{"tree":"labeled","op":"aggregate-median","group_by":"label"}`, func(t *testing.T, resp Response) {
+			p, groups, err := aggregate.MatrixFromTree(labeled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := aggregate.ExactMedian(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp.Groups, groups) || !reflect.DeepEqual(resp.GroupMedian, want) {
+				t.Errorf("aggregate: served %v %v, library %v %v", resp.Groups, resp.GroupMedian, groups, want)
+			}
+		}},
+		{"spj", fmt.Sprintf(`{"op":"spj-eval","spj":%s}`, spjBody), func(t *testing.T, resp Response) {
+			q, db := safeSPJ.compile()
+			want, err := spj.EvalSafe(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Method != "safe-plan" || resp.Value == nil || math.Abs(*resp.Value-want) > 1e-12 {
+				t.Errorf("spj: served %v via %q, library %v via safe-plan", resp.Value, resp.Method, want)
+			}
+		}},
+	} {
+		t.Run(tc.family, func(t *testing.T) {
+			resp := postQuery(t, srv, tc.body)
+			if !resp.Ok() {
+				t.Fatalf("query failed: %s", resp.Error)
+			}
+			tc.check(t, resp)
+		})
+	}
+}
+
+// mustEntry fetches the registered treeEntry backing a name.
+func mustEntry(t *testing.T, e *Engine, name string) *treeEntry {
+	t.Helper()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	te, ok := e.trees[name]
+	if !ok {
+		t.Fatalf("tree %q not registered", name)
+	}
+	return te
+}
+
+// TestHandlerFamilyValidationStatuses pins the 400 boundary for the
+// family-specific request fields: structurally bad values are transport
+// errors, not 200-with-error responses.
+func TestHandlerFamilyValidationStatuses(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", workload.Labeled(rand.New(rand.NewSource(23)), 6, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		// Valid requests per family stay 200 even when semantics fail.
+		{`{"tree":"db","op":"clustering-mean","restarts":5}`, http.StatusOK},
+		{`{"tree":"db","op":"aggregate-mean"}`, http.StatusOK},
+		{`{"tree":"db","op":"mean-world-jaccard"}`, http.StatusOK}, // BID tree: semantic error, still 200
+		{`{"tree":"ghost","op":"ranking-consensus"}`, http.StatusOK},
+		// Malformed family-specific fields are 400s.
+		{`{"tree":"db","op":"ranking-consensus","method":"alchemy"}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"aggregate-mean","group_by":"vibes"}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"aggregate-median","k":-2}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"clustering-mean","restarts":-1}`, http.StatusBadRequest},
+		{`{"tree":"db","op":"clustering-mean","restarts":1000000}`, http.StatusBadRequest},
+		{`{"op":"spj-eval"}`, http.StatusBadRequest},
+		{`{"op":"spj-eval","spj":{"query":[],"tables":{}}}`, http.StatusBadRequest},
+		{`{"op":"spj-eval","spj":{"query":[{"relation":"","args":[{"var":"x"}]}],"tables":{}}}`, http.StatusBadRequest},
+		{`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x","const":"a"}]}],"tables":{}}}`, http.StatusBadRequest},
+		{`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x"}]}],"tables":{"R":[{"vals":["a"],"prob":2}]}}}`, http.StatusBadRequest},
+		{`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x"}]}],"tables":{"R":[{"vals":["a","b"],"prob":0.5}]}}}`, http.StatusBadRequest},
+		{`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x"}]},{"relation":"R","args":[{"var":"x"},{"var":"y"}]}],"tables":{}}}`, http.StatusBadRequest},
+		{`{"op":"clustering-mean"}`, http.StatusBadRequest}, // missing tree outside spj-eval
+	} {
+		httpResp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpResp.Body.Close()
+		if httpResp.StatusCode != tc.want {
+			t.Errorf("POST %s: status %d, want %d", tc.body, httpResp.StatusCode, tc.want)
+		}
+	}
+}

@@ -41,6 +41,20 @@ func FuzzHandlerQuery(f *testing.F) {
 		``,
 		`[]`,
 		`{"tree":"db","op":"topk-mean","k":-5}`,
+		// One well-formed and one malformed payload per query family op.
+		`{"tree":"db","op":"mean-world-jaccard"}`,
+		`{"tree":"db","op":"mean-world-jaccard","mode":"wat"}`,
+		`{"tree":"db","op":"median-world-jaccard","epsilon":-2}`,
+		`{"tree":"db","op":"clustering-mean","restarts":5,"seed":3}`,
+		`{"tree":"db","op":"clustering-mean","restarts":-7}`,
+		`{"tree":"db","op":"aggregate-mean","k":2}`,
+		`{"tree":"db","op":"aggregate-mean","group_by":"vibes"}`,
+		`{"tree":"db","op":"aggregate-median","k":-9}`,
+		`{"tree":"db","op":"ranking-consensus","method":"borda"}`,
+		`{"tree":"db","op":"ranking-consensus","method":"alchemy"}`,
+		`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x"}]}],"tables":{"R":[{"vals":["a"],"prob":0.5}]}}}`,
+		`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x","const":"a"}]}],"tables":{}}}`,
+		`{"op":"spj-eval"}`,
 	} {
 		f.Add([]byte(seed))
 	}

@@ -28,6 +28,33 @@ const (
 	OpMembership Op = "membership"
 	// OpWorldProb asks for the probability of the world in Request.World.
 	OpWorldProb Op = "world-prob"
+	// OpMeanWorldJaccard asks for the mean world under the Jaccard
+	// distance (Section 4.2; tuple-independent trees only).
+	OpMeanWorldJaccard Op = "mean-world-jaccard"
+	// OpMedianWorldJaccard asks for a median world under the Jaccard
+	// distance (Section 4.2; BID trees only).
+	OpMedianWorldJaccard Op = "median-world-jaccard"
+	// OpClusteringMean asks for a consensus clustering of the tree's
+	// tuples by label (Section 6.2): exact partition search on small
+	// instances, CC-Pivot with restarts otherwise.
+	OpClusteringMean Op = "clustering-mean"
+	// OpAggregateMean asks for the mean group-by count answer
+	// (Section 6.1) over a matrix derived from the tree (see
+	// Request.GroupBy).
+	OpAggregateMean Op = "aggregate-mean"
+	// OpAggregateMedian asks for the median group-by count answer: the
+	// exact search on small instances, the closest-possible-answer
+	// 4-approximation (Corollary 2) otherwise.
+	OpAggregateMedian Op = "aggregate-median"
+	// OpRankingConsensus asks for a consensus full ranking of the tree's
+	// tuples (Section 2 aggregation rules over the possible worlds'
+	// induced rankings; see Request.Method).
+	OpRankingConsensus Op = "ranking-consensus"
+	// OpSPJEval asks for the probability of the boolean conjunctive query
+	// posted in Request.SPJ, via a safe plan when one exists and lineage
+	// evaluation otherwise.  It is the only op that needs no registered
+	// tree.
+	OpSPJEval Op = "spj-eval"
 )
 
 // Metric names accepted by OpTopKMean requests.
@@ -36,6 +63,33 @@ const (
 	MetricIntersection = "intersection"
 	MetricFootrule     = "footrule"
 	MetricKendall      = "kendall"
+)
+
+// Aggregation rules accepted in Request.Method for OpRankingConsensus.
+const (
+	// MethodFootrule is optimal footrule aggregation via bipartite
+	// matching (poly-time; 2-approximates the Kemeny optimum).  The
+	// default.
+	MethodFootrule = "footrule"
+	// MethodKemeny is exact Kemeny-optimal aggregation by subset DP
+	// (exponential; limited to rankagg.MaxKemenyExact items).
+	MethodKemeny = "kemeny"
+	// MethodBorda is the Borda-count positional rule (poly-time
+	// heuristic).
+	MethodBorda = "borda"
+)
+
+// Group-by sources accepted in Request.GroupBy for the aggregate ops.
+const (
+	// GroupByRank derives the matrix from the tree's rank distribution:
+	// group j is "the tuple holds rank j", with a final group for tuples
+	// ranked beyond the cutoff or absent.  Works on every tree.  The
+	// default.
+	GroupByRank = "rank"
+	// GroupByLabel groups by the alternatives' Label attribute; the tree
+	// must be a labeled BID tree whose blocks sum to probability 1 (the
+	// Section 6.1 attribute-uncertainty model).
+	GroupByLabel = "label"
 )
 
 // Evaluation modes accepted in Request.Mode.
@@ -53,6 +107,22 @@ const (
 // adversarially huge k values (which would otherwise be clamped only
 // after a tree lookup) out of the engine entirely.
 const maxRequestK = 1 << 20
+
+// Structural bounds on the remaining request knobs, rejecting
+// adversarially expensive payloads before any computation starts.
+const (
+	// maxRestarts bounds the CC-Pivot restarts of OpClusteringMean.
+	maxRestarts = 1 << 14
+	// maxSPJSubgoals / maxSPJArity bound the posted SPJ query shape: the
+	// lineage fallback is exponential in the worst case, so unbounded
+	// payloads would be a denial-of-service vector.
+	maxSPJSubgoals = 8
+	maxSPJArity    = 8
+	// MaxSPJRows bounds the total rows across an SPJ request's tables.
+	// Exported because it is part of the wire contract: generators (see
+	// workloadgen -kind spj) size their payloads against it.
+	MaxSPJRows = 512
+)
 
 // Request is one typed consensus query against a registered tree.
 type Request struct {
@@ -72,6 +142,19 @@ type Request struct {
 	Keys []string `json:"keys,omitempty"`
 	// World carries the candidate world for OpWorldProb.
 	World []types.Leaf `json:"world,omitempty"`
+	// Restarts is the number of CC-Pivot restarts for OpClusteringMean;
+	// zero selects DefaultRestarts.  Ignored when the instance is small
+	// enough for the exact partition search.
+	Restarts int `json:"restarts,omitempty"`
+	// Method selects the aggregation rule for OpRankingConsensus:
+	// MethodFootrule (also the meaning of ""), MethodKemeny or
+	// MethodBorda.
+	Method string `json:"method,omitempty"`
+	// GroupBy selects the matrix source for the aggregate ops:
+	// GroupByRank (also the meaning of "") or GroupByLabel.
+	GroupBy string `json:"group_by,omitempty"`
+	// SPJ carries the query and database of an OpSPJEval request.
+	SPJ *SPJRequest `json:"spj,omitempty"`
 
 	// Mode selects the evaluation backend: ModeExact (also the meaning of
 	// the empty string, unless the engine sets a different default),
@@ -88,6 +171,35 @@ type Request struct {
 	// Seed selects the sampling RNG stream; zero means the engine's
 	// fixed default, so identical requests share cache entries.
 	Seed int64 `json:"seed,omitempty"`
+}
+
+// SPJRequest is the payload of an OpSPJEval request: a boolean
+// conjunctive query over tuple-independent probabilistic tables, both
+// posted inline (no registered tree is involved).
+type SPJRequest struct {
+	// Query is the conjunction of subgoals, existentially quantified
+	// over all variables.
+	Query []SPJSubgoal `json:"query"`
+	// Tables maps relation names to their probabilistic rows.
+	Tables map[string][]SPJRow `json:"tables"`
+}
+
+// SPJSubgoal is one atom R(t1, ..., tn) of the posted query.
+type SPJSubgoal struct {
+	Relation string    `json:"relation"`
+	Args     []SPJTerm `json:"args"`
+}
+
+// SPJTerm is a subgoal argument: exactly one of Var and Const is set.
+type SPJTerm struct {
+	Var   string `json:"var,omitempty"`
+	Const string `json:"const,omitempty"`
+}
+
+// SPJRow is one probabilistic tuple of a posted table.
+type SPJRow struct {
+	Vals []string `json:"vals"`
+	Prob float64  `json:"prob"`
 }
 
 // Response is the answer to one Request.  Exactly the fields relevant to
@@ -115,10 +227,28 @@ type Response struct {
 	World []types.Leaf `json:"world,omitempty"`
 	// Probs maps tuple key -> marginal presence probability.
 	Probs map[string]float64 `json:"probs,omitempty"`
-	// Value is the scalar answer of OpWorldProb; a pointer for the same
-	// reason as Expected (a world of probability exactly 0 is a real
-	// answer).
+	// Value is the scalar answer of OpWorldProb and OpSPJEval; a pointer
+	// for the same reason as Expected (a probability of exactly 0 is a
+	// real answer).
 	Value *float64 `json:"value,omitempty"`
+	// Clusters is the consensus clustering of OpClusteringMean: each
+	// inner slice holds the tuple keys of one cluster, clusters ordered
+	// by first appearance over the sorted keys.
+	Clusters [][]string `json:"clusters,omitempty"`
+	// Groups names the columns of the aggregate answers, aligned with
+	// GroupCounts / GroupMedian.
+	Groups []string `json:"groups,omitempty"`
+	// GroupCounts is the mean group-by count answer (may be fractional).
+	GroupCounts []float64 `json:"group_counts,omitempty"`
+	// GroupMedian is the median (possible) group-by count answer.
+	GroupMedian []int `json:"group_median,omitempty"`
+	// Ranking is the consensus full ranking of OpRankingConsensus: every
+	// tuple key, best first (absent tuples rank below all present ones).
+	Ranking []string `json:"ranking,omitempty"`
+	// Method records which algorithm served ops with several (e.g.
+	// "exact" vs "cc-pivot" clusterings, "safe-plan" vs "lineage" SPJ
+	// evaluation, "footrule/enumerated" vs "footrule/sampled" rankings).
+	Method string `json:"method,omitempty"`
 
 	// Approx describes how an approx/auto request was served; nil on
 	// plain exact requests.
@@ -149,7 +279,7 @@ func (r *Response) Ok() bool { return r.Error == "" }
 
 // validate rejects structurally bad requests before any tree lookup.
 func (r *Request) validate() error {
-	if r.Tree == "" {
+	if r.Tree == "" && r.Op != OpSPJEval {
 		return fmt.Errorf("engine: request is missing the tree name")
 	}
 	switch r.Op {
@@ -160,7 +290,28 @@ func (r *Request) validate() error {
 		if r.K > maxRequestK {
 			return fmt.Errorf("engine: k = %d exceeds the %d limit", r.K, maxRequestK)
 		}
-	case OpMeanWorld, OpMedianWorld, OpSizeDist, OpMembership, OpWorldProb:
+	case OpAggregateMean, OpAggregateMedian:
+		// K is optional here (0 = all ranks) but still bounded.
+		if r.K < 0 || r.K > maxRequestK {
+			return fmt.Errorf("engine: k = %d must lie in [0, %d]", r.K, maxRequestK)
+		}
+		if _, ok := normalizeGroupBy(r.GroupBy); !ok {
+			return fmt.Errorf("engine: unknown group_by %q (want rank or label)", r.GroupBy)
+		}
+	case OpClusteringMean:
+		if r.Restarts < 0 || r.Restarts > maxRestarts {
+			return fmt.Errorf("engine: restarts = %d must lie in [0, %d]", r.Restarts, maxRestarts)
+		}
+	case OpRankingConsensus:
+		if _, ok := normalizeMethod(r.Method); !ok {
+			return fmt.Errorf("engine: unknown method %q (want footrule, kemeny or borda)", r.Method)
+		}
+	case OpSPJEval:
+		if err := r.SPJ.validate(); err != nil {
+			return err
+		}
+	case OpMeanWorld, OpMedianWorld, OpSizeDist, OpMembership, OpWorldProb,
+		OpMeanWorldJaccard, OpMedianWorldJaccard:
 	case "":
 		return fmt.Errorf("engine: request is missing the op")
 	default:
@@ -181,6 +332,82 @@ func (r *Request) validate() error {
 		return fmt.Errorf("engine: delta %v must lie in [0, 1)", r.Delta)
 	}
 	return nil
+}
+
+// validate rejects structurally bad SPJ payloads: the lineage fallback is
+// exponential, so sizes are bounded up front, like k on the rank ops.
+func (s *SPJRequest) validate() error {
+	if s == nil || len(s.Query) == 0 {
+		return fmt.Errorf("engine: op %q needs a non-empty spj.query", OpSPJEval)
+	}
+	if len(s.Query) > maxSPJSubgoals {
+		return fmt.Errorf("engine: spj.query has %d subgoals, limit %d", len(s.Query), maxSPJSubgoals)
+	}
+	arity := map[string]int{}
+	for i, sg := range s.Query {
+		if sg.Relation == "" {
+			return fmt.Errorf("engine: spj.query subgoal %d is missing the relation name", i)
+		}
+		if len(sg.Args) == 0 || len(sg.Args) > maxSPJArity {
+			return fmt.Errorf("engine: spj.query subgoal %d has %d args, want 1..%d", i, len(sg.Args), maxSPJArity)
+		}
+		if prev, ok := arity[sg.Relation]; ok && prev != len(sg.Args) {
+			return fmt.Errorf("engine: spj.query uses relation %q with arities %d and %d", sg.Relation, prev, len(sg.Args))
+		}
+		arity[sg.Relation] = len(sg.Args)
+		for j, t := range sg.Args {
+			if (t.Var == "") == (t.Const == "") {
+				return fmt.Errorf("engine: spj.query subgoal %d arg %d must set exactly one of var and const", i, j)
+			}
+		}
+	}
+	rows := 0
+	for name, table := range s.Tables {
+		rows += len(table)
+		for i, row := range table {
+			if row.Prob < 0 || row.Prob > 1 || math.IsNaN(row.Prob) {
+				return fmt.Errorf("engine: spj.tables[%q] row %d has probability %v", name, i, row.Prob)
+			}
+			// Rows whose arity disagrees with the querying subgoal would
+			// be silently skipped by the evaluators, turning an arity typo
+			// into a confident probability-0 answer; reject them instead.
+			if want, ok := arity[name]; ok && len(row.Vals) != want {
+				return fmt.Errorf("engine: spj.tables[%q] row %d has arity %d, but the query uses %q with arity %d", name, i, len(row.Vals), name, want)
+			}
+		}
+	}
+	if rows > MaxSPJRows {
+		return fmt.Errorf("engine: spj.tables hold %d rows, limit %d", rows, MaxSPJRows)
+	}
+	return nil
+}
+
+// normalizeMethod maps a ranking-consensus method name to its canonical
+// spelling ("" means footrule).
+func normalizeMethod(method string) (string, bool) {
+	switch method {
+	case "", MethodFootrule:
+		return MethodFootrule, true
+	case MethodKemeny:
+		return MethodKemeny, true
+	case MethodBorda:
+		return MethodBorda, true
+	default:
+		return "", false
+	}
+}
+
+// normalizeGroupBy maps an aggregate group_by name to its canonical
+// spelling ("" means rank).
+func normalizeGroupBy(groupBy string) (string, bool) {
+	switch groupBy {
+	case "", GroupByRank:
+		return GroupByRank, true
+	case GroupByLabel:
+		return GroupByLabel, true
+	default:
+		return "", false
+	}
 }
 
 // normalizeMetric maps a request metric name to its canonical spelling.

@@ -87,6 +87,7 @@ func All() []func() Result {
 		E1, E2, E3, E4, E5,
 		E6, E7, E8, E9, E10,
 		E11, E12, E13, E14, E15,
+		E16,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"consensus/internal/assignment"
 )
@@ -119,30 +120,72 @@ func FootruleScore(candidate []int, rankings [][]int) int {
 // t at position p costs sum_r |p - pos_r(t)|.  Dwork et al. proved the
 // footrule optimum 2-approximates the Kemeny optimum.
 func FootruleAggregate(rankings [][]int) ([]int, int, error) {
+	out, total, err := FootruleAggregateWeighted(rankings, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, int(math.Round(total)), nil
+}
+
+// checkWeighted validates the rankings and the weight vector (nil means
+// unit weights) and returns the effective weights.
+func checkWeighted(rankings [][]int, weights []float64) ([]float64, error) {
 	if len(rankings) == 0 {
-		return nil, 0, fmt.Errorf("rankagg: no rankings")
+		return nil, fmt.Errorf("rankagg: no rankings")
+	}
+	n := len(rankings[0])
+	for _, r := range rankings {
+		if err := Validate(r, n); err != nil {
+			return nil, err
+		}
+	}
+	if weights == nil {
+		weights = make([]float64, len(rankings))
+		for i := range weights {
+			weights[i] = 1
+		}
+		return weights, nil
+	}
+	if len(weights) != len(rankings) {
+		return nil, fmt.Errorf("rankagg: %d weights for %d rankings", len(weights), len(rankings))
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rankagg: weight %d is %v, want a non-negative finite number", i, w)
+		}
+	}
+	return weights, nil
+}
+
+// FootruleAggregateWeighted is FootruleAggregate over a weighted ranking
+// distribution: it minimizes sum_r w_r * Footrule(r, candidate).  With
+// weights summing to 1 the objective is the expected footrule distance to
+// a random input ranking — the consensus-ranking objective of the paper,
+// where the inputs are the rankings induced by possible worlds and the
+// weights their probabilities.  A nil weights slice means unit weights.
+func FootruleAggregateWeighted(rankings [][]int, weights []float64) ([]int, float64, error) {
+	weights, err := checkWeighted(rankings, weights)
+	if err != nil {
+		return nil, 0, err
 	}
 	n := len(rankings[0])
 	pos := make([][]int, len(rankings))
 	for i, r := range rankings {
-		if err := Validate(r, n); err != nil {
-			return nil, 0, err
-		}
 		pos[i] = positions(r)
 	}
 	cost := make([][]float64, n) // rows = positions, cols = items
 	for p := 0; p < n; p++ {
 		row := make([]float64, n)
 		for t := 0; t < n; t++ {
-			s := 0
-			for _, pr := range pos {
+			s := 0.0
+			for ri, pr := range pos {
 				d := p - pr[t]
 				if d < 0 {
 					d = -d
 				}
-				s += d
+				s += weights[ri] * float64(d)
 			}
-			row[t] = float64(s)
+			row[t] = s
 		}
 		cost[p] = row
 	}
@@ -154,47 +197,68 @@ func FootruleAggregate(rankings [][]int) ([]int, int, error) {
 	for p, t := range rowTo {
 		out[p] = t
 	}
-	return out, int(math.Round(total)), nil
+	return out, total, nil
 }
 
 // MaxKemenyExact is the largest n KemenyExact accepts (2^n subset DP).
 const MaxKemenyExact = 16
 
 // KemenyExact returns a Kemeny-optimal aggregation by dynamic programming
-// over item subsets: dp[S] is the minimum pair cost of any ordering that
-// places exactly the items of S first.  Appending item i after prefix S
-// incurs w[i][j] for every j in S, where w[i][j] counts input rankings
-// placing i before j (those disagree with j-before-i orderings).
+// over item subsets (see KemenyExactWeighted; with unit weights the costs
+// are exact integers, so the two make identical tie-breaking decisions).
 // Exponential in n; callers should respect MaxKemenyExact.
 func KemenyExact(rankings [][]int) ([]int, int, error) {
-	if len(rankings) == 0 {
-		return nil, 0, fmt.Errorf("rankagg: no rankings")
+	out, total, err := KemenyExactWeighted(rankings, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, int(math.Round(total)), nil
+}
+
+// KemenyExactWeighted is KemenyExact over a weighted ranking
+// distribution: it minimizes sum_r w_r * KendallTau(r, candidate) by the
+// same subset DP with real-valued pair costs.  With weights summing to 1
+// the objective is the expected Kendall distance to a random input.  A nil
+// weights slice means unit weights.
+func KemenyExactWeighted(rankings [][]int, weights []float64) ([]int, float64, error) {
+	weights, err := checkWeighted(rankings, weights)
+	if err != nil {
+		return nil, 0, err
 	}
 	n := len(rankings[0])
 	if n > MaxKemenyExact {
 		return nil, 0, fmt.Errorf("rankagg: n = %d exceeds exact Kemeny limit %d", n, MaxKemenyExact)
 	}
-	for _, r := range rankings {
-		if err := Validate(r, n); err != nil {
-			return nil, 0, err
+	// w[i][j] = total weight of rankings placing i before j; appending i
+	// after a prefix containing j costs w[i][j] (those inputs disagree).
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for ri, r := range rankings {
+		pos := positions(r)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && pos[i] < pos[j] {
+					w[i][j] += weights[ri]
+				}
+			}
 		}
 	}
-	w := prefWeights(rankings, n)
 	size := 1 << n
-	const inf = math.MaxInt32
-	dp := make([]int32, size)
+	dp := make([]float64, size)
 	choice := make([]int8, size)
 	for s := 1; s < size; s++ {
-		dp[s] = inf
+		dp[s] = math.Inf(1)
 		for i := 0; i < n; i++ {
 			if s&(1<<i) == 0 {
 				continue
 			}
 			prev := s &^ (1 << i)
-			add := int32(0)
+			add := 0.0
 			for j := 0; j < n; j++ {
 				if prev&(1<<j) != 0 {
-					add += int32(w[i][j])
+					add += w[i][j]
 				}
 			}
 			if v := dp[prev] + add; v < dp[s] {
@@ -210,7 +274,57 @@ func KemenyExact(rankings [][]int) ([]int, int, error) {
 		out[p] = i
 		s &^= 1 << i
 	}
-	return out, int(dp[size-1]), nil
+	return out, dp[size-1], nil
+}
+
+// BordaWeighted is Borda over a weighted ranking distribution: items are
+// sorted by their weighted total position (with weights summing to 1,
+// their expected rank), ties broken by item id.  A nil weights slice means
+// unit weights.
+func BordaWeighted(rankings [][]int, weights []float64) ([]int, error) {
+	weights, err := checkWeighted(rankings, weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rankings[0])
+	total := make([]float64, n)
+	for ri, r := range rankings {
+		for p, item := range r {
+			total[item] += weights[ri] * float64(p)
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if total[a] != total[b] {
+			return total[a] < total[b]
+		}
+		return a < b
+	})
+	return out, nil
+}
+
+// FootruleScoreWeighted returns sum_r w_r * Footrule(r, candidate), and
+// KendallScoreWeighted the same for the Kendall distance: the objective
+// values the weighted aggregators optimize, usable to score any candidate.
+func FootruleScoreWeighted(candidate []int, rankings [][]int, weights []float64) float64 {
+	s := 0.0
+	for i, r := range rankings {
+		s += weights[i] * float64(Footrule(candidate, r))
+	}
+	return s
+}
+
+// KendallScoreWeighted returns sum_r w_r * KendallTau(r, candidate).
+func KendallScoreWeighted(candidate []int, rankings [][]int, weights []float64) float64 {
+	s := 0.0
+	for i, r := range rankings {
+		s += weights[i] * float64(KendallTau(candidate, r))
+	}
+	return s
 }
 
 // prefWeights returns w[i][j] = number of rankings placing i before j.

@@ -1,0 +1,166 @@
+package rankagg
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"consensus/internal/workload"
+)
+
+// TestWeightedUnitWeightsMatchUnweighted pins the weighted aggregators to
+// their unweighted counterparts when every weight is 1 (and when weights
+// is nil, which means the same thing).
+func TestWeightedUnitWeightsMatchUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		rankings := workload.RandomRankings(rng, 3+rng.Intn(4), n)
+		unit := make([]float64, len(rankings))
+		for i := range unit {
+			unit[i] = 1
+		}
+		for _, weights := range [][]float64{nil, unit} {
+			perm, cost, err := FootruleAggregateWeighted(rankings, weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPerm, wantCost, err := FootruleAggregate(rankings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Both solve the same assignment problem; objective values must
+			// agree even if ties pick different optima.
+			if math.Abs(cost-float64(wantCost)) > 1e-9 {
+				t.Fatalf("footrule weighted cost %v, unweighted %d", cost, wantCost)
+			}
+			if FootruleScore(perm, rankings) != FootruleScore(wantPerm, rankings) {
+				t.Fatalf("footrule optima disagree: %v vs %v", perm, wantPerm)
+			}
+
+			kPerm, kCost, err := KemenyExactWeighted(rankings, weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKPerm, wantKCost, err := KemenyExact(rankings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(kCost-float64(wantKCost)) > 1e-9 {
+				t.Fatalf("kemeny weighted cost %v, unweighted %d", kCost, wantKCost)
+			}
+			if KemenyScore(kPerm, rankings) != KemenyScore(wantKPerm, rankings) {
+				t.Fatalf("kemeny optima disagree: %v vs %v", kPerm, wantKPerm)
+			}
+
+			bPerm, err := BordaWeighted(rankings, weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := Borda(rankings); !reflect.DeepEqual(bPerm, want) {
+				t.Fatalf("borda weighted %v, unweighted %v", bPerm, want)
+			}
+		}
+	}
+}
+
+// TestKemenyExactWeightedIsOptimal cross-checks the weighted DP against
+// brute-force search over all permutations on small instances with random
+// weights.
+func TestKemenyExactWeightedIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		rankings := workload.RandomRankings(rng, 2+rng.Intn(4), n)
+		weights := make([]float64, len(rankings))
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+		perm, cost, err := KemenyExactWeighted(rankings, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := KendallScoreWeighted(perm, rankings, weights); math.Abs(got-cost) > 1e-9 {
+			t.Fatalf("reported cost %v but candidate scores %v", cost, got)
+		}
+		best := math.Inf(1)
+		permute(n, func(candidate []int) {
+			if s := KendallScoreWeighted(candidate, rankings, weights); s < best {
+				best = s
+			}
+		})
+		if math.Abs(cost-best) > 1e-9 {
+			t.Fatalf("weighted kemeny cost %v, brute-force optimum %v", cost, best)
+		}
+	}
+}
+
+// TestFootruleAggregateWeightedIsOptimal does the same for the weighted
+// footrule matching.
+func TestFootruleAggregateWeightedIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		rankings := workload.RandomRankings(rng, 2+rng.Intn(4), n)
+		weights := make([]float64, len(rankings))
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+		_, cost, err := FootruleAggregateWeighted(rankings, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		permute(n, func(candidate []int) {
+			if s := FootruleScoreWeighted(candidate, rankings, weights); s < best {
+				best = s
+			}
+		})
+		if math.Abs(cost-best) > 1e-9 {
+			t.Fatalf("weighted footrule cost %v, brute-force optimum %v", cost, best)
+		}
+	}
+}
+
+// TestWeightedValidation exercises the error paths shared by the weighted
+// aggregators.
+func TestWeightedValidation(t *testing.T) {
+	rankings := [][]int{{0, 1}, {1, 0}}
+	if _, _, err := FootruleAggregateWeighted(rankings, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := KemenyExactWeighted(rankings, []float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := BordaWeighted(rankings, []float64{-1, 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, _, err := FootruleAggregateWeighted(nil, nil); err == nil {
+		t.Error("empty rankings accepted")
+	}
+}
+
+// permute calls f with every permutation of 0..n-1 (Heap's algorithm).
+func permute(n int, f func([]int)) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			f(perm)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	rec(n)
+}

@@ -20,6 +20,7 @@ package spj
 // is exercised in the tests.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -173,6 +174,13 @@ func (db Database) Validate() error {
 // extensionally.  It returns an error when the query is unsafe (has a
 // self-join or is not hierarchical) — use EvalLineage for those.
 func EvalSafe(q *Query, db Database) (float64, error) {
+	return EvalSafeContext(context.Background(), q, db)
+}
+
+// EvalSafeContext is EvalSafe with cooperative cancellation: the plan is
+// polynomial in the database but the recursion over active domains can
+// still be substantial on large inputs, so it checks ctx periodically.
+func EvalSafeContext(ctx context.Context, q *Query, db Database) (float64, error) {
 	if err := db.Validate(); err != nil {
 		return 0, err
 	}
@@ -182,10 +190,29 @@ func EvalSafe(q *Query, db Database) (float64, error) {
 	if !q.IsHierarchical() {
 		return 0, fmt.Errorf("spj: query is not hierarchical (unsafe); evaluation is #P-hard in general, use EvalLineage")
 	}
-	return evalSafe(q, db)
+	st := &evalState{ctx: ctx}
+	return st.evalSafe(q, db)
 }
 
-func evalSafe(q *Query, db Database) (float64, error) {
+// evalState carries the cancellation check counter of one evaluation.
+type evalState struct {
+	ctx  context.Context
+	tick int
+}
+
+// cancelled reports the context error once every 256 calls, keeping the
+// check off the hot path.
+func (st *evalState) cancelled() error {
+	if st.tick++; st.tick&255 == 0 {
+		return st.ctx.Err()
+	}
+	return nil
+}
+
+func (st *evalState) evalSafe(q *Query, db Database) (float64, error) {
+	if err := st.cancelled(); err != nil {
+		return 0, err
+	}
 	if len(q.Subgoals) == 0 {
 		return 1, nil
 	}
@@ -195,7 +222,7 @@ func evalSafe(q *Query, db Database) (float64, error) {
 	if len(comps) > 1 {
 		p := 1.0
 		for _, c := range comps {
-			cp, err := evalSafe(c, db)
+			cp, err := st.evalSafe(c, db)
 			if err != nil {
 				return 0, err
 			}
@@ -219,7 +246,7 @@ func evalSafe(q *Query, db Database) (float64, error) {
 	}
 	p := 1.0
 	for _, a := range activeDomain(q, db, root) {
-		sub, err := evalSafe(substitute(q, root, a), db)
+		sub, err := st.evalSafe(substitute(q, root, a), db)
 		if err != nil {
 			return 0, err
 		}
@@ -368,6 +395,13 @@ func substitute(q *Query, v, a string) *Query {
 // the worst case but correct for every query, including unsafe ones and
 // self-joins; it is the oracle EvalSafe is tested against.
 func EvalLineage(q *Query, db Database) (float64, error) {
+	return EvalLineageContext(context.Background(), q, db)
+}
+
+// EvalLineageContext is EvalLineage with cooperative cancellation, checked
+// both while enumerating satisfying assignments and inside the Shannon
+// expansion; long evaluations abort promptly with the context's error.
+func EvalLineageContext(ctx context.Context, q *Query, db Database) (float64, error) {
 	if err := db.Validate(); err != nil {
 		return 0, err
 	}
@@ -381,8 +415,19 @@ func EvalLineage(q *Query, db Database) (float64, error) {
 		}
 	}
 	var lineage DNF
+	var ctxErr error
+	tick := 0
 	var rec func(i int, binding map[string]string, used Conj)
 	rec = func(i int, binding map[string]string, used Conj) {
+		if ctxErr != nil {
+			return
+		}
+		if tick++; tick&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return
+			}
+		}
 		if i == len(q.Subgoals) {
 			lineage = Or(lineage, DNF{append(Conj{}, used...)})
 			return
@@ -428,7 +473,10 @@ func EvalLineage(q *Query, db Database) (float64, error) {
 		}
 	}
 	rec(0, map[string]string{}, nil)
-	return Prob(lineage, space), nil
+	if ctxErr != nil {
+		return 0, ctxErr
+	}
+	return ProbContext(ctx, lineage, space)
 }
 
 // String renders the query in datalog-ish syntax, e.g.

@@ -14,6 +14,7 @@
 package spj
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -139,6 +140,15 @@ func conjKey(c Conj) string {
 // Prob returns the exact probability of the lineage under the space, by
 // Shannon expansion over blocks with independent-component decomposition.
 func Prob(d DNF, s *Space) float64 {
+	// The background context never cancels, so the error is impossible.
+	p, _ := ProbContext(context.Background(), d, s)
+	return p
+}
+
+// ProbContext is Prob with cooperative cancellation: the Shannon
+// expansion is exponential in the worst case, so long evaluations check
+// ctx periodically and abort with its error.
+func ProbContext(ctx context.Context, d DNF, s *Space) (float64, error) {
 	// Normalize (drops contradictions).
 	var norm DNF
 	for _, c := range d {
@@ -146,22 +156,35 @@ func Prob(d DNF, s *Space) float64 {
 			norm = append(norm, nc)
 		}
 	}
-	memo := map[string]float64{}
-	return probRec(norm, s, memo)
+	st := &probState{ctx: ctx, memo: map[string]float64{}}
+	return st.rec(norm, s)
 }
 
-func probRec(d DNF, s *Space, memo map[string]float64) float64 {
+// probState carries the memo table and the cancellation check counter of
+// one ProbContext evaluation.
+type probState struct {
+	ctx  context.Context
+	memo map[string]float64
+	tick int
+}
+
+func (st *probState) rec(d DNF, s *Space) (float64, error) {
+	if st.tick++; st.tick&255 == 0 {
+		if err := st.ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	if len(d) == 0 {
-		return 0
+		return 0, nil
 	}
 	for _, c := range d {
 		if len(c) == 0 {
-			return 1
+			return 1, nil
 		}
 	}
 	key := dnfKey(d)
-	if v, ok := memo[key]; ok {
-		return v
+	if v, ok := st.memo[key]; ok {
+		return v, nil
 	}
 	// Independent-component decomposition: group conjunctions by connected
 	// components of shared blocks; the probability of the disjunction of
@@ -170,11 +193,15 @@ func probRec(d DNF, s *Space, memo map[string]float64) float64 {
 	if len(comps) > 1 {
 		res := 1.0
 		for _, comp := range comps {
-			res *= 1 - probRec(comp, s, memo)
+			p, err := st.rec(comp, s)
+			if err != nil {
+				return 0, err
+			}
+			res *= 1 - p
 		}
 		res = 1 - res
-		memo[key] = res
-		return res
+		st.memo[key] = res
+		return res, nil
 	}
 	// Shannon expansion on the most frequent block.
 	counts := map[string]int{}
@@ -198,13 +225,21 @@ func probRec(d DNF, s *Space, memo map[string]float64) float64 {
 		if p == 0 {
 			continue
 		}
-		res += p * probRec(condition(d, pivot, alt, true), s, memo)
+		sub, err := st.rec(condition(d, pivot, alt, true), s)
+		if err != nil {
+			return 0, err
+		}
+		res += p * sub
 	}
 	if remaining > 1e-15 {
-		res += remaining * probRec(condition(d, pivot, -1, false), s, memo)
+		sub, err := st.rec(condition(d, pivot, -1, false), s)
+		if err != nil {
+			return 0, err
+		}
+		res += remaining * sub
 	}
-	memo[key] = res
-	return res
+	st.memo[key] = res
+	return res, nil
 }
 
 // condition restricts the DNF to worlds where block either chose alt
