@@ -13,7 +13,7 @@ COVER_PKGS  ?= ./internal/approx ./internal/engine ./internal/rankagg \
 # Fixed benchtime so bench.json artifacts are comparable across commits.
 BENCHTIME ?= 20x
 
-.PHONY: all build test race bench bench-json lint fmt cover fuzz vulncheck
+.PHONY: all build test race bench bench-json bench-compare bench-baseline lint fmt cover fuzz vulncheck
 
 all: build test
 
@@ -44,6 +44,18 @@ bench-json:
 	$(GO) test -short -run XXX -bench . -benchtime $(BENCHTIME) -count 1 ./internal/engine > bench.txt
 	cat bench.txt
 	$(GO) run ./cmd/benchjson -in bench.txt -out bench.json
+
+# Benchmark regression gate: re-run the fixed-benchtime suite and fail on
+# any benchmark more than BENCH_THRESHOLD slower than the committed seed
+# baseline.  Refresh the baseline with `make bench-baseline` when a PR
+# legitimately changes performance.
+BENCH_THRESHOLD ?= 1.20
+bench-compare: bench-json
+	$(GO) run ./cmd/benchjson compare BENCH_baseline.json bench.json -threshold $(BENCH_THRESHOLD)
+
+# Refresh the committed baseline from a fresh fixed-benchtime run.
+bench-baseline: bench-json
+	cp bench.json BENCH_baseline.json
 
 # Coverage gate: the adaptive-backend and engine packages must stay above
 # the floor, so new serving code lands with tests.

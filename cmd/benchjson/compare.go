@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// defaultThreshold is the slowdown factor above which compare fails:
+// new/baseline ratios beyond it count as regressions.
+const defaultThreshold = 1.20
+
+// compareMetric is the metric the gate compares.  Wall time per op is the
+// only metric every benchmark reports and the one the CI gate cares about.
+const compareMetric = "ns/op"
+
+// comparison is the verdict for one benchmark present in the baseline.
+type comparison struct {
+	Name     string
+	Old, New float64 // compareMetric values
+	Ratio    float64 // New/Old; +Inf when Old == 0 and New > 0
+	Missing  bool    // present in baseline, absent from the new report
+}
+
+// Regressed reports whether this benchmark slowed past the threshold.
+// Missing benchmarks are not regressions (they are reported as warnings:
+// a rename or removal should come with a baseline refresh, not a red CI).
+func (c comparison) Regressed(threshold float64) bool {
+	return !c.Missing && c.Ratio > threshold
+}
+
+// runCompare implements `benchjson compare old.json new.json [-threshold
+// f]`.  Flags may appear before or after the two positional paths (the
+// issue-tracker spelling puts them last, which stdlib flag parsing alone
+// would silently ignore).  Exit codes: 0 no regression, 1 regression or
+// I/O error, 2 usage error.
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	threshold := defaultThreshold
+	var paths []string
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: benchjson compare <baseline.json> <new.json> [-threshold ratio]")
+		return 2
+	}
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case arg == "-threshold" || arg == "--threshold":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(stderr, "benchjson compare: -threshold needs a value")
+				return usage()
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(stderr, "benchjson compare: bad threshold %q\n", args[i])
+				return usage()
+			}
+			threshold = v
+		case strings.HasPrefix(arg, "-threshold=") || strings.HasPrefix(arg, "--threshold="):
+			_, val, _ := strings.Cut(arg, "=")
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(stderr, "benchjson compare: bad threshold %q\n", val)
+				return usage()
+			}
+			threshold = v
+		case strings.HasPrefix(arg, "-"):
+			fmt.Fprintf(stderr, "benchjson compare: unknown flag %q\n", arg)
+			return usage()
+		default:
+			paths = append(paths, arg)
+		}
+	}
+	if len(paths) != 2 {
+		return usage()
+	}
+	oldRep, err := loadReport(paths[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson compare: %v\n", err)
+		return 1
+	}
+	newRep, err := loadReport(paths[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson compare: %v\n", err)
+		return 1
+	}
+	comps := Compare(oldRep, newRep)
+	if len(comps) == 0 {
+		fmt.Fprintln(stderr, "benchjson compare: baseline has no benchmarks with a ns/op metric")
+		return 1
+	}
+	regressions := 0
+	for _, c := range comps {
+		switch {
+		case c.Missing:
+			fmt.Fprintf(stdout, "MISSING  %-60s baseline %.0f ns/op, absent from new report\n", c.Name, c.Old)
+		case c.Regressed(threshold):
+			regressions++
+			fmt.Fprintf(stdout, "SLOWER   %-60s %.0f -> %.0f ns/op (%.2fx > %.2fx)\n", c.Name, c.Old, c.New, c.Ratio, threshold)
+		default:
+			fmt.Fprintf(stdout, "ok       %-60s %.0f -> %.0f ns/op (%.2fx)\n", c.Name, c.Old, c.New, c.Ratio)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchjson compare: %d benchmark(s) regressed past %.2fx\n", regressions, threshold)
+		return 1
+	}
+	return 0
+}
+
+// loadReport reads a bench.json document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// Compare pairs every baseline benchmark carrying the compare metric with
+// its counterpart in the new report, in baseline order.  Duplicate names
+// (e.g. -count > 1 runs) use the first occurrence on both sides.
+func Compare(oldRep, newRep *Report) []comparison {
+	newByName := make(map[string]float64, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		v, ok := b.Metrics[compareMetric]
+		if !ok {
+			continue
+		}
+		if _, dup := newByName[b.Name]; !dup {
+			newByName[b.Name] = v
+		}
+	}
+	var out []comparison
+	seen := make(map[string]bool, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		old, ok := b.Metrics[compareMetric]
+		if !ok || seen[b.Name] {
+			continue
+		}
+		seen[b.Name] = true
+		c := comparison{Name: b.Name, Old: old}
+		nv, ok := newByName[b.Name]
+		if !ok {
+			c.Missing = true
+			out = append(out, c)
+			continue
+		}
+		c.New = nv
+		switch {
+		case old > 0:
+			c.Ratio = nv / old
+		case nv > 0:
+			c.Ratio = math.Inf(1) // a zero-time baseline can only get slower
+		default:
+			c.Ratio = 1
+		}
+		out = append(out, c)
+	}
+	return out
+}

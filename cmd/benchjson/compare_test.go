@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(benches ...Benchmark) *Report { return &Report{Benchmarks: benches} }
+
+func bench(name string, nsPerOp float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 100, Metrics: map[string]float64{"ns/op": nsPerOp, "allocs/op": 1}}
+}
+
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareRatios(t *testing.T) {
+	oldRep := report(bench("BenchmarkA-8", 100), bench("BenchmarkB-8", 200), bench("BenchmarkGone-8", 50))
+	newRep := report(bench("BenchmarkA-8", 110), bench("BenchmarkB-8", 500), bench("BenchmarkNew-8", 5))
+	comps := Compare(oldRep, newRep)
+	if len(comps) != 3 {
+		t.Fatalf("want 3 comparisons (baseline order), got %d", len(comps))
+	}
+	if comps[0].Name != "BenchmarkA-8" || comps[0].Ratio != 1.1 {
+		t.Errorf("A: got %+v", comps[0])
+	}
+	if comps[0].Regressed(1.20) {
+		t.Error("a 1.1x ratio must pass a 1.20 threshold")
+	}
+	if !comps[1].Regressed(1.20) || comps[1].Ratio != 2.5 {
+		t.Errorf("B must regress at 2.5x: %+v", comps[1])
+	}
+	if !comps[2].Missing || comps[2].Regressed(1.20) {
+		t.Errorf("Gone must be missing but not a regression: %+v", comps[2])
+	}
+}
+
+func TestCompareSkipsBenchmarksWithoutNsPerOp(t *testing.T) {
+	oldRep := report(Benchmark{Name: "BenchmarkCustom-8", Iterations: 1, Metrics: map[string]float64{"widgets/op": 9}})
+	if comps := Compare(oldRep, report()); len(comps) != 0 {
+		t.Fatalf("metric-less benchmarks must be skipped, got %+v", comps)
+	}
+}
+
+func TestCompareDuplicateNamesUseFirstRun(t *testing.T) {
+	oldRep := report(bench("BenchmarkA-8", 100), bench("BenchmarkA-8", 900))
+	newRep := report(bench("BenchmarkA-8", 120), bench("BenchmarkA-8", 10))
+	comps := Compare(oldRep, newRep)
+	if len(comps) != 1 || comps[0].Ratio != 1.2 {
+		t.Fatalf("duplicates must collapse to the first run: %+v", comps)
+	}
+}
+
+// runCompareCase drives the subcommand end to end through run().
+func runCompareCase(t *testing.T, oldRep, newRep *Report, extra ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	args := []string{"compare",
+		writeReport(t, dir, "old.json", oldRep),
+		writeReport(t, dir, "new.json", newRep)}
+	args = append(args, extra...)
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunComparePasses(t *testing.T) {
+	code, stdout, stderr := runCompareCase(t,
+		report(bench("BenchmarkA-8", 100)), report(bench("BenchmarkA-8", 115)))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "ok") || !strings.Contains(stdout, "1.15x") {
+		t.Fatalf("stdout %q", stdout)
+	}
+}
+
+func TestRunCompareFailsOnRegression(t *testing.T) {
+	code, stdout, stderr := runCompareCase(t,
+		report(bench("BenchmarkA-8", 100), bench("BenchmarkB-8", 100)),
+		report(bench("BenchmarkA-8", 100), bench("BenchmarkB-8", 130)))
+	if code != 1 {
+		t.Fatalf("want exit 1 on a 1.3x slowdown, got %d (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, "SLOWER") || !strings.Contains(stderr, "1 benchmark(s) regressed") {
+		t.Fatalf("stdout %q stderr %q", stdout, stderr)
+	}
+}
+
+func TestRunCompareThresholdFlagAfterPositionals(t *testing.T) {
+	// The documented spelling puts -threshold after the file paths; a 1.3x
+	// slowdown passes once the threshold is raised to 1.5.
+	code, _, stderr := runCompareCase(t,
+		report(bench("BenchmarkA-8", 100)), report(bench("BenchmarkA-8", 130)),
+		"-threshold", "1.5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	// The = spelling and a pre-positional position must work too.
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "o.json", report(bench("BenchmarkA-8", 100)))
+	newPath := writeReport(t, dir, "n.json", report(bench("BenchmarkA-8", 130)))
+	var out, errb bytes.Buffer
+	if code := run([]string{"compare", "--threshold=1.5", oldPath, newPath}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+}
+
+func TestRunCompareMissingBenchmarkWarnsButPasses(t *testing.T) {
+	code, stdout, _ := runCompareCase(t,
+		report(bench("BenchmarkA-8", 100), bench("BenchmarkGone-8", 100)),
+		report(bench("BenchmarkA-8", 100)))
+	if code != 0 {
+		t.Fatalf("missing benchmarks must warn, not fail: exit %d", code)
+	}
+	if !strings.Contains(stdout, "MISSING") {
+		t.Fatalf("stdout %q", stdout)
+	}
+}
+
+func TestRunCompareUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"compare", "only-one.json"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("one positional: want exit 2, got %d", code)
+	}
+	if code := run([]string{"compare", "a.json", "b.json", "-threshold", "nope"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("bad threshold: want exit 2, got %d", code)
+	}
+	if code := run([]string{"compare", "a.json", "b.json", "-wat"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("unknown flag: want exit 2, got %d", code)
+	}
+	if code := run([]string{"compare", "/does/not/exist.json", "b.json"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("unreadable baseline: want exit 1, got %d", code)
+	}
+}
+
+func TestRunCompareEmptyBaselineFails(t *testing.T) {
+	code, _, stderr := runCompareCase(t, report(), report(bench("BenchmarkA-8", 1)))
+	if code != 1 || !strings.Contains(stderr, "no benchmarks") {
+		t.Fatalf("empty baseline must fail: exit %d stderr %q", code, stderr)
+	}
+}

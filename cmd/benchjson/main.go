@@ -5,10 +5,16 @@
 // (CI uploads both), so benchstat comparisons against older runs remain
 // possible.
 //
+// The compare subcommand turns two bench.json files into a regression
+// gate: it exits nonzero when any benchmark shared by both files slowed
+// down by more than the threshold factor, so CI can fail pull requests
+// against a committed baseline.
+//
 // Usage:
 //
 //	go test -run XXX -bench . -benchtime 20x ./internal/engine | benchjson -out bench.json
 //	benchjson -in bench.txt -out bench.json
+//	benchjson compare BENCH_baseline.json bench.json -threshold 1.20
 package main
 
 import (
@@ -49,6 +55,9 @@ func main() {
 // run executes the command with explicit streams and returns the exit
 // code, so tests can drive it in-process.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "-", "bench text input path, or - for stdin")

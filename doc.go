@@ -116,12 +116,27 @@
 //	}})
 //	// resp.Value is Pr(q); resp.Method says "safe-plan" or "lineage".
 //
+// # The compiled exact kernel
+//
+// All exact rank and precedence statistics run on a compiled incremental
+// evaluation kernel (internal/genfunc): each registered tree is flattened
+// once into a postorder instruction array with binarized fan-ins, every
+// evaluation reuses a preallocated polynomial arena (zero steady-state
+// heap allocations), and the per-alternative generating functions of a
+// rank distribution are evaluated as one descending-score batch that
+// re-evaluates only the root paths of the few leaves whose marks change
+// between consecutive alternatives.  A rank-distribution batch therefore
+// costs O(n·depth·log(fan-in)·k^2) coefficient operations instead of the
+// textbook n full-tree passes, and a full precedence matrix costs one
+// incremental sweep per column instead of one tree evaluation per cell —
+// an order-of-magnitude latency drop on cold caches.
+//
 // # Approximate answers with error budgets
 //
-// The exact generating-function algorithms cost roughly n^2 k^2 operations
-// per rank distribution, which prices very large trees out of interactive
-// serving.  Requests can instead name an error budget and let the engine
-// choose the backend per query:
+// Even the compiled kernel's polynomial cost prices the very largest
+// trees out of interactive serving at tight cutoffs.  Requests can
+// instead name an error budget and let the engine choose the backend per
+// query:
 //
 //	resp := eng.Query(consensus.Request{
 //		Tree: "db", Op: consensus.OpTopKMean, K: 10,

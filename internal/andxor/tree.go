@@ -24,9 +24,10 @@ const probSlack = 1e-9
 //     or-node (the key constraint), so no possible world holds two
 //     alternatives of one tuple.
 type Tree struct {
-	root   *Node
-	leaves []*Node  // all leaves in DFS order
-	keys   []string // distinct keys, sorted
+	root     *Node
+	leaves   []*Node      // all leaves in DFS order
+	leafAlts []types.Leaf // parallel to leaves; memoized for the hot loops
+	keys     []string     // distinct keys, sorted
 }
 
 // New validates the DAG-free tree rooted at root and returns it as a Tree.
@@ -45,6 +46,10 @@ func New(root *Node) (*Tree, error) {
 		t.keys = append(t.keys, k)
 	}
 	sort.Strings(t.keys)
+	t.leafAlts = make([]types.Leaf, len(t.leaves))
+	for i, n := range t.leaves {
+		t.leafAlts[i] = n.leaf
+	}
 	return t, nil
 }
 
@@ -146,13 +151,11 @@ func (t *Tree) Root() *Node { return t.root }
 func (t *Tree) Leaves() []*Node { return t.leaves }
 
 // LeafAlternatives returns the tuple alternatives at the leaves, in
-// depth-first order (parallel to Leaves).
+// depth-first order (parallel to Leaves).  The slice is built once at
+// validation time and shared across calls — it sits inside the hottest
+// loops (rank kernels, score validation) — so callers must not modify it.
 func (t *Tree) LeafAlternatives() []types.Leaf {
-	out := make([]types.Leaf, len(t.leaves))
-	for i, n := range t.leaves {
-		out[i] = n.leaf
-	}
-	return out
+	return t.leafAlts
 }
 
 // Keys returns the distinct tuple keys appearing in the tree, sorted.

@@ -133,14 +133,40 @@ func TestCancellationStopsEstimators(t *testing.T) {
 
 func TestChooseRanks(t *testing.T) {
 	b := Budget{}
-	if got := ChooseRanks(100, 100, 10, b); got != BackendExact {
+	if got := ChooseRanks(100, 100, 10, 0, b); got != BackendExact {
 		t.Errorf("small tree chose %q, want exact", got)
 	}
-	if got := ChooseRanks(20000, 20000, 10, b); got != BackendApprox {
-		t.Errorf("huge tree chose %q, want approx", got)
+	// The compiled incremental kernel answers a default-budget k=10 query
+	// on 20000 balanced leaves cheaper than the tight sampling bill, so
+	// auto mode now stays exact where the old recursive-evaluator model
+	// sampled.
+	if got := ChooseRanks(20000, 20000, 10, 0, b); got != BackendExact {
+		t.Errorf("huge balanced tree under a tight budget chose %q, want exact (compiled kernel)", got)
+	}
+	// A degenerate chain-shaped tree of the same size has leaf-to-root
+	// paths of length ~n, so the incremental kernel loses its edge and
+	// sampling wins again.
+	if got := ChooseRanks(20000, 20000, 10, 20000, b); got != BackendApprox {
+		t.Errorf("huge chain tree chose %q, want approx", got)
+	}
+	// So does a key-sparse tree (2 keys x 10000 alternatives): the
+	// kernel's same-key exclusion churn is quadratic there even though
+	// its paths are short.
+	if got := ChooseRanks(20000, 2, 10, 0, b); got != BackendApprox {
+		t.Errorf("key-sparse tree chose %q, want approx", got)
+	}
+	// A loose budget makes sampling cheap enough to beat even the
+	// compiled kernel on a huge tree.
+	if got := ChooseRanks(20000, 20000, 10, 0, Budget{Epsilon: 0.1, Delta: 0.05}); got != BackendApprox {
+		t.Errorf("huge tree under a loose budget chose %q, want approx", got)
+	}
+	// So does a large cutoff: exact cost grows with k^2, the sample count
+	// only with log k.
+	if got := ChooseRanks(20000, 20000, 100, 0, b); got != BackendApprox {
+		t.Errorf("huge tree with large cutoff chose %q, want approx", got)
 	}
 	// An infeasible budget must fall back to exact rather than fail later.
-	if got := ChooseRanks(20000, 20000, 10, Budget{Epsilon: 1e-19, Delta: 0.1}); got != BackendExact {
+	if got := ChooseRanks(20000, 20000, 10, 0, Budget{Epsilon: 1e-19, Delta: 0.1}); got != BackendExact {
 		t.Errorf("infeasible budget chose %q, want exact", got)
 	}
 }

@@ -1,5 +1,7 @@
 package approx
 
+import "math"
+
 // Evaluation modes a request can ask for and backend names reported back.
 const (
 	// ModeExact always runs the exact generating-function algorithms.
@@ -36,14 +38,32 @@ const autoMinLeaves = 512
 // roughly 4x a fused multiply-add on the truncated polynomials.
 const sampleOpCost = 4
 
-// exactRanksCost models the exact rank-distribution cost: n per-leaf
-// generating functions, each walking n leaves and multiplying truncated
-// bivariate polynomials of ~2k coefficients — about 4*n^2*k^2 coefficient
-// operations.
-func exactRanksCost(numLeaves, k int) float64 {
+// exactRanksCost models the exact rank-distribution cost of the compiled
+// incremental kernel (genfunc.Compile): the n per-leaf generating
+// functions are evaluated as one descending-score batch where each step
+// re-evaluates the root paths of its dirty leaves, each path node costing
+// at most ~4k^2 coefficient operations.  Two terms bound the dirty-leaf
+// count: ~4n updates from the moving y-mark and the once-per-leaf
+// threshold crossings, plus the same-key exclusion churn — every step
+// restores the previous key's higher-scored alternatives and re-excludes
+// the current key's, ~n^2/numKeys updates over the batch, which is what
+// makes a 2-key tree with thousands of alternatives per key quadratic
+// again even though its paths are short.  pathLen is the compiled
+// program's longest leaf-to-root path (genfunc.Program.MaxPathLen):
+// log2(n) on balanced trees but up to n on degenerate chains; <= 0
+// assumes a balanced tree.  Versus the old recursive evaluator's
+// 4*n^2*k^2 the exact cost is far lower on wide many-key trees, moving
+// the auto-mode crossover: sampling now only wins on huge, very deep, or
+// key-sparse trees, large cutoffs, or loose budgets.
+func exactRanksCost(numLeaves, numKeys, pathLen, k int) float64 {
 	n := float64(numLeaves)
+	pl := float64(pathLen)
+	if pathLen <= 0 {
+		pl = math.Log2(n + 1)
+	}
 	kk := float64(k)
-	return 4 * n * n * kk * kk
+	updates := 4*n + n*n/math.Max(float64(numKeys), 1)
+	return 4 * updates * pl * kk * kk
 }
 
 // rankSamples returns the draws Ranks would need under the budget, or 0
@@ -64,8 +84,10 @@ func rankSamples(numKeys, k int, b Budget, max int) int {
 // ChooseRanks picks the backend for a rank-distribution-driven query
 // (rank-dist itself and the symmetric-difference mean top-k) in auto mode:
 // approximate exactly when the tree is large enough that the modelled
-// sampling cost undercuts the exact generating functions.
-func ChooseRanks(numLeaves, numKeys, k int, b Budget) string {
+// sampling cost undercuts the exact compiled kernel.  pathLen is the
+// compiled tree's longest leaf-to-root instruction path (0 assumes a
+// balanced tree).
+func ChooseRanks(numLeaves, numKeys, k, pathLen int, b Budget) string {
 	if numLeaves < autoMinLeaves {
 		return BackendExact
 	}
@@ -73,7 +95,7 @@ func ChooseRanks(numLeaves, numKeys, k int, b Budget) string {
 	if samples == 0 {
 		return BackendExact // infeasible budget: let the exact path serve it
 	}
-	if sampleOpCost*float64(samples)*float64(numLeaves) < exactRanksCost(numLeaves, k) {
+	if sampleOpCost*float64(samples)*float64(numLeaves) < exactRanksCost(numLeaves, numKeys, pathLen, k) {
 		return BackendApprox
 	}
 	return BackendExact

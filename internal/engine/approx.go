@@ -70,7 +70,11 @@ func (e *Engine) backendFor(te *treeEntry, req Request) (string, approxPlan, err
 			if metric, _ := normalizeMetric(req.Metric); req.Op == OpTopKMean && metric != MetricSymDiff {
 				return approx.BackendExact, plan, nil
 			}
-			return approx.ChooseRanks(numLeaves, numKeys, clampK(te.tree, req.K), plan.budget), plan, nil
+			// The compiled program's longest leaf-to-root path prices the
+			// incremental kernel honestly on deep (chain-shaped) trees,
+			// which would otherwise be underestimated by orders of
+			// magnitude and wrongly routed exact.
+			return approx.ChooseRanks(numLeaves, numKeys, clampK(te.tree, req.K), te.program().MaxPathLen(), plan.budget), plan, nil
 		case OpSizeDist:
 			return approx.ChooseSizeDist(numLeaves, plan.budget), plan, nil
 		case OpRankingConsensus:

@@ -102,6 +102,20 @@ type treeEntry struct {
 	// after the retirer's purge ran; they re-purge on completion when they
 	// see the flag, so no dead-generation entry outlives its last reader.
 	retired atomic.Bool
+
+	// prog is the tree compiled for the incremental generating-function
+	// kernel, built on first use and shared by every rank/precedence/size
+	// query of this generation (a Program is immutable and
+	// concurrency-safe; per-query state lives in evaluation arenas).
+	progOnce sync.Once
+	prog     *genfunc.Program
+}
+
+// program returns the entry's compiled kernel program, compiling on first
+// use.
+func (te *treeEntry) program() *genfunc.Program {
+	te.progOnce.Do(func() { te.prog = genfunc.Compile(te.tree) })
+	return te.prog
 }
 
 // Stats is a snapshot of engine activity.
@@ -445,7 +459,7 @@ func (e *Engine) dispatch(ctx context.Context, resp *Response, te *treeEntry, re
 
 	case OpSizeDist:
 		v, err := e.cache.get(e.key(te, req.Tree, "size-dist"), func() (any, error) {
-			return []float64(genfunc.WorldSizeDist(te.tree)), nil
+			return []float64(te.program().WorldSizeDist()), nil
 		})
 		if err != nil {
 			return err
@@ -581,7 +595,7 @@ func (e *Engine) topkMean(te *treeEntry, req Request) (topkResult, error) {
 // exactly k, recording the cutoff so ranksAtLeast can find it later.
 func (e *Engine) ranks(te *treeEntry, name string, k int) (*genfunc.RankDist, error) {
 	v, err := e.cache.get(e.key(te, name, "ranks/%d", k), func() (any, error) {
-		return genfunc.RanksParallel(te.tree, k, e.rankWorkers)
+		return te.program().RanksParallel(k, e.rankWorkers)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,256 @@
+package genfunc
+
+import "slices"
+
+// arena holds one truncated bivariate polynomial slot per instruction of a
+// Program, plus the current leaf assignment and the dirty bookkeeping for
+// incremental re-evaluation.  All buffers are allocated at construction;
+// steady-state evaluation (setLeaf / flush / rootCoeff cycles) performs
+// zero heap allocations.
+//
+// Slot layout: instruction i's coefficient of x^xd y^yd lives at
+// vals[i*sz + yd*w + xd] with w = xcap+1 and sz = w*(ycap+1).  Each y-row
+// additionally records an effective length in lens (coefficients at or
+// beyond the length are identically zero and never read), so products cost
+// O(len_a·len_b) like the legacy size-matched polynomials instead of
+// O(cap²); this is what keeps untruncated world-size evaluations linear in
+// actual degrees.
+type arena struct {
+	p          *Program
+	xcap, ycap int
+	w, sz      int
+
+	vals []float64
+	lens []int32 // instruction i, row y -> lens[i*(ycap+1)+y]
+
+	xdeg, ydeg []int32 // current assignment per leaf
+
+	dirty   []int32 // pending instruction ids, unsorted
+	isDirty []bool
+}
+
+func newArena(p *Program, xcap, ycap int) *arena {
+	w := xcap + 1
+	sz := w * (ycap + 1)
+	return &arena{
+		p:       p,
+		xcap:    xcap,
+		ycap:    ycap,
+		w:       w,
+		sz:      sz,
+		vals:    make([]float64, len(p.insts)*sz),
+		lens:    make([]int32, len(p.insts)*(ycap+1)),
+		xdeg:    make([]int32, len(p.leaves)),
+		ydeg:    make([]int32, len(p.leaves)),
+		dirty:   make([]int32, 0, len(p.insts)),
+		isDirty: make([]bool, len(p.insts)),
+	}
+}
+
+// reset zeroes the assignment of every leaf and fully re-evaluates.
+func (ar *arena) reset() {
+	for i := range ar.xdeg {
+		ar.xdeg[i] = 0
+		ar.ydeg[i] = 0
+	}
+	ar.evalFull()
+}
+
+// evalFull recomputes every instruction bottom-up and clears dirty state.
+func (ar *arena) evalFull() {
+	for i := range ar.p.insts {
+		ar.recompute(int32(i))
+		ar.isDirty[i] = false
+	}
+	ar.dirty = ar.dirty[:0]
+}
+
+// setLeaf updates one leaf's assignment and marks its root path dirty.
+// No-op when the assignment is unchanged.
+func (ar *arena) setLeaf(leaf int32, xd, yd int32) {
+	if ar.xdeg[leaf] == xd && ar.ydeg[leaf] == yd {
+		return
+	}
+	ar.xdeg[leaf] = xd
+	ar.ydeg[leaf] = yd
+	// Mark the leaf's instruction and every ancestor.  Stop at the first
+	// already-dirty node: its own marking already queued the rest of the
+	// path.
+	for n := ar.p.leafNode[leaf]; n >= 0 && !ar.isDirty[n]; n = ar.p.insts[n].parent {
+		ar.isDirty[n] = true
+		ar.dirty = append(ar.dirty, n)
+	}
+}
+
+// setGeneric applies the standard rank-kernel mark to a leaf: x when the
+// leaf outscores the current alternative and belongs to a different key,
+// nothing otherwise.
+func (ar *arena) setGeneric(leaf int32, score float64, kid int32) {
+	if ar.p.leaves[leaf].Score > score && ar.p.keyID[leaf] != kid {
+		ar.setLeaf(leaf, 1, 0)
+	} else {
+		ar.setLeaf(leaf, 0, 0)
+	}
+}
+
+// flush re-evaluates the dirty instructions in postorder.  Ascending
+// instruction id is a topological order (children always precede parents),
+// so one sorted sweep suffices.
+func (ar *arena) flush() {
+	if len(ar.dirty) == 0 {
+		return
+	}
+	slices.Sort(ar.dirty)
+	for _, id := range ar.dirty {
+		ar.recompute(id)
+		ar.isDirty[id] = false
+	}
+	ar.dirty = ar.dirty[:0]
+}
+
+// rootCoeff returns the root polynomial's coefficient of x^i y^j.
+func (ar *arena) rootCoeff(i, j int) float64 {
+	root := len(ar.p.insts) - 1
+	if i < 0 || j < 0 || j > ar.ycap || int32(i) >= ar.lens[root*(ar.ycap+1)+j] {
+		return 0
+	}
+	return ar.vals[root*ar.sz+j*ar.w+i]
+}
+
+// recompute rewrites instruction id's slot as a pure function of its
+// children's current slots (no in-place accumulation across evaluations,
+// so results are independent of update history).
+func (ar *arena) recompute(id int32) {
+	in := &ar.p.insts[id]
+	switch in.op {
+	case opLeaf:
+		ar.recomputeLeaf(id, in)
+	case opSum:
+		ar.recomputeSum(id, in)
+	default:
+		ar.recomputeMul(id, in)
+	}
+}
+
+func (ar *arena) recomputeLeaf(id int32, in *inst) {
+	base := int(id) * ar.sz
+	lbase := int(id) * (ar.ycap + 1)
+	for y := 0; y <= ar.ycap; y++ {
+		ar.lens[lbase+y] = 0
+	}
+	xd, yd := ar.xdeg[in.leaf], ar.ydeg[in.leaf]
+	if int(xd) > ar.xcap || int(yd) > ar.ycap {
+		return // monomial truncated away: the zero polynomial
+	}
+	row := ar.vals[base+int(yd)*ar.w:]
+	for i := int32(0); i < xd; i++ {
+		row[i] = 0
+	}
+	row[xd] = 1
+	ar.lens[lbase+int(yd)] = xd + 1
+}
+
+func (ar *arena) recomputeSum(id int32, in *inst) {
+	base := int(id) * ar.sz
+	lbase := int(id) * (ar.ycap + 1)
+	abase := int(in.a) * ar.sz
+	albase := int(in.a) * (ar.ycap + 1)
+	bbase, blbase := 0, 0
+	if in.b >= 0 {
+		bbase = int(in.b) * ar.sz
+		blbase = int(in.b) * (ar.ycap + 1)
+	}
+	for y := 0; y <= ar.ycap; y++ {
+		la := int(ar.lens[albase+y])
+		lb := 0
+		if in.b >= 0 {
+			lb = int(ar.lens[blbase+y])
+		}
+		ext := la
+		if lb > ext {
+			ext = lb
+		}
+		if y == 0 && in.c != 0 && ext < 1 {
+			ext = 1
+		}
+		dst := ar.vals[base+y*ar.w : base+y*ar.w+ext]
+		for i := range dst {
+			dst[i] = 0
+		}
+		a := ar.vals[abase+y*ar.w : abase+y*ar.w+la]
+		for i, v := range a {
+			dst[i] = in.wa * v
+		}
+		if lb > 0 {
+			b := ar.vals[bbase+y*ar.w : bbase+y*ar.w+lb]
+			for i, v := range b {
+				dst[i] += in.wb * v
+			}
+		}
+		if y == 0 && ext > 0 {
+			dst[0] += in.c
+		}
+		ar.lens[lbase+y] = int32(ext)
+	}
+}
+
+func (ar *arena) recomputeMul(id int32, in *inst) {
+	base := int(id) * ar.sz
+	lbase := int(id) * (ar.ycap + 1)
+	abase := int(in.a) * ar.sz
+	albase := int(in.a) * (ar.ycap + 1)
+	bbase := int(in.b) * ar.sz
+	blbase := int(in.b) * (ar.ycap + 1)
+	for y := 0; y <= ar.ycap; y++ {
+		// Effective extent of the output row: the largest product extent
+		// over the contributing (ya, yb) row pairs, clamped to the cap.
+		ext := 0
+		for ya := 0; ya <= y; ya++ {
+			la := int(ar.lens[albase+ya])
+			lb := int(ar.lens[blbase+y-ya])
+			if la == 0 || lb == 0 {
+				continue
+			}
+			e := la + lb - 1
+			if e > ar.w {
+				e = ar.w
+			}
+			if e > ext {
+				ext = e
+			}
+		}
+		dst := ar.vals[base+y*ar.w : base+y*ar.w+ext]
+		for i := range dst {
+			dst[i] = 0
+		}
+		for ya := 0; ya <= y; ya++ {
+			la := int(ar.lens[albase+ya])
+			lb := int(ar.lens[blbase+y-ya])
+			if la == 0 || lb == 0 {
+				continue
+			}
+			a := ar.vals[abase+ya*ar.w : abase+ya*ar.w+la]
+			b := ar.vals[bbase+(y-ya)*ar.w : bbase+(y-ya)*ar.w+lb]
+			convInto(dst, a, b)
+		}
+		ar.lens[lbase+y] = int32(ext)
+	}
+}
+
+// convInto accumulates the truncated convolution a*b into dst (whose
+// length is the truncation bound).
+func convInto(dst, a, b []float64) {
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		bb := b
+		if i+len(bb) > len(dst) {
+			bb = bb[:len(dst)-i]
+		}
+		d := dst[i:]
+		for j, bv := range bb {
+			d[j] += av * bv
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package genfunc
+
+import (
+	"sort"
+
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+)
+
+// This file implements the compiled evaluation kernel: a Tree is flattened
+// once into a postorder instruction array (Program) and every rank /
+// precedence / size statistic is then computed by (re-)evaluating
+// instructions over a preallocated arena instead of recursing over the
+// pointer tree with per-node heap allocations.
+//
+// Two compilation choices make incremental evaluation cheap:
+//
+//   - Fan-ins are binarized: an and-node with c children becomes a balanced
+//     tree of 2-ary product instructions, and an or-node a balanced tree of
+//     2-ary weighted-sum instructions (the stop probability rides on the
+//     final sum).  A leaf-to-root path therefore has length O(depth·log
+//     fan-in), so re-evaluating the path after a single leaf change costs
+//     O(depth·log(fan-in)·k²) instead of a full-tree pass.
+//
+//   - Every instruction's value is a pure function of its children's
+//     current values: re-evaluation rewrites the node's arena slot from
+//     scratch, never updating in place.  The root polynomial therefore
+//     depends only on the current leaf assignment, not on the update
+//     history, which keeps the incremental kernel bit-deterministic (and
+//     makes the sharded parallel kernel merge bit-identical to the
+//     sequential one).
+
+// opKind discriminates the three compiled instruction types.
+type opKind uint8
+
+const (
+	// opLeaf loads the monomial x^a y^b of the leaf's current assignment.
+	opLeaf opKind = iota
+	// opMul computes val(a) * val(b), truncated at the arena caps.
+	opMul
+	// opSum computes wa*val(a) + wb*val(b) + c (b may be absent).
+	opSum
+)
+
+// inst is one compiled instruction.  Children always precede parents in
+// the instruction array (postorder), and the root is the last instruction.
+type inst struct {
+	a, b   int32   // child instruction indices; b == -1 for unary opSum
+	parent int32   // parent instruction index; -1 at the root
+	wa, wb float64 // opSum weights (or-edge probabilities)
+	c      float64 // opSum constant term (or-node stop probability)
+	leaf   int32   // opLeaf: leaf index in DFS order
+	op     opKind
+}
+
+// Program is a tree compiled for the incremental kernel, together with the
+// leaf metadata (keys, scores, score order) the batched rank and precedence
+// kernels need.  A Program is immutable and safe for concurrent use; each
+// evaluation runs on its own arena.
+type Program struct {
+	tree  *andxor.Tree
+	insts []inst
+
+	leaves   []types.Leaf // DFS order, parallel to Tree.Leaves
+	leafNode []int32      // leaf index -> instruction index
+	keys     []string     // distinct keys, sorted (as Tree.Keys)
+	keyID    []int32      // leaf index -> index into keys
+
+	// byScore lists leaf indices by strictly decreasing score (ties broken
+	// by ascending leaf index); altsOfKey[kid] lists the leaves of one key
+	// in the same order.  Both drive the moving-threshold kernels.
+	byScore   []int32
+	altsOfKey [][]int32
+
+	// maxPathLen is the longest leaf-to-root instruction path (inclusive
+	// of both ends): the worst-case number of re-evaluations one leaf
+	// change triggers.  Cost models use it to price incremental updates.
+	maxPathLen int
+}
+
+// Compile flattens t into a Program.  Compilation is O(tree size) and is
+// meant to be done once per tree (the engine caches it per registered
+// tree); all per-query work then runs on arenas.
+func Compile(t *andxor.Tree) *Program {
+	leaves := t.LeafAlternatives()
+	keys := t.Keys()
+	p := &Program{
+		tree:     t,
+		leaves:   leaves,
+		leafNode: make([]int32, 0, len(leaves)),
+		keys:     keys,
+		keyID:    make([]int32, 0, len(leaves)),
+	}
+	keyIdx := make(map[string]int32, len(keys))
+	for i, k := range keys {
+		keyIdx[k] = int32(i)
+	}
+	var compile func(n *andxor.Node) int32
+	compile = func(n *andxor.Node) int32 {
+		switch n.Kind() {
+		case andxor.KindLeaf:
+			l := n.Leaf()
+			id := p.emit(inst{op: opLeaf, a: -1, b: -1, leaf: int32(len(p.leafNode))})
+			p.leafNode = append(p.leafNode, id)
+			p.keyID = append(p.keyID, keyIdx[l.Key])
+			return id
+		case andxor.KindOr:
+			children := n.Children()
+			probs := n.Probs()
+			terms := make([]sumTerm, len(children))
+			for i, c := range children {
+				terms[i] = sumTerm{node: compile(c), w: probs[i]}
+			}
+			return p.reduceSum(terms, n.StopProb())
+		default: // KindAnd
+			ids := make([]int32, len(n.Children()))
+			for i, c := range n.Children() {
+				ids[i] = compile(c)
+			}
+			return p.reduceMul(ids)
+		}
+	}
+	compile(t.Root())
+
+	// Parent links, for dirty-path propagation.
+	for i := range p.insts {
+		p.insts[i].parent = -1
+	}
+	for i, in := range p.insts {
+		if in.op == opLeaf {
+			continue
+		}
+		p.insts[in.a].parent = int32(i)
+		if in.b >= 0 {
+			p.insts[in.b].parent = int32(i)
+		}
+	}
+
+	// Longest leaf-to-root path: instructions are postorder, so a single
+	// reverse sweep propagates path lengths root-down.
+	pathLen := make([]int32, len(p.insts))
+	pathLen[len(p.insts)-1] = 1
+	for i := len(p.insts) - 1; i >= 0; i-- {
+		in := p.insts[i]
+		if in.op == opLeaf {
+			if int(pathLen[i]) > p.maxPathLen {
+				p.maxPathLen = int(pathLen[i])
+			}
+			continue
+		}
+		pathLen[in.a] = pathLen[i] + 1
+		if in.b >= 0 {
+			pathLen[in.b] = pathLen[i] + 1
+		}
+	}
+
+	// Score orders for the moving-threshold kernels.
+	p.byScore = make([]int32, len(leaves))
+	for i := range p.byScore {
+		p.byScore[i] = int32(i)
+	}
+	sort.Slice(p.byScore, func(a, b int) bool {
+		i, j := p.byScore[a], p.byScore[b]
+		if leaves[i].Score != leaves[j].Score {
+			return leaves[i].Score > leaves[j].Score
+		}
+		return i < j
+	})
+	p.altsOfKey = make([][]int32, len(keys))
+	for _, li := range p.byScore {
+		kid := p.keyID[li]
+		p.altsOfKey[kid] = append(p.altsOfKey[kid], li)
+	}
+	return p
+}
+
+// NumLeaves returns the number of tuple alternatives in the compiled tree.
+func (p *Program) NumLeaves() int { return len(p.leaves) }
+
+// MaxPathLen returns the longest leaf-to-root instruction path — the
+// worst-case number of instruction re-evaluations a single leaf change
+// triggers.  Balanced trees sit near log2(NumLeaves); degenerate chains
+// approach NumLeaves.  Backend choosers use it to price the incremental
+// kernel honestly on deep trees.
+func (p *Program) MaxPathLen() int { return p.maxPathLen }
+
+func (p *Program) emit(in inst) int32 {
+	p.insts = append(p.insts, in)
+	return int32(len(p.insts) - 1)
+}
+
+// sumTerm is one weighted operand of an or-node reduction.
+type sumTerm struct {
+	node int32
+	w    float64
+}
+
+// reduceSum emits a balanced binary tree of weighted sums computing
+// stop + Σ w_i·val(node_i); the stop constant is folded into the final sum
+// so no extra instruction is spent on it.
+func (p *Program) reduceSum(terms []sumTerm, stop float64) int32 {
+	if len(terms) == 1 {
+		return p.emit(inst{op: opSum, a: terms[0].node, b: -1, wa: terms[0].w, c: stop})
+	}
+	for len(terms) > 2 {
+		level := make([]sumTerm, 0, (len(terms)+1)/2)
+		for i := 0; i+1 < len(terms); i += 2 {
+			id := p.emit(inst{op: opSum, a: terms[i].node, b: terms[i+1].node, wa: terms[i].w, wb: terms[i+1].w})
+			level = append(level, sumTerm{node: id, w: 1})
+		}
+		if len(terms)%2 == 1 {
+			level = append(level, terms[len(terms)-1])
+		}
+		terms = level
+	}
+	return p.emit(inst{op: opSum, a: terms[0].node, b: terms[1].node, wa: terms[0].w, wb: terms[1].w, c: stop})
+}
+
+// reduceMul emits a balanced binary tree of products over the operands.
+// A single operand needs no instruction: the and-node is its child.
+func (p *Program) reduceMul(ids []int32) int32 {
+	for len(ids) > 1 {
+		level := make([]int32, 0, (len(ids)+1)/2)
+		for i := 0; i+1 < len(ids); i += 2 {
+			level = append(level, p.emit(inst{op: opMul, a: ids[i], b: ids[i+1]}))
+		}
+		if len(ids)%2 == 1 {
+			level = append(level, ids[len(ids)-1])
+		}
+		ids = level
+	}
+	return ids[0]
+}

@@ -1,0 +1,104 @@
+package genfunc
+
+import (
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+)
+
+// Legacy reference implementations of the batched statistics, built
+// directly on the recursive evaluators Eval1/Eval2 exactly as the package
+// computed them before the compiled incremental kernel.  The differential
+// tests pin the kernel to these within 1e-12.
+
+// ranksLegacy is the pre-kernel Ranks: one full recursive bivariate
+// evaluation per leaf alternative.
+func ranksLegacy(t *andxor.Tree, k int) (*RankDist, error) {
+	if k < 1 {
+		return nil, errRankCutoff(k)
+	}
+	if err := ValidateScores(t); err != nil {
+		return nil, err
+	}
+	leaves := t.LeafAlternatives()
+	rd := &RankDist{
+		K:    k,
+		keys: t.Keys(),
+		eq:   make(map[string][]float64, len(t.Keys())),
+		le:   make(map[string][]float64, len(t.Keys())),
+	}
+	for _, key := range rd.keys {
+		rd.eq[key] = make([]float64, k+1)
+	}
+	for a, alt := range leaves {
+		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
+			if i == a {
+				return 0, 1
+			}
+			if l.Key != alt.Key && l.Score > alt.Score {
+				return 1, 0
+			}
+			return 0, 0
+		}, k-1, 1)
+		dist := rd.eq[alt.Key]
+		for j := 1; j <= k; j++ {
+			dist[j] += f.Coeff(j-1, 1)
+		}
+	}
+	for _, key := range rd.keys {
+		le := make([]float64, k+1)
+		acc := 0.0
+		for i := 1; i <= k; i++ {
+			acc += rd.eq[key][i]
+			le[i] = acc
+		}
+		rd.le[key] = le
+	}
+	return rd, nil
+}
+
+// precedenceLegacy is the pre-kernel Precedence: one full recursive
+// evaluation per alternative of keyI.
+func precedenceLegacy(t *andxor.Tree, keyI, keyJ string) float64 {
+	if keyI == keyJ {
+		return 0
+	}
+	total := 0.0
+	for a, alt := range t.LeafAlternatives() {
+		if alt.Key != keyI {
+			continue
+		}
+		score := alt.Score
+		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
+			if i == a {
+				return 0, 1
+			}
+			if l.Key == keyJ && l.Score > score {
+				return 1, 0
+			}
+			return 0, 0
+		}, 0, 1)
+		total += f.Coeff(0, 1)
+	}
+	return total
+}
+
+// precedenceMatrixLegacy is the pre-kernel PrecedenceMatrix: one
+// precedenceLegacy call per ordered key pair.
+func precedenceMatrixLegacy(t *andxor.Tree, keys []string) [][]float64 {
+	m := make([][]float64, len(keys))
+	for i := range keys {
+		m[i] = make([]float64, len(keys))
+		for j := range keys {
+			if i != j {
+				m[i][j] = precedenceLegacy(t, keys[i], keys[j])
+			}
+		}
+	}
+	return m
+}
+
+// worldSizeDistLegacy is the pre-kernel WorldSizeDist: one untruncated
+// recursive univariate evaluation.
+func worldSizeDistLegacy(t *andxor.Tree) Poly {
+	return Eval1(t, func(int, types.Leaf) int { return 1 }, -1).Trim(0)
+}

@@ -1,89 +1,16 @@
 package genfunc
 
 import (
-	"runtime"
-	"sync"
-
 	"consensus/internal/andxor"
-	"consensus/internal/types"
 )
 
-// RanksParallel computes the same rank distribution as Ranks using a
-// worker pool: the per-alternative generating functions are independent,
-// so the O(n^2 k) work parallelizes embarrassingly across leaves.
-// workers <= 0 selects GOMAXPROCS.  The result is deterministic and
-// bit-identical to Ranks (per-key contributions are accumulated in leaf
-// order, not completion order).
+// RanksParallel computes the same rank distribution as Ranks with the
+// compiled kernel's score-ordered batch split into contiguous score-range
+// shards, one worker and one evaluation arena per shard.  workers <= 0
+// selects GOMAXPROCS.  The result is deterministic and bit-identical to
+// Ranks: every arena value is a pure function of the leaf assignment (not
+// of the update history), and per-key contributions are merged in leaf
+// order, not completion order.
 func RanksParallel(t *andxor.Tree, k, workers int) (*RankDist, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 {
-		return Ranks(t, k)
-	}
-	if k < 1 {
-		return nil, errRankCutoff(k)
-	}
-	if err := ValidateScores(t); err != nil {
-		return nil, err
-	}
-	leaves := t.LeafAlternatives()
-	// Each leaf's contribution: dist[j-1] = Pr(alternative ranked j-th).
-	contrib := make([][]float64, len(leaves))
-	var wg sync.WaitGroup
-	next := make(chan int, len(leaves))
-	for a := range leaves {
-		next <- a
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for a := range next {
-				alt := leaves[a]
-				f := Eval2(t, func(i int, l types.Leaf) (int, int) {
-					if i == a {
-						return 0, 1
-					}
-					if l.Key != alt.Key && l.Score > alt.Score {
-						return 1, 0
-					}
-					return 0, 0
-				}, k-1, 1)
-				row := make([]float64, k)
-				for j := 1; j <= k; j++ {
-					row[j-1] = f.Coeff(j-1, 1)
-				}
-				contrib[a] = row
-			}
-		}()
-	}
-	wg.Wait()
-
-	rd := &RankDist{
-		K:    k,
-		keys: t.Keys(),
-		eq:   make(map[string][]float64, len(t.Keys())),
-		le:   make(map[string][]float64, len(t.Keys())),
-	}
-	for _, key := range rd.keys {
-		rd.eq[key] = make([]float64, k+1)
-	}
-	for a, alt := range leaves {
-		dist := rd.eq[alt.Key]
-		for j := 1; j <= k; j++ {
-			dist[j] += contrib[a][j-1]
-		}
-	}
-	for _, key := range rd.keys {
-		le := make([]float64, k+1)
-		acc := 0.0
-		for i := 1; i <= k; i++ {
-			acc += rd.eq[key][i]
-			le[i] = acc
-		}
-		rd.le[key] = le
-	}
-	return rd, nil
+	return Compile(t).RanksParallel(k, workers)
 }

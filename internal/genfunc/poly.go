@@ -13,6 +13,33 @@
 // computations only ever need x-degrees up to k, so products are truncated
 // at a degree cap and each node costs O(cap) per coefficient instead of
 // materializing degrees up to n.
+//
+// # Compiled incremental kernel
+//
+// Two evaluators implement Theorem 1.  Eval1/Eval2 are the legacy
+// recursive evaluators: one closure-driven tree walk per generating
+// function, allocating a fresh polynomial at every node.  They remain the
+// readable reference implementation (and the oracle for the differential
+// tests).  All batched statistics — Ranks, RanksParallel, Precedence,
+// PrecedenceMatrix, WorldSizeDist — instead run on the compiled kernel:
+//
+//   - Compile flattens the tree into a postorder instruction array with
+//     binarized fan-ins (compile.go), so a leaf-to-root path has length
+//     O(depth·log fan-in) and evaluation is an index-addressed loop
+//     instead of pointer-chasing recursion.
+//
+//   - An evaluation arena (arena.go) preallocates one truncated-polynomial
+//     slot per instruction and rewrites slots in place; steady-state
+//     evaluation allocates nothing.  Per-row effective lengths keep
+//     products at O(len_a·len_b), matching the legacy size-matched cost.
+//
+//   - The batched kernels (kernel.go) walk alternatives in descending
+//     score order: consecutive assignments differ only in the moving
+//     y-mark, the few leaves crossing the score threshold, and the two
+//     same-key exclusion sets, so each step re-evaluates only the dirty
+//     root paths.  Rank distributions drop from O(n·|tree|·k) per batch to
+//     O(n·depth·log(fan-in)·k²) coefficient work, and a full precedence
+//     matrix costs one sweep per column instead of one tree pass per cell.
 package genfunc
 
 // Poly is a dense univariate polynomial; Poly[i] is the coefficient of x^i.
@@ -60,15 +87,6 @@ func (p Poly) AddScaled(q Poly, s float64) Poly {
 		p[i] += s * c
 	}
 	return p
-}
-
-// Scale returns s*p.
-func (p Poly) Scale(s float64) Poly {
-	out := NewPoly(len(p) - 1)
-	for i, c := range p {
-		out[i] = s * c
-	}
-	return out
 }
 
 // MulTrunc returns p*q with all terms of degree greater than cap dropped.
@@ -146,10 +164,6 @@ func Monomial2(a, b, xcap, ycap int) *Poly2 {
 	return p
 }
 
-// XCap and YCap return the truncation caps.
-func (p *Poly2) XCap() int { return p.xcap }
-func (p *Poly2) YCap() int { return p.ycap }
-
 // Coeff returns the coefficient of x^i y^j.
 func (p *Poly2) Coeff(i, j int) float64 {
 	if i < 0 || j < 0 || i > p.xcap || j > p.ycap {
@@ -211,11 +225,4 @@ func (p *Poly2) Sum() float64 {
 		s += c
 	}
 	return s
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -18,12 +18,15 @@ type RankDist struct {
 	le   map[string][]float64 // le[key][i] = Pr(r(t) <= i)
 }
 
-// Ranks computes the rank distribution up to rank k for every key, using
-// one truncated bivariate generating function per leaf (the generalization
-// of Example 3 in the paper): for an alternative (t, s), mark every leaf of
-// a different key with larger score with x and the alternative itself with
-// y; the coefficient of x^(j-1) y is Pr(the alternative is present and
-// ranked j-th).
+// Ranks computes the rank distribution up to rank k for every key, based
+// on one truncated bivariate generating function per leaf (the
+// generalization of Example 3 in the paper): for an alternative (t, s),
+// mark every leaf of a different key with larger score with x and the
+// alternative itself with y; the coefficient of x^(j-1) y is Pr(the
+// alternative is present and ranked j-th).  The n per-alternative
+// functions are evaluated by the compiled incremental kernel (one shared
+// tree pass in descending-score order, see compile.go), not by n
+// independent recursive traversals.
 //
 // It returns an error if two alternatives of different keys share a score
 // and can co-occur in a world, because ranks would be ill-defined (the
@@ -31,49 +34,7 @@ type RankDist struct {
 // alternatives — common when a correlated tree encodes alternative whole
 // worlds, as in Figure 1(iii) — are harmless and accepted.
 func Ranks(t *andxor.Tree, k int) (*RankDist, error) {
-	if k < 1 {
-		return nil, errRankCutoff(k)
-	}
-	if err := ValidateScores(t); err != nil {
-		return nil, err
-	}
-	leaves := t.LeafAlternatives()
-	rd := &RankDist{
-		K:    k,
-		keys: t.Keys(),
-		eq:   make(map[string][]float64, len(t.Keys())),
-		le:   make(map[string][]float64, len(t.Keys())),
-	}
-	for _, key := range rd.keys {
-		rd.eq[key] = make([]float64, k+1)
-	}
-	for a, alt := range leaves {
-		a := a
-		alt := alt
-		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
-			if i == a {
-				return 0, 1
-			}
-			if l.Key != alt.Key && l.Score > alt.Score {
-				return 1, 0
-			}
-			return 0, 0
-		}, k-1, 1)
-		dist := rd.eq[alt.Key]
-		for j := 1; j <= k; j++ {
-			dist[j] += f.Coeff(j-1, 1)
-		}
-	}
-	for _, key := range rd.keys {
-		le := make([]float64, k+1)
-		acc := 0.0
-		for i := 1; i <= k; i++ {
-			acc += rd.eq[key][i]
-			le[i] = acc
-		}
-		rd.le[key] = le
-	}
-	return rd, nil
+	return Compile(t).Ranks(k)
 }
 
 // Keys returns the tuple keys covered, sorted.
@@ -158,46 +119,18 @@ func ValidateScores(t *andxor.Tree) error {
 // needs, and that it is computable with the generating-function method: for
 // each alternative a of keyI, mark a with y and every alternative of keyJ
 // with a larger score with x; the coefficient of x^0 y^1 is the probability
-// that a is present while keyJ is either absent or ranked below it.
+// that a is present while keyJ is either absent or ranked below it.  The
+// evaluation runs on the compiled incremental kernel.
 func Precedence(t *andxor.Tree, keyI, keyJ string) float64 {
-	if keyI == keyJ {
-		return 0
-	}
-	leaves := t.LeafAlternatives()
-	total := 0.0
-	for a, alt := range leaves {
-		if alt.Key != keyI {
-			continue
-		}
-		a := a
-		alt := alt
-		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
-			if i == a {
-				return 0, 1
-			}
-			if l.Key == keyJ && l.Score > alt.Score {
-				return 1, 0
-			}
-			return 0, 0
-		}, 0, 1)
-		total += f.Coeff(0, 1)
-	}
-	return total
+	return Compile(t).Precedence(keyI, keyJ)
 }
 
 // PrecedenceMatrix returns the matrix M[i][j] = Pr(r(keys[i]) < r(keys[j]))
-// for the given keys.
+// for the given keys.  The compiled kernel fills one matrix column per
+// incremental descending-score sweep, so the whole matrix costs
+// O(|keys| · n) path updates instead of O(|keys|² · n) full-tree passes.
 func PrecedenceMatrix(t *andxor.Tree, keys []string) [][]float64 {
-	m := make([][]float64, len(keys))
-	for i := range keys {
-		m[i] = make([]float64, len(keys))
-		for j := range keys {
-			if i != j {
-				m[i][j] = Precedence(t, keys[i], keys[j])
-			}
-		}
-	}
-	return m
+	return Compile(t).PrecedenceMatrix(keys)
 }
 
 // ExpectedRank returns, for every key, the expected-rank statistic of
