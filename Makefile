@@ -13,7 +13,7 @@ COVER_PKGS  ?= ./internal/approx ./internal/engine ./internal/rankagg \
 # Fixed benchtime so bench.json artifacts are comparable across commits.
 BENCHTIME ?= 20x
 
-.PHONY: all build test race bench bench-json bench-compare bench-baseline lint fmt cover fuzz vulncheck
+.PHONY: all build test race bench bench-json bench-compare bench-compare-base bench-baseline lint fmt cover fuzz vulncheck
 
 all: build test
 
@@ -33,25 +33,46 @@ race:
 bench:
 	$(GO) test -short -run XXX -bench . -benchtime 1x ./...
 
-# Benchmark regression tracking: run the engine benchmarks with a fixed
+# Benchmark regression tracking: run the engine and genfunc-kernel
+# benchmarks (the convolution microbenchmarks ride along) with a fixed
 # -benchtime and emit both the raw benchstat-compatible text (bench.txt)
 # and a parsed bench.json; CI uploads both as artifacts on pushes to main
 # so the perf trajectory accumulates.
 # (No pipe here: a redirect keeps `go test`'s exit status visible to make,
 # so a panicking benchmark fails the target instead of shipping a partial
 # artifact.)
+BENCH_JSON_PKGS ?= ./internal/engine ./internal/genfunc
 bench-json:
-	$(GO) test -short -run XXX -bench . -benchtime $(BENCHTIME) -count 1 ./internal/engine > bench.txt
+	$(GO) test -short -run XXX -bench . -benchtime $(BENCHTIME) -count 1 $(BENCH_JSON_PKGS) > bench.txt
 	cat bench.txt
 	$(GO) run ./cmd/benchjson -in bench.txt -out bench.json
 
 # Benchmark regression gate: re-run the fixed-benchtime suite and fail on
-# any benchmark more than BENCH_THRESHOLD slower than the committed seed
+# any benchmark more than BENCH_THRESHOLD slower than the committed
 # baseline.  Refresh the baseline with `make bench-baseline` when a PR
-# legitimately changes performance.
+# legitimately changes performance.  BENCH_MINTIME is the measured-time
+# floor below which a benchmark's sample is treated as noise (reported,
+# never gated): at the fixed 20-iteration benchtime, sub-microsecond
+# benchmarks fluctuate far beyond any honest threshold.
 BENCH_THRESHOLD ?= 1.20
+BENCH_MINTIME ?= 100us
 bench-compare: bench-json
-	$(GO) run ./cmd/benchjson compare BENCH_baseline.json bench.json -threshold $(BENCH_THRESHOLD)
+	$(GO) run ./cmd/benchjson compare BENCH_baseline.json bench.json -threshold $(BENCH_THRESHOLD) -mintime $(BENCH_MINTIME)
+
+# Same-machine benchmark gate: benchmark BENCH_BASE_REF and the current
+# checkout inside one machine/process and compare those two runs, so the
+# gate is immune to the committed baseline's machine dependence (the CI
+# bench-samemachine job passes the PR's base commit here).  The base run
+# happens in a throwaway git worktree with the base ref's own Makefile.
+BENCH_BASE_REF ?= origin/main
+bench-compare-base:
+	rm -rf .bench-base bench_base.json
+	git worktree add --force --detach .bench-base $(BENCH_BASE_REF)
+	st=0; ( cd .bench-base && $(MAKE) bench-json ) || st=$$?; \
+	cp .bench-base/bench.json bench_base.json || st=$$?; \
+	git worktree remove --force .bench-base; exit $$st
+	$(MAKE) bench-json
+	$(GO) run ./cmd/benchjson compare bench_base.json bench.json -threshold $(BENCH_THRESHOLD) -mintime $(BENCH_MINTIME)
 
 # Refresh the committed baseline from a fresh fixed-benchtime run.
 bench-baseline: bench-json

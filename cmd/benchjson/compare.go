@@ -8,6 +8,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // defaultThreshold is the slowdown factor above which compare fails:
@@ -24,6 +25,20 @@ type comparison struct {
 	Old, New float64 // compareMetric values
 	Ratio    float64 // New/Old; +Inf when Old == 0 and New > 0
 	Missing  bool    // present in baseline, absent from the new report
+
+	// OldTotal/NewTotal are the measured wall times (iterations × ns/op)
+	// behind each value: a sample below the -mintime floor is too noisy
+	// to gate on.
+	OldTotal, NewTotal float64
+}
+
+// Unreliable reports whether either side's measured time is below the
+// floor; such benchmarks are reported as NOISY and never fail the gate.
+func (c comparison) Unreliable(minTime time.Duration) bool {
+	if c.Missing || minTime <= 0 {
+		return false
+	}
+	return c.OldTotal < float64(minTime.Nanoseconds()) || c.NewTotal < float64(minTime.Nanoseconds())
 }
 
 // Regressed reports whether this benchmark slowed past the threshold.
@@ -34,16 +49,30 @@ func (c comparison) Regressed(threshold float64) bool {
 }
 
 // runCompare implements `benchjson compare old.json new.json [-threshold
-// f]`.  Flags may appear before or after the two positional paths (the
-// issue-tracker spelling puts them last, which stdlib flag parsing alone
-// would silently ignore).  Exit codes: 0 no regression, 1 regression or
-// I/O error, 2 usage error.
+// f] [-mintime d]`.  Flags may appear before or after the two positional
+// paths (the issue-tracker spelling puts them last, which stdlib flag
+// parsing alone would silently ignore).  -mintime sets a measured-time
+// floor (a Go duration, e.g. 100us): a benchmark whose total sample on
+// either side is shorter is reported NOISY and never gates — fixed
+// -benchtime iteration counts make sub-microsecond benchmarks fluctuate
+// far beyond any honest threshold.  Exit codes: 0 no regression, 1
+// regression or I/O error, 2 usage error.
 func runCompare(args []string, stdout, stderr io.Writer) int {
 	threshold := defaultThreshold
+	var minTime time.Duration
 	var paths []string
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: benchjson compare <baseline.json> <new.json> [-threshold ratio]")
+		fmt.Fprintln(stderr, "usage: benchjson compare <baseline.json> <new.json> [-threshold ratio] [-mintime duration]")
 		return 2
+	}
+	parseMinTime := func(val string) bool {
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			fmt.Fprintf(stderr, "benchjson compare: bad mintime %q\n", val)
+			return false
+		}
+		minTime = d
+		return true
 	}
 	for i := 0; i < len(args); i++ {
 		arg := args[i]
@@ -68,6 +97,20 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 				return usage()
 			}
 			threshold = v
+		case arg == "-mintime" || arg == "--mintime":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(stderr, "benchjson compare: -mintime needs a value")
+				return usage()
+			}
+			if !parseMinTime(args[i]) {
+				return usage()
+			}
+		case strings.HasPrefix(arg, "-mintime=") || strings.HasPrefix(arg, "--mintime="):
+			_, val, _ := strings.Cut(arg, "=")
+			if !parseMinTime(val) {
+				return usage()
+			}
 		case strings.HasPrefix(arg, "-"):
 			fmt.Fprintf(stderr, "benchjson compare: unknown flag %q\n", arg)
 			return usage()
@@ -98,6 +141,8 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		switch {
 		case c.Missing:
 			fmt.Fprintf(stdout, "MISSING  %-60s baseline %.0f ns/op, absent from new report\n", c.Name, c.Old)
+		case c.Unreliable(minTime):
+			fmt.Fprintf(stdout, "NOISY    %-60s %.0f -> %.0f ns/op (sample under %v, not gated)\n", c.Name, c.Old, c.New, minTime)
 		case c.Regressed(threshold):
 			regressions++
 			fmt.Fprintf(stdout, "SLOWER   %-60s %.0f -> %.0f ns/op (%.2fx > %.2fx)\n", c.Name, c.Old, c.New, c.Ratio, threshold)
@@ -129,14 +174,13 @@ func loadReport(path string) (*Report, error) {
 // its counterpart in the new report, in baseline order.  Duplicate names
 // (e.g. -count > 1 runs) use the first occurrence on both sides.
 func Compare(oldRep, newRep *Report) []comparison {
-	newByName := make(map[string]float64, len(newRep.Benchmarks))
+	newByName := make(map[string]Benchmark, len(newRep.Benchmarks))
 	for _, b := range newRep.Benchmarks {
-		v, ok := b.Metrics[compareMetric]
-		if !ok {
+		if _, ok := b.Metrics[compareMetric]; !ok {
 			continue
 		}
 		if _, dup := newByName[b.Name]; !dup {
-			newByName[b.Name] = v
+			newByName[b.Name] = b
 		}
 	}
 	var out []comparison
@@ -147,14 +191,16 @@ func Compare(oldRep, newRep *Report) []comparison {
 			continue
 		}
 		seen[b.Name] = true
-		c := comparison{Name: b.Name, Old: old}
-		nv, ok := newByName[b.Name]
+		c := comparison{Name: b.Name, Old: old, OldTotal: float64(b.Iterations) * old}
+		nb, ok := newByName[b.Name]
 		if !ok {
 			c.Missing = true
 			out = append(out, c)
 			continue
 		}
+		nv := nb.Metrics[compareMetric]
 		c.New = nv
+		c.NewTotal = float64(nb.Iterations) * nv
 		switch {
 		case old > 0:
 			c.Ratio = nv / old

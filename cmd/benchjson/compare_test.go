@@ -154,3 +154,43 @@ func TestRunCompareEmptyBaselineFails(t *testing.T) {
 		t.Fatalf("empty baseline must fail: exit %d stderr %q", code, stderr)
 	}
 }
+
+func TestCompareMinTimeNoisy(t *testing.T) {
+	dir := t.TempDir()
+	// 100 iterations at 100ns/op = a 10µs sample: a >threshold slowdown
+	// must be reported NOISY (and not gate) under -mintime 100us, but
+	// fail without the floor.
+	oldPath := writeReport(t, dir, "old.json", report(bench("BenchmarkTiny-8", 100), bench("BenchmarkBig-8", 2_000_000)))
+	newPath := writeReport(t, dir, "new.json", report(bench("BenchmarkTiny-8", 300), bench("BenchmarkBig-8", 2_100_000)))
+	var out, errb bytes.Buffer
+	if code := run([]string{"compare", oldPath, newPath, "-mintime", "100us"}, nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with mintime floor, stderr %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "NOISY") || !strings.Contains(out.String(), "BenchmarkTiny-8") {
+		t.Fatalf("tiny benchmark not flagged NOISY:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"compare", oldPath, newPath}, nil, &out, &errb); code != 1 {
+		t.Fatalf("exit %d without mintime, want 1 (tiny sample regressed)", code)
+	}
+}
+
+func TestCompareMinTimeStillGatesRealRegressions(t *testing.T) {
+	dir := t.TempDir()
+	// 100 iterations at 2ms/op = a 200ms sample: well over the floor, so a
+	// regression still fails.
+	oldPath := writeReport(t, dir, "old.json", report(bench("BenchmarkBig-8", 2_000_000)))
+	newPath := writeReport(t, dir, "new.json", report(bench("BenchmarkBig-8", 3_000_000)))
+	var out, errb bytes.Buffer
+	if code := run([]string{"compare", oldPath, newPath, "-mintime=100us"}, nil, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1: a well-sampled regression must still gate\n%s", code, out.String())
+	}
+}
+
+func TestCompareMinTimeBadValue(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"compare", "a.json", "b.json", "-mintime", "nonsense"}, nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for bad -mintime, want 2", code)
+	}
+}

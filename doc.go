@@ -131,6 +131,23 @@
 // incremental sweep per column instead of one tree evaluation per cell —
 // an order-of-magnitude latency drop on cold caches.
 //
+// The arithmetic inner loop is engineered like a query executor's:
+// polynomial rows are dense within per-row effective lengths (no
+// per-element zero tests), the truncated convolution runs a 4-wide
+// blocked kernel with its operand window in registers, and precedence
+// evaluations — whose truncation caps make every slot a two-float dual
+// number — run a fully scalar straight-line kernel.  Arenas, scratch rows
+// and compiled programs are pooled and recycled across requests (and
+// across the parallel rank shards), so warm engine queries evaluate with
+// zero arena allocations; re-registering a tree swaps in a fresh program
+// generation, taking its pools with it.  The remaining legacy recursive
+// statistics now compile too: expected rank costs one dual-number sweep
+// (O(n·depth·log fan-in), independent of k) instead of a full cutoff-n
+// rank distribution plus one untruncated recursive pass per key, and
+// score validation batches all tied-pair co-occurrence checks onto one
+// arena at two path updates per pair, reporting a deterministic offending
+// pair.
+//
 // # Approximate answers with error budgets
 //
 // Even the compiled kernel's polynomial cost prices the very largest

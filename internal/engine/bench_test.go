@@ -17,9 +17,18 @@ func benchTree() *andxor.Tree {
 
 const benchK = 10
 
+// cachedBenchBatch is the number of queries per iteration in the cached
+// (sub-microsecond) benchmarks: at the fixed -benchtime the bench.json
+// gates use, a single ~1µs query yields a sample below the `benchjson
+// compare -mintime` noise floor and would silently lose regression
+// gating.  ns/op for these benchmarks is therefore per batch of this
+// many queries.
+const cachedBenchBatch = 64
+
 // BenchmarkEngineCachedTopK measures repeated top-k queries against one
-// registered tree on a warm cache: every iteration pays only for the
-// request dispatch and the response copy, not the generating functions.
+// registered tree on a warm cache: every query pays only for the request
+// dispatch and the response copy, not the generating functions.  ns/op
+// covers cachedBenchBatch queries.
 func BenchmarkEngineCachedTopK(b *testing.B) {
 	e := New(Options{})
 	if err := e.Register("db", benchTree()); err != nil {
@@ -32,8 +41,10 @@ func BenchmarkEngineCachedTopK(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if resp := e.Query(req); !resp.Ok() {
-			b.Fatal(resp.Error)
+		for r := 0; r < cachedBenchBatch; r++ {
+			if resp := e.Query(req); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
 		}
 	}
 }
@@ -91,7 +102,8 @@ func BenchmarkEngineFamilyMix(b *testing.B) {
 }
 
 // BenchmarkEngineCachedTopKParallel drives the warm path from parallel
-// clients through the worker pool.
+// clients through the worker pool.  ns/op covers cachedBenchBatch
+// queries (see cachedBenchBatch).
 func BenchmarkEngineCachedTopKParallel(b *testing.B) {
 	e := New(Options{})
 	if err := e.Register("db", benchTree()); err != nil {
@@ -105,8 +117,10 @@ func BenchmarkEngineCachedTopKParallel(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if resp := e.Query(req); !resp.Ok() {
-				b.Fatal(resp.Error)
+			for r := 0; r < cachedBenchBatch; r++ {
+				if resp := e.Query(req); !resp.Ok() {
+					b.Fatal(resp.Error)
+				}
 			}
 		}
 	})

@@ -1,7 +1,10 @@
 package genfunc
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"weak"
 
 	"consensus/internal/andxor"
 	"consensus/internal/types"
@@ -55,16 +58,19 @@ type inst struct {
 
 // Program is a tree compiled for the incremental kernel, together with the
 // leaf metadata (keys, scores, score order) the batched rank and precedence
-// kernels need.  A Program is immutable and safe for concurrent use; each
-// evaluation runs on its own arena.
+// kernels need.  A Program's compiled state is immutable and safe for
+// concurrent use; per-evaluation state lives in arenas, which the Program
+// recycles through per-shape pools so warm evaluations allocate nothing.
+// A Program deliberately holds no reference back to its source tree, so
+// the package-level weak-keyed program cache cannot keep dead trees alive.
 type Program struct {
-	tree  *andxor.Tree
 	insts []inst
 
 	leaves   []types.Leaf // DFS order, parallel to Tree.Leaves
 	leafNode []int32      // leaf index -> instruction index
 	keys     []string     // distinct keys, sorted (as Tree.Keys)
 	keyID    []int32      // leaf index -> index into keys
+	keyIdx   map[string]int32
 
 	// byScore lists leaf indices by strictly decreasing score (ties broken
 	// by ascending leaf index); altsOfKey[kid] lists the leaves of one key
@@ -76,6 +82,112 @@ type Program struct {
 	// of both ends): the worst-case number of re-evaluations one leaf
 	// change triggers.  Cost models use it to price incremental updates.
 	maxPathLen int
+
+	// Arena and scratch recycling.  pools holds one sync.Pool of arenas
+	// per (xcap, ycap) shape; scratch recycles float64 buffers (rank
+	// contribution rows).  Both make warm evaluations — repeated engine
+	// queries, RanksParallel worker shards, precedence sweeps — steady-
+	// state allocation-free.  The pools live on the Program, so an engine
+	// re-registering a tree name drops the whole pool family with the old
+	// generation's Program (no cross-generation arena reuse is possible by
+	// construction).
+	poolMu  sync.Mutex
+	pools   map[[2]int]*sync.Pool
+	scratch sync.Pool
+
+	// valOnce caches ValidateScores' verdict: score validity is a property
+	// of the tree alone, so repeated batched evaluations (every Ranks call)
+	// check it once.
+	valOnce sync.Once
+	valErr  error
+
+	// sizeOnce caches the static per-instruction polynomial extents of the
+	// untruncated world-size evaluation (they depend only on the tree
+	// shape, not on any assignment).
+	sizeOnce sync.Once
+	sizeLens []int32
+	sizeOffs []int32
+}
+
+// progCache memoizes Compile per source tree, weakly keyed so the cache
+// never extends a tree's lifetime: the cleanup drops the entry when the
+// tree is collected (the cached Program holds no tree reference, so no
+// cycle keeps either alive).  The package-level evaluators (Ranks,
+// Precedence, ExpectedRank, ValidateScores, WorldSizeDist) compile each
+// distinct tree once instead of once per call; the engine additionally
+// pins programs per registered generation.
+var progCache sync.Map // weak.Pointer[andxor.Tree] -> *Program
+
+// compiled returns the memoized Program of t, compiling on first use.
+func compiled(t *andxor.Tree) *Program {
+	wp := weak.Make(t)
+	if v, ok := progCache.Load(wp); ok {
+		return v.(*Program)
+	}
+	p := Compile(t)
+	if v, raced := progCache.LoadOrStore(wp, p); raced {
+		return v.(*Program)
+	}
+	runtime.AddCleanup(t, func(key weak.Pointer[andxor.Tree]) {
+		progCache.Delete(key)
+	}, wp)
+	return p
+}
+
+// acquireArena returns a pooled arena with the given caps, reset to the
+// all-zero leaf assignment, allocating only when the pool is empty.
+func (p *Program) acquireArena(xcap, ycap int) *arena {
+	key := [2]int{xcap, ycap}
+	p.poolMu.Lock()
+	pool := p.pools[key]
+	if pool == nil {
+		if p.pools == nil {
+			p.pools = make(map[[2]int]*sync.Pool)
+		}
+		pool = &sync.Pool{}
+		p.pools[key] = pool
+	}
+	p.poolMu.Unlock()
+	if v := pool.Get(); v != nil {
+		ar := v.(*arena)
+		ar.reset()
+		return ar
+	}
+	return newArena(p, xcap, ycap)
+}
+
+// releaseArena returns ar to its shape's pool for reuse by a later
+// evaluation (possibly on another goroutine).
+func (p *Program) releaseArena(ar *arena) {
+	p.poolMu.Lock()
+	pool := p.pools[[2]int{ar.xcap, ar.ycap}]
+	p.poolMu.Unlock()
+	if pool != nil {
+		pool.Put(ar)
+	}
+}
+
+// floatBuf is a pooled scratch buffer; pooling the struct pointer (not the
+// raw slice) keeps Put/Get free of interface-boxing allocations.
+type floatBuf struct{ s []float64 }
+
+// acquireFloats returns a pooled scratch buffer whose slice is resized to
+// length n and zeroed.
+func (p *Program) acquireFloats(n int) *floatBuf {
+	if v := p.scratch.Get(); v != nil {
+		fb := v.(*floatBuf)
+		if cap(fb.s) >= n {
+			fb.s = fb.s[:n]
+			clear(fb.s)
+			return fb
+		}
+	}
+	return &floatBuf{s: make([]float64, n)}
+}
+
+// releaseFloats returns a scratch buffer to the pool.
+func (p *Program) releaseFloats(fb *floatBuf) {
+	p.scratch.Put(fb)
 }
 
 // Compile flattens t into a Program.  Compilation is O(tree size) and is
@@ -85,13 +197,13 @@ func Compile(t *andxor.Tree) *Program {
 	leaves := t.LeafAlternatives()
 	keys := t.Keys()
 	p := &Program{
-		tree:     t,
 		leaves:   leaves,
 		leafNode: make([]int32, 0, len(leaves)),
 		keys:     keys,
 		keyID:    make([]int32, 0, len(leaves)),
+		keyIdx:   make(map[string]int32, len(keys)),
 	}
-	keyIdx := make(map[string]int32, len(keys))
+	keyIdx := p.keyIdx
 	for i, k := range keys {
 		keyIdx[k] = int32(i)
 	}

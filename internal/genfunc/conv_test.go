@@ -1,0 +1,247 @@
+package genfunc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// convOut computes the truncated convolution a*b output-stationary: each
+// destination coefficient accumulates in a register across 4-wide output
+// blocks and is stored exactly once (store=true overwrites dst; store=false
+// adds).  Measured on the arena's shapes it beats the blocked kernel only
+// on short inner operands (which the dedicated conv2/conv3 kernels now
+// cover) and loses on the wide truncated/dense shapes, so it lives here as
+// a benchmark variant rather than in the production dispatch.  Its
+// summation order is ascending b-index (descending a-index), which also
+// differs from the production kernels' bit-exactness contract.
+func convOut(dst, a, b []float64, store bool) {
+	la, lb := len(a), len(b)
+	n := len(dst)
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		cLo := max(j+4-la, 0) // slo of output j+3
+		cHi := min(j, lb-1)   // shi of output j
+		var acc0, acc1, acc2, acc3 float64
+		if cLo > cHi {
+			// Degenerate block (tiny operand or heavy truncation): plain
+			// per-output dots.
+			acc0 = convDot(a, b, j)
+			acc1 = convDot(a, b, j+1)
+			acc2 = convDot(a, b, j+2)
+			acc3 = convDot(a, b, j+3)
+		} else {
+			// Prefix terms below the shared core (at most 3 per output).
+			acc0 = convDotRange(a, b, j, max(j-la+1, 0), cLo-1)
+			acc1 = convDotRange(a, b, j+1, max(j+1-la+1, 0), cLo-1)
+			acc2 = convDotRange(a, b, j+2, max(j+2-la+1, 0), cLo-1)
+			acc3 = convDotRange(a, b, j+3, max(j+3-la+1, 0), cLo-1)
+			// Core: all four outputs take b[s]·a[j+t-s]; the four a-values
+			// are consecutive and slide down one element per step.
+			w1, w2, w3 := a[j+1-cLo], a[j+2-cLo], a[j+3-cLo]
+			for s := cLo; s <= cHi; s++ {
+				w0 := a[j-s]
+				bv := b[s]
+				acc0 += bv * w0
+				acc1 += bv * w1
+				acc2 += bv * w2
+				acc3 += bv * w3
+				w3, w2, w1 = w2, w1, w0
+			}
+			// Suffix terms above the core (at most 3 per output).
+			acc1 += convDotRange(a, b, j+1, cHi+1, min(j+1, lb-1))
+			acc2 += convDotRange(a, b, j+2, cHi+1, min(j+2, lb-1))
+			acc3 += convDotRange(a, b, j+3, cHi+1, min(j+3, lb-1))
+		}
+		if store {
+			dst[j], dst[j+1], dst[j+2], dst[j+3] = acc0, acc1, acc2, acc3
+		} else {
+			dst[j] += acc0
+			dst[j+1] += acc1
+			dst[j+2] += acc2
+			dst[j+3] += acc3
+		}
+	}
+	for ; j < n; j++ {
+		if store {
+			dst[j] = convDot(a, b, j)
+		} else {
+			dst[j] += convDot(a, b, j)
+		}
+	}
+}
+
+// convDot returns output coefficient j of the convolution a*b.
+func convDot(a, b []float64, j int) float64 {
+	return convDotRange(a, b, j, max(j-len(a)+1, 0), min(j, len(b)-1))
+}
+
+// convDotRange returns the partial dot Σ b[s]·a[j-s] over s in [slo, shi],
+// ascending.
+func convDotRange(a, b []float64, j, slo, shi int) float64 {
+	acc := 0.0
+	for s := slo; s <= shi; s++ {
+		acc += b[s] * a[j-s]
+	}
+	return acc
+}
+
+// convShapes are the operand/destination shapes the arena kernels
+// actually produce: short-b (a leaf or near-leaf row against a wide row),
+// truncated-tail (two wide rows clamped at the cap, the dominant shape of
+// large-k rank batches), and dense (untruncated world-size rows).
+var convShapes = []struct {
+	name       string
+	la, lb, ln int
+}{
+	{"short-b", 20, 2, 20},
+	{"truncated-tail", 20, 20, 20},
+	{"dense", 16, 16, 31},
+}
+
+// convVariants are the kernels under comparison; all accumulate a*b into
+// dst truncated at len(dst).
+var convVariants = []struct {
+	name string
+	fn   func(dst, a, b []float64)
+}{
+	{"scalar", convIntoScalar},
+	{"blocked", convInto},
+	{"outstat", func(dst, a, b []float64) { convOut(dst, a, b, false) }},
+}
+
+// TestConvVariantsAgree pins every convolution kernel to the scalar
+// reference on randomized shapes, including degenerate and heavily
+// truncated ones.
+func TestConvVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		la := 1 + rng.Intn(24)
+		lb := 1 + rng.Intn(24)
+		ln := 1 + rng.Intn(la+lb-1)
+		if ln < la {
+			ln = la // arena rows are never shorter than an operand
+		}
+		a := make([]float64, la)
+		b := make([]float64, lb)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		if rng.Intn(4) == 0 {
+			a[rng.Intn(la)] = 0 // exercise the scalar kernel's zero skip
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		init := make([]float64, ln)
+		for i := range init {
+			init[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), init...)
+		convIntoScalar(want, a, b)
+		for _, v := range convVariants[1:] {
+			got := append([]float64(nil), init...)
+			v.fn(got, a, b)
+			for i := range got {
+				if v.name == "blocked" {
+					// The production dispatch preserves the scalar kernel's
+					// per-output ascending-index summation order exactly.
+					if got[i] != want[i] {
+						t.Fatalf("%s: la=%d lb=%d ln=%d coeff %d = %v, scalar %v (must be bit-identical)",
+							v.name, la, lb, ln, i, got[i], want[i])
+					}
+				} else if d := math.Abs(got[i] - want[i]); d > 1e-12 {
+					t.Fatalf("%s: la=%d lb=%d ln=%d coeff %d differs by %g", v.name, la, lb, ln, i, d)
+				}
+			}
+		}
+		// The store form must equal the accumulate form run on zeros.
+		got := make([]float64, ln)
+		convOut(got, a, b, true)
+		zero := make([]float64, ln)
+		convOut(zero, a, b, false)
+		for i := range got {
+			if got[i] != zero[i] {
+				t.Fatalf("convOut store/accumulate mismatch at %d: %v vs %v", i, got[i], zero[i])
+			}
+		}
+	}
+}
+
+// TestConvTruncationPrefixStable pins the property the engine's rank-dist
+// cache reuse depends on: evaluating with a tighter truncation bound
+// yields bit-for-bit the prefix of the wider evaluation, for every kernel.
+func TestConvTruncationPrefixStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 20)
+	b := make([]float64, 20)
+	for i := range a {
+		a[i], b[i] = rng.Float64(), rng.Float64()
+	}
+	for _, v := range convVariants {
+		wide := make([]float64, 39)
+		v.fn(wide, a, b)
+		for _, ln := range []int{20, 25, 31} {
+			narrow := make([]float64, ln)
+			v.fn(narrow, a, b)
+			for i := range narrow {
+				if narrow[i] != wide[i] {
+					t.Fatalf("%s: truncation at %d changed coeff %d: %v vs %v", v.name, ln, i, narrow[i], wide[i])
+				}
+			}
+		}
+	}
+	wideStore := make([]float64, 39)
+	convOut(wideStore, a, b, true)
+	narrowStore := make([]float64, 20)
+	convOut(narrowStore, a, b, true)
+	for i := range narrowStore {
+		if narrowStore[i] != wideStore[i] {
+			t.Fatalf("convOut store: truncation changed coeff %d", i)
+		}
+	}
+}
+
+// convBenchBatch is the number of kernel invocations per benchmark
+// iteration: a single kernel call is ~100ns, far below timer resolution
+// at the fixed -benchtime the bench-json artifacts use, so each reported
+// ns/op covers a batch of this size.
+const convBenchBatch = 512
+
+// BenchmarkConvInto compares the convolution kernels on the shapes the
+// rank/size kernels produce; `make bench-json` includes these rows so the
+// inner-loop trajectory is tracked alongside the end-to-end benches.
+// ns/op is per batch of convBenchBatch kernel invocations.
+func BenchmarkConvInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range convShapes {
+		av := make([]float64, shape.la)
+		bv := make([]float64, shape.lb)
+		for i := range av {
+			av[i] = rng.Float64()
+		}
+		for i := range bv {
+			bv[i] = rng.Float64()
+		}
+		dst := make([]float64, shape.ln)
+		for _, v := range convVariants {
+			b.Run(fmt.Sprintf("%s/%s", v.name, shape.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for r := 0; r < convBenchBatch; r++ {
+						v.fn(dst, av, bv)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("outstat-store/%s", shape.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < convBenchBatch; r++ {
+					convOut(dst, av, bv, true)
+				}
+			}
+		})
+	}
+}

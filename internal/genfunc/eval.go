@@ -93,9 +93,9 @@ func Eval2(t *andxor.Tree, assign Assignment2, xcap, ycap int) *Poly2 {
 // WorldSizeDist returns the distribution of possible-world sizes as a
 // polynomial: Coeff(i) = Pr(|pw| = i).  This is Example 1 of the paper
 // (assign the same variable x to every leaf), evaluated by the compiled
-// kernel in one allocation-light bottom-up pass.
+// kernel in one allocation-light bottom-up pass over a pooled buffer.
 func WorldSizeDist(t *andxor.Tree) Poly {
-	return Compile(t).WorldSizeDist()
+	return compiled(t).WorldSizeDist()
 }
 
 // SubsetSizeDist returns Pr(|pw ∩ S| = i) for the leaf subset S selected by

@@ -17,6 +17,10 @@ import (
 // new alternative swap.  Every step therefore re-evaluates only a few
 // root paths instead of the whole tree, turning n full-tree passes into
 // O(n·depth·log(fan-in)) incremental path updates.
+//
+// All kernels draw their arenas and scratch rows from the Program's
+// pools, so a warm Program (repeated engine queries, parallel shards)
+// evaluates without heap allocations beyond the returned result.
 
 // Ranks computes the same rank distribution as the package-level Ranks on
 // the compiled program.  See Ranks for the statistic's definition and the
@@ -25,19 +29,23 @@ func (p *Program) Ranks(k int) (*RankDist, error) {
 	if k < 1 {
 		return nil, errRankCutoff(k)
 	}
-	if err := ValidateScores(p.tree); err != nil {
+	if err := p.ValidateScores(); err != nil {
 		return nil, err
 	}
 	n := len(p.leaves)
-	contrib := make([]float64, n*k)
-	p.ranksRange(newArena(p, k-1, 1), k, 0, n, contrib)
-	return p.assembleRankDist(k, contrib)
+	fb := p.acquireFloats(n * k)
+	ar := p.acquireArena(k-1, 1)
+	p.ranksRange(ar, k, 0, n, fb.s)
+	p.releaseArena(ar)
+	rd := p.assembleRankDist(k, fb.s)
+	p.releaseFloats(fb)
+	return rd, nil
 }
 
 // RanksParallel computes Ranks with the score-ordered alternative batch
-// split into contiguous shards, one worker and one arena per shard.
-// Because every instruction's value is a pure function of the current
-// assignment, each shard reproduces exactly the coefficients the
+// split into contiguous shards, one worker and one pooled arena per
+// shard.  Because every instruction's value is a pure function of the
+// current assignment, each shard reproduces exactly the coefficients the
 // sequential kernel would, and the leaf-order merge makes the result
 // bit-identical to Ranks regardless of worker count.
 func (p *Program) RanksParallel(k, workers int) (*RankDist, error) {
@@ -54,10 +62,11 @@ func (p *Program) RanksParallel(k, workers int) (*RankDist, error) {
 	if k < 1 {
 		return nil, errRankCutoff(k)
 	}
-	if err := ValidateScores(p.tree); err != nil {
+	if err := p.ValidateScores(); err != nil {
 		return nil, err
 	}
-	contrib := make([]float64, n*k)
+	fb := p.acquireFloats(n * k)
+	contrib := fb.s
 	var wg sync.WaitGroup
 	base, rem := n/workers, n%workers
 	lo := 0
@@ -69,12 +78,16 @@ func (p *Program) RanksParallel(k, workers int) (*RankDist, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			p.ranksRange(newArena(p, k-1, 1), k, lo, hi, contrib)
+			ar := p.acquireArena(k-1, 1)
+			p.ranksRange(ar, k, lo, hi, contrib)
+			p.releaseArena(ar)
 		}(lo, hi)
 		lo = hi
 	}
 	wg.Wait()
-	return p.assembleRankDist(k, contrib)
+	rd := p.assembleRankDist(k, contrib)
+	p.releaseFloats(fb)
+	return rd, nil
 }
 
 // ranksRange computes the per-alternative rank contributions for the
@@ -128,10 +141,14 @@ func (p *Program) ranksRange(ar *arena, k, lo, hi int, contrib []float64) {
 		}
 		ar.setLeaf(a, 0, 1)
 		ar.flush()
+		// Copy the root's y¹ row directly: coefficients beyond its
+		// effective length are zero.
 		row := contrib[int(a)*k : int(a)*k+k]
-		for j := 0; j < k; j++ {
-			row[j] = ar.rootCoeff(j, 1)
-		}
+		root := len(p.insts) - 1
+		n := int(ar.lens[root*2+1])
+		rootRow := ar.vals[root*ar.sz+ar.w : root*ar.sz+ar.w+n]
+		copy(row, rootRow)
+		clear(row[len(rootRow):])
 		prev, prevScore = a, s
 	}
 }
@@ -140,33 +157,17 @@ func (p *Program) ranksRange(ar *arena, k, lo, hi int, contrib []float64) {
 // accumulating per key in DFS leaf order — the same accumulation order as
 // the legacy evaluator, which keeps sequential and parallel results
 // bit-identical.
-func (p *Program) assembleRankDist(k int, contrib []float64) (*RankDist, error) {
-	rd := &RankDist{
-		K:    k,
-		keys: p.keys,
-		eq:   make(map[string][]float64, len(p.keys)),
-		le:   make(map[string][]float64, len(p.keys)),
-	}
-	for _, key := range rd.keys {
-		rd.eq[key] = make([]float64, k+1)
-	}
+func (p *Program) assembleRankDist(k int, contrib []float64) *RankDist {
+	rd := newRankDist(p.keys, p.keyIdx, k)
 	for a := 0; a < len(p.leaves); a++ {
-		dist := rd.eq[p.keys[p.keyID[a]]]
+		dist := rd.eq[int(p.keyID[a])*(k+1):]
 		row := contrib[a*k : a*k+k]
 		for j := 1; j <= k; j++ {
 			dist[j] += row[j-1]
 		}
 	}
-	for _, key := range rd.keys {
-		le := make([]float64, k+1)
-		acc := 0.0
-		for i := 1; i <= k; i++ {
-			acc += rd.eq[key][i]
-			le[i] = acc
-		}
-		rd.le[key] = le
-	}
-	return rd, nil
+	rd.fillCumulative()
+	return rd
 }
 
 // Precedence returns Pr(r(keyI) < r(keyJ)) on the compiled program; see
@@ -183,14 +184,14 @@ func (p *Program) Precedence(keyI, keyJ string) float64 {
 	if jj, ok := p.findKey(keyJ); ok {
 		j = jj
 	}
-	ar := newArena(p, 0, 1)
-	ar.reset()
+	ar := p.acquireArena(0, 1)
 	total := 0.0
 	p.precedenceSweep(ar, j, func(kid int32, coeff float64) {
 		if kid == i {
 			total += coeff
 		}
 	}, func(kid int32) bool { return kid == i })
+	p.releaseArena(ar)
 	return total
 }
 
@@ -214,8 +215,7 @@ func (p *Program) PrecedenceMatrix(keys []string) [][]float64 {
 			rowsOf[kid] = append(rowsOf[kid], row)
 		}
 	}
-	ar := newArena(p, 0, 1)
-	ar.reset()
+	ar := p.acquireArena(0, 1)
 	for col, key := range keys {
 		j, ok := p.findKey(key)
 		if !ok {
@@ -235,6 +235,7 @@ func (p *Program) PrecedenceMatrix(keys []string) [][]float64 {
 			return ok
 		})
 	}
+	p.releaseArena(ar)
 	return m
 }
 
@@ -287,52 +288,55 @@ func (p *Program) precedenceSweep(ar *arena, j int32, emit func(kid int32, coeff
 
 // findKey returns the program key id of key.
 func (p *Program) findKey(key string) (int32, bool) {
-	lo, hi := 0, len(p.keys)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if p.keys[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
+	kid, ok := p.keyIdx[key]
+	return kid, ok
+}
+
+// sizeExtents returns the per-instruction polynomial lengths and offsets
+// of the untruncated world-size evaluation.  They depend only on the tree
+// shape (every leaf contributes exactly the monomial x), so they are
+// computed once per Program and shared by all evaluations.
+func (p *Program) sizeExtents() (lens, offs []int32) {
+	p.sizeOnce.Do(func() {
+		n := len(p.insts)
+		lens := make([]int32, n)
+		offs := make([]int32, n+1)
+		for i, in := range p.insts {
+			var l int32
+			switch in.op {
+			case opLeaf:
+				l = 2 // the monomial x
+			case opSum:
+				l = lens[in.a]
+				if in.b >= 0 && lens[in.b] > l {
+					l = lens[in.b]
+				}
+				if l < 1 {
+					l = 1
+				}
+			default: // opMul
+				l = lens[in.a] + lens[in.b] - 1
+			}
+			lens[i] = l
+			offs[i+1] = offs[i] + l
 		}
-	}
-	if lo < len(p.keys) && p.keys[lo] == key {
-		return int32(lo), true
-	}
-	return 0, false
+		p.sizeLens, p.sizeOffs = lens, offs
+	})
+	return p.sizeLens, p.sizeOffs
 }
 
 // WorldSizeDist computes the possible-world size distribution on the
 // compiled program: every leaf is assigned x and the untruncated root
-// polynomial is evaluated in one bottom-up pass.  Unlike the arena kernels
-// this uses exact per-instruction polynomial sizes (degree bounds are
-// known statically once every leaf is x), so large trees cost the same
-// O(Σ product sizes) as the legacy evaluator — minus its per-node
-// allocations and recursion.
+// polynomial is evaluated in one bottom-up pass over a pooled buffer.
+// Unlike the arena kernels this uses exact per-instruction polynomial
+// sizes (degree bounds are known statically once every leaf is x), so
+// large trees cost the same O(Σ product sizes) as the legacy evaluator —
+// minus its per-node allocations and recursion.
 func (p *Program) WorldSizeDist() Poly {
+	lens, offs := p.sizeExtents()
 	n := len(p.insts)
-	lens := make([]int32, n)
-	offs := make([]int32, n+1)
-	for i, in := range p.insts {
-		var l int32
-		switch in.op {
-		case opLeaf:
-			l = 2 // the monomial x
-		case opSum:
-			l = lens[in.a]
-			if in.b >= 0 && lens[in.b] > l {
-				l = lens[in.b]
-			}
-			if l < 1 {
-				l = 1
-			}
-		default: // opMul
-			l = lens[in.a] + lens[in.b] - 1
-		}
-		lens[i] = l
-		offs[i+1] = offs[i] + l
-	}
-	buf := make([]float64, offs[n])
+	fb := p.acquireFloats(int(offs[n]))
+	buf := fb.s
 	for i, in := range p.insts {
 		dst := buf[offs[i] : offs[i]+lens[i]]
 		switch in.op {
@@ -351,11 +355,15 @@ func (p *Program) WorldSizeDist() Poly {
 			}
 			dst[0] += in.c
 		default:
+			// World-size rows are exact-width (dst is precisely
+			// len(a)+len(b)-1), so the untruncated kernel applies.
 			a := buf[offs[in.a] : offs[in.a]+lens[in.a]]
 			b := buf[offs[in.b] : offs[in.b]+lens[in.b]]
-			convInto(dst, a, b)
+			convFull(dst, a, b)
 		}
 	}
 	root := buf[offs[n-1]:offs[n]]
-	return Poly(append([]float64(nil), root...)).Trim(0)
+	out := Poly(append([]float64(nil), root...)).Trim(0)
+	p.releaseFloats(fb)
+	return out
 }

@@ -258,6 +258,21 @@ func FuzzCompiledKernel(f *testing.F) {
 				t.Fatalf("world-size coeff %d differs by %g", i, d)
 			}
 		}
+		ge, geErr := ExpectedRank(tr)
+		we, weErr := expectedRankLegacy(tr)
+		if (geErr == nil) != (weErr == nil) {
+			t.Fatalf("ExpectedRank error mismatch: kernel %v, legacy %v", geErr, weErr)
+		}
+		if geErr == nil {
+			for _, key := range keys {
+				if d := math.Abs(ge[key] - we[key]); d > kernelTol*math.Max(1, math.Abs(we[key])) {
+					t.Fatalf("E[rank(%s)] differs by %g", key, d)
+				}
+			}
+		}
+		if gv, wv := ValidateScores(tr), validateScoresLegacy(tr); (gv == nil) != (wv == nil) {
+			t.Fatalf("ValidateScores verdict mismatch: kernel %v, legacy %v", gv, wv)
+		}
 	})
 }
 
@@ -297,4 +312,44 @@ func BenchmarkRanksCompiledVsLegacy(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestRanksCutoffPrefixBitIdentical pins the cross-cutoff contract the
+// engine's cache reuse depends on: Ranks(t, k) is a bit-identical prefix
+// of Ranks(t, k') for every k < k'.  k=1 exercises the scalar dual-number
+// arena (x-cap 0), whose accumulation order must match the generic
+// kernels' exactly — including adding an or-node's stop constant last
+// (the regression this test pins caught the dual kernel folding it in
+// early, a 1-ulp divergence on trees with multi-child or-nodes).
+func TestRanksCutoffPrefixBitIdentical(t *testing.T) {
+	trees := []*andxor.Tree{
+		// BID shapes with multi-child or-nodes (stop constants on binary
+		// sums) are where the dual kernel's association order diverged.
+		testTree(1, 0, 12, 3),
+		testTree(1, 0, 30, 3),
+		testTree(1, 3, 6, 3),
+	}
+	for shape := 0; shape < 3; shape++ {
+		trees = append(trees, testTree(shape, 51+shape, 18, 3))
+	}
+	for _, tr := range trees {
+		wide, err := Ranks(tr, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 5} {
+			narrow, err := Ranks(tr, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, key := range tr.Keys() {
+				for i := 1; i <= k; i++ {
+					if narrow.PrEq(key, i) != wide.PrEq(key, i) {
+						t.Fatalf("k=%d: PrEq(%q, %d) = %x, k=9 prefix %x (tree %s)",
+							k, key, i, narrow.PrEq(key, i), wide.PrEq(key, i), tr)
+					}
+				}
+			}
+		}
+	}
 }

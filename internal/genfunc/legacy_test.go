@@ -1,6 +1,8 @@
 package genfunc
 
 import (
+	"fmt"
+
 	"consensus/internal/andxor"
 	"consensus/internal/types"
 )
@@ -20,15 +22,12 @@ func ranksLegacy(t *andxor.Tree, k int) (*RankDist, error) {
 		return nil, err
 	}
 	leaves := t.LeafAlternatives()
-	rd := &RankDist{
-		K:    k,
-		keys: t.Keys(),
-		eq:   make(map[string][]float64, len(t.Keys())),
-		le:   make(map[string][]float64, len(t.Keys())),
+	keys := t.Keys()
+	idx := make(map[string]int32, len(keys))
+	for i, key := range keys {
+		idx[key] = int32(i)
 	}
-	for _, key := range rd.keys {
-		rd.eq[key] = make([]float64, k+1)
-	}
+	rd := newRankDist(keys, idx, k)
 	for a, alt := range leaves {
 		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
 			if i == a {
@@ -39,21 +38,76 @@ func ranksLegacy(t *andxor.Tree, k int) (*RankDist, error) {
 			}
 			return 0, 0
 		}, k-1, 1)
-		dist := rd.eq[alt.Key]
+		dist := rd.eq[int(idx[alt.Key])*(k+1):]
 		for j := 1; j <= k; j++ {
 			dist[j] += f.Coeff(j-1, 1)
 		}
 	}
-	for _, key := range rd.keys {
-		le := make([]float64, k+1)
-		acc := 0.0
-		for i := 1; i <= k; i++ {
-			acc += rd.eq[key][i]
-			le[i] = acc
-		}
-		rd.le[key] = le
-	}
+	rd.fillCumulative()
 	return rd, nil
+}
+
+// expectedRankLegacy is the pre-kernel ExpectedRank: a full rank
+// distribution at cutoff n plus one untruncated recursive bivariate
+// evaluation per key for the absent-size term.
+func expectedRankLegacy(t *andxor.Tree) (map[string]float64, error) {
+	n := len(t.Keys())
+	if n == 0 {
+		return nil, fmt.Errorf("genfunc: empty tree")
+	}
+	rd, err := ranksLegacy(t, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, n)
+	for _, key := range t.Keys() {
+		s := 0.0
+		for j := 1; j <= n; j++ {
+			s += float64(j) * rd.PrEq(key, j)
+		}
+		key := key
+		f := Eval2(t, func(i int, l types.Leaf) (int, int) {
+			if l.Key == key {
+				return 1, 1
+			}
+			return 1, 0
+		}, t.NumLeaves(), 1)
+		for sz := 0; sz <= t.NumLeaves(); sz++ {
+			s += float64(sz) * f.Coeff(sz, 0)
+		}
+		out[key] = s
+	}
+	return out, nil
+}
+
+// validateScoresLegacy is the pre-kernel ValidateScores: one full
+// recursive CoOccurrence evaluation per tied cross-key pair (iterated
+// over a float64-keyed map, so the reported pair was nondeterministic;
+// only the error verdict is comparable).
+func validateScoresLegacy(t *andxor.Tree) error {
+	leaves := t.LeafAlternatives()
+	byScore := map[float64][]int{}
+	for i, l := range leaves {
+		byScore[l.Score] = append(byScore[l.Score], i)
+	}
+	for score, idxs := range byScore {
+		if len(idxs) < 2 {
+			continue
+		}
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				if leaves[i].Key == leaves[j].Key {
+					continue
+				}
+				if CoOccurrence(t, map[int]bool{i: true, j: true}) > 0 {
+					return fmt.Errorf("genfunc: alternatives %v and %v share score %v and can co-occur; ranking is ill-defined",
+						leaves[i], leaves[j], score)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // precedenceLegacy is the pre-kernel Precedence: one full recursive

@@ -12,5 +12,5 @@ import (
 // of the update history), and per-key contributions are merged in leaf
 // order, not completion order.
 func RanksParallel(t *andxor.Tree, k, workers int) (*RankDist, error) {
-	return Compile(t).RanksParallel(k, workers)
+	return compiled(t).RanksParallel(k, workers)
 }

@@ -26,12 +26,34 @@
 //   - Compile flattens the tree into a postorder instruction array with
 //     binarized fan-ins (compile.go), so a leaf-to-root path has length
 //     O(depth·log fan-in) and evaluation is an index-addressed loop
-//     instead of pointer-chasing recursion.
+//     instead of pointer-chasing recursion.  Compilation itself is
+//     memoized per tree in a weak-keyed cache, so the package-level
+//     evaluators never recompile a live tree.
 //
 //   - An evaluation arena (arena.go) preallocates one truncated-polynomial
 //     slot per instruction and rewrites slots in place; steady-state
-//     evaluation allocates nothing.  Per-row effective lengths keep
-//     products at O(len_a·len_b), matching the legacy size-matched cost.
+//     evaluation allocates nothing.  Rows are dense within per-row
+//     effective lengths: products cost O(len_a·len_b) like the legacy
+//     size-matched polynomials, while the stored coefficients inside a
+//     row are multiplied unconditionally — no per-element zero branch —
+//     so the truncated convolution (conv.go) runs as fixed-stride 4-wide
+//     accumulator blocks with the operand window held in registers, plus
+//     straight-line kernels for one/two/three-coefficient operands.
+//     Every kernel accumulates each output in ascending operand order,
+//     which makes a truncated evaluation bit-identical to the prefix of a
+//     wider one (the property the engine's cutoff-reuse depends on).
+//     Arenas with x-cap 0 and y-cap 1 — every precedence sweep — store
+//     two scalars per instruction and evaluate with straight-line
+//     dual-number arithmetic, no length bookkeeping at all.
+//
+//   - Arenas and scratch rows are pooled per Program (one sync.Pool per
+//     (xcap, ycap) shape): warm evaluations — repeated engine queries,
+//     RanksParallel worker shards, consecutive precedence sweeps — reuse
+//     them with zero heap allocations; a rank batch allocates only its
+//     returned RankDist (one struct plus two flat rows).  Resetting a
+//     recycled arena is incremental for lightly marked ones and a
+//     snapshot copy for heavily marked ones, landing on bit-identical
+//     state either way.
 //
 //   - The batched kernels (kernel.go) walk alternatives in descending
 //     score order: consecutive assignments differ only in the moving
@@ -40,6 +62,18 @@
 //     root paths.  Rank distributions drop from O(n·|tree|·k) per batch to
 //     O(n·depth·log(fan-in)·k²) coefficient work, and a full precedence
 //     matrix costs one sweep per column instead of one tree pass per cell.
+//
+//   - ExpectedRank (rank.go) runs on dual-number x-rows (leaves assigned
+//     1+x at x-cap 1, so the root's x¹ coefficient is an expected count):
+//     one descending-score sweep accumulates the present-part term and
+//     one more incremental sweep — flipping each key's alternatives to
+//     the y-mark in turn — the absent-size term, for O(n·depth·log
+//     fan-in) total, independent of any rank cutoff.  ValidateScores
+//     batches all tied-pair co-occurrence checks onto a single arena at
+//     caps (2, 0) — two leaf-path updates per pair instead of a full
+//     recursive pass — iterating tie groups in descending-score order so
+//     the reported offending pair is deterministic; the verdict is cached
+//     on the Program.
 package genfunc
 
 // Poly is a dense univariate polynomial; Poly[i] is the coefficient of x^i.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package genfunc
+
+const raceEnabled = false

@@ -102,7 +102,10 @@ func UTopKSampled(t *andxor.Tree, k, samples int, rng *rand.Rand) (List, float64
 }
 
 // ExpectedRankTopK ranks tuples by Cormode et al.'s expected rank
-// (ascending) and returns the first k.
+// (ascending) and returns the first k.  The statistic runs on genfunc's
+// compiled dual-number kernel (one incremental sweep per term, no
+// cutoff-n rank distribution), so this baseline now costs about as much
+// as a single rank-distribution batch at k=2.
 func ExpectedRankTopK(t *andxor.Tree, k int) (List, error) {
 	er, err := genfunc.ExpectedRank(t)
 	if err != nil {
