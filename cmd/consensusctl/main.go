@@ -12,18 +12,26 @@
 //	consensusctl -db db.json rank -k 5
 //	consensusctl -db db.json cluster -restarts 20
 //	consensusctl -db db.json groupby
+//	consensusctl -db db.json mutate -kind set-prob -key a -score 9 -prob 0.7 > db2.json
+//	consensusctl -db db.json condition -kind present -key a > db2.json
 //	consensusctl serve -addr :8080 [-db db.json -name default]
 //
-// With -db - the tree is read from stdin.  The serve subcommand starts the
-// concurrent consensus-serving engine over HTTP/JSON (see package
-// consensus/internal/engine for the endpoint list); -db optionally
-// preloads one tree, and further trees can be registered at runtime with
-// PUT /v1/trees/{name}.  The served op set covers every consensus query
-// family of the paper: topk-mean, topk-median, rank-dist, mean-world,
-// median-world, mean-world-jaccard, median-world-jaccard, size-dist,
-// membership, world-prob, clustering-mean, aggregate-mean,
-// aggregate-median, ranking-consensus and spj-eval (the last posts its
-// query and tables inline; see workloadgen -kind spj for a generator).
+// With -db - the tree is read from stdin.  The mutate and condition
+// subcommands apply one in-place update (set-prob, insert, delete) or
+// evidence assertion (present, absent, choose) to the tree, report the
+// affected marginals on stderr, and write the mutated tree JSON to stdout
+// so pipelines can chain updates; against a running server the same
+// operations are the engine ops "mutate" and "condition".  The serve
+// subcommand starts the concurrent consensus-serving engine over HTTP/JSON
+// (see package consensus/internal/engine for the endpoint list); -db
+// optionally preloads one tree, and further trees can be registered at
+// runtime with PUT /v1/trees/{name}.  The served op set covers every
+// consensus query family of the paper: topk-mean, topk-median, rank-dist,
+// mean-world, median-world, mean-world-jaccard, median-world-jaccard,
+// size-dist, membership, world-prob, clustering-mean, aggregate-mean,
+// aggregate-median, ranking-consensus, spj-eval (which posts its query and
+// tables inline; see workloadgen -kind spj for a generator), and the
+// mutation ops mutate and condition.
 package main
 
 import (
@@ -50,6 +58,12 @@ func main() {
 	mode := flag.String("mode", "", "serve: default evaluation mode for requests that set none: exact | approx | auto")
 	epsilon := flag.Float64("epsilon", 0, "serve: default error-budget half-width for approx/auto requests (0 = library default)")
 	delta := flag.Float64("delta", 0, "serve: default error-budget failure probability (0 = library default)")
+	kind := flag.String("kind", "", "mutate: set-prob | insert | delete; condition: present | absent | choose")
+	key := flag.String("key", "", "mutate/condition: tuple key to update")
+	score := flag.Float64("score", 0, "mutate/condition: score identifying the alternative within the key's block")
+	prob := flag.Float64("prob", 0, "mutate: new edge probability for set-prob/insert")
+	label := flag.String("label", "", "mutate: label of an inserted alternative")
+	renorm := flag.Bool("renorm", false, "mutate set-prob: rescale the rest of the block so its total mass is preserved")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -138,6 +152,14 @@ func main() {
 		for id := 0; id < len(byCluster); id++ {
 			fmt.Printf("cluster %d: %v\n", id, byCluster[id])
 		}
+	case "mutate", "condition":
+		u := consensus.Update{
+			Kind: consensus.UpdateKind(*kind), Key: *key, Score: *score,
+			Prob: *prob, Label: *label, Renormalize: *renorm,
+		}
+		if err := runMutate(tree, cmd, u); err != nil {
+			fail(err)
+		}
 	case "groupby":
 		p, groups, err := consensus.GroupMatrixFromTree(tree)
 		if err != nil {
@@ -158,6 +180,45 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runMutate applies one local mutation or evidence assertion, reports the
+// affected marginals on stderr and writes the mutated tree JSON to stdout
+// (so shell pipelines can chain updates; against a running server the same
+// operations are the engine ops "mutate" and "condition").
+func runMutate(tree *consensus.Tree, cmd string, u consensus.Update) error {
+	switch u.Kind {
+	case consensus.UpdateSetProb, consensus.UpdateInsert, consensus.UpdateDelete:
+		if cmd != "mutate" {
+			return fmt.Errorf("kind %q belongs to the mutate subcommand", u.Kind)
+		}
+	case consensus.EvidencePresent, consensus.EvidenceAbsent, consensus.EvidenceChoose:
+		if cmd != "condition" {
+			return fmt.Errorf("kind %q belongs to the condition subcommand", u.Kind)
+		}
+	case "":
+		return fmt.Errorf("%s needs -kind (and -key)", cmd)
+	default:
+		return fmt.Errorf("unknown %s kind %q", cmd, u.Kind)
+	}
+	d, err := tree.Apply(u)
+	if err != nil {
+		return err
+	}
+	for _, k := range d.Keys {
+		if m, ok := tree.KeyMarginal(k); ok {
+			fmt.Fprintf(os.Stderr, "%s: Pr(%s present) = %.6g\n", cmd, k, m)
+		}
+	}
+	for _, k := range d.Removed {
+		fmt.Fprintf(os.Stderr, "%s: %s removed\n", cmd, k)
+	}
+	data, err := tree.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Printf("%s\n", data)
+	return err
 }
 
 func parseMetric(s string) (consensus.Metric, error) {
@@ -202,6 +263,8 @@ func flagWasSet(name string) bool {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: consensusctl -db <file|-> <mean-world|median-world|size-dist|topk|topk-median|rank|cluster|groupby>")
+	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> mutate -kind set-prob|insert|delete -key K [-score S -prob P -label L -renorm]")
+	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> condition -kind present|absent|choose -key K [-score S]")
 	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N -mode exact|approx|auto -epsilon E -delta D]")
 	os.Exit(2)
 }

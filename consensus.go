@@ -40,6 +40,25 @@ type (
 	Clustering = cluster.Clustering
 	// ClusterInstance is a consensus-clustering problem over tuple keys.
 	ClusterInstance = cluster.Instance
+	// Update describes one in-place tree mutation or evidence assertion,
+	// applied with Tree.Apply.
+	Update = andxor.Update
+	// UpdateKind discriminates the mutation and conditioning operations.
+	UpdateKind = andxor.UpdateKind
+	// Delta reports what a Tree.Apply changed (consumed by the engine's
+	// compiled-kernel patch path).
+	Delta = andxor.Delta
+)
+
+// Mutation and evidence kinds accepted by Tree.Apply (and, as strings, by
+// the engine's MutationRequest.Kind / EvidenceRequest.Kind fields).
+const (
+	UpdateSetProb   = andxor.UpdateSetProb
+	UpdateInsert    = andxor.UpdateInsert
+	UpdateDelete    = andxor.UpdateDelete
+	EvidencePresent = andxor.EvidencePresent
+	EvidenceAbsent  = andxor.EvidenceAbsent
+	EvidenceChoose  = andxor.EvidenceChoose
 )
 
 // Tree constructors.

@@ -39,7 +39,13 @@
 //     evaluation mode ("exact", "approx", "auto") and an error budget
 //     (epsilon, delta), and the engine either runs the exact algorithms or
 //     worker-sharded sampling with Hoeffding / empirical-Bernstein
-//     stopping, reporting the realized confidence radius in the response.
+//     stopping, reporting the realized confidence radius in the response;
+//   - in-place mutation and evidence conditioning of registered trees
+//     (OpMutate, OpCondition): probability updates, alternative
+//     inserts/deletes and observed evidence propagate as deltas through the
+//     compiled kernel and its pooled arenas, bit-identical to re-registering
+//     the mutated tree but without paying recompilation on weight-only
+//     changes (see docs/ARCHITECTURE.md for the delta path).
 //
 // # Quick start
 //
@@ -95,6 +101,10 @@
 //	spj-eval              SPJ           poly for safe plans (hierarchical,
 //	                                    self-join free); #P-hard otherwise,
 //	                                    served by exact lineage evaluation
+//	mutate                mutation      poly; weight updates patch the compiled
+//	                                    kernel in place, insert/delete recompile
+//	condition             evidence      poly; weight-only block rescaling
+//	                                    (local conditioning), patched in place
 //	rank-dist/size-dist/  primitives    poly (Section 3.3 generating
 //	membership/world-prob               functions)
 //
@@ -115,6 +125,30 @@
 //		},
 //	}})
 //	// resp.Value is Pr(q); resp.Method says "safe-plan" or "lineage".
+//
+// # Mutations and evidence
+//
+// Registered trees are mutable.  OpMutate carries a MutationRequest — set a
+// tuple's probability (optionally renormalizing its mutual-exclusion
+// block), insert a new alternative, or delete one — and OpCondition carries
+// an EvidenceRequest asserting that a key was observed present, absent, or
+// fixed to one alternative, rescaling the affected block to the conditional
+// distribution:
+//
+//	resp := eng.Query(consensus.Request{Tree: "db", Op: consensus.OpMutate,
+//		Mutation: &consensus.MutationRequest{Kind: "set-prob", Key: "a", Prob: 0.7}})
+//	resp = eng.Query(consensus.Request{Tree: "db", Op: consensus.OpCondition,
+//		Evidence: &consensus.EvidenceRequest{Kind: "present", Key: "b"}})
+//
+// The response reports the new mutation epoch, the fresh marginals of every
+// affected key, any keys removed by x-tuple conditioning, and whether the
+// compiled kernel was "patched" in place (weight-only deltas against a
+// resident program) or "recompiled" (structural changes).  Mutations are
+// serialized per tree and atomic with respect to queries: a concurrent
+// query sees either the complete old state or the complete new state.
+// Post-mutation query answers are bit-identical to re-registering the
+// mutated tree cold; docs/ARCHITECTURE.md documents the delta-propagation
+// architecture and the tests pinning that invariant.
 //
 // # The compiled exact kernel
 //
@@ -172,6 +206,7 @@
 // intermediates are cached under separate keys, so budgets never collide.
 // Consensus worlds, median top-k and world probabilities are exact-only.
 //
-// See examples/ for runnable end-to-end programs, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the paper-vs-measured record.
+// See examples/ for runnable end-to-end programs, README.md for the
+// install/serve quickstart and docs/ARCHITECTURE.md for the request
+// lifecycle and delta-propagation architecture.
 package consensus

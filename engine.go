@@ -36,6 +36,13 @@ type (
 	SPJTerm = engine.SPJTerm
 	// SPJRow is one probabilistic tuple of a posted SPJ table.
 	SPJRow = engine.SPJRow
+	// MutationRequest is the payload of an OpMutate request: a
+	// tuple-probability update or an alternative insert/delete applied to
+	// the registered tree in place.
+	MutationRequest = engine.MutationRequest
+	// EvidenceRequest is the payload of an OpCondition request: a key
+	// observed present, absent, or fixed to one alternative.
+	EvidenceRequest = engine.EvidenceRequest
 )
 
 // NewEngine builds an engine; the zero EngineOptions selects GOMAXPROCS
@@ -45,7 +52,8 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 // Request operations served by the engine, covering every consensus query
 // family of the paper: top-k (mean/median), set answers (symmetric
 // difference and Jaccard), full rankings, clusterings, group-by
-// aggregates, SPJ evaluation, and the probability primitives.
+// aggregates, SPJ evaluation, the probability primitives, and the
+// mutation/conditioning ops that update registered trees in place.
 const (
 	OpTopKMean           = engine.OpTopKMean
 	OpTopKMedian         = engine.OpTopKMedian
@@ -62,6 +70,8 @@ const (
 	OpAggregateMedian    = engine.OpAggregateMedian
 	OpRankingConsensus   = engine.OpRankingConsensus
 	OpSPJEval            = engine.OpSPJEval
+	OpMutate             = engine.OpMutate
+	OpCondition          = engine.OpCondition
 )
 
 // Aggregation rules accepted in Request.Method for OpRankingConsensus and

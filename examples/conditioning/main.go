@@ -1,0 +1,107 @@
+// Evidence conditioning — acting on observations without rebuilding the
+// database.
+//
+// A sensor fleet reports noisy temperatures as a BID database (each sensor
+// is one mutual-exclusion block; the probability deficit is the chance the
+// sensor was down).  The operator asks for the consensus "hottest sensors"
+// list, then learns hard facts from a field check: one sensor is certainly
+// dead, another certainly reported its high reading.  Instead of rebuilding
+// and re-registering the database, the example asserts the evidence through
+// the engine's condition operation — the affected blocks are rescaled to
+// the conditional distribution and the compiled query kernel is patched in
+// place — and shows how the consensus top-k answer shifts.  A final
+// recalibration update (mutate, set-prob) shows the same delta path for
+// ordinary probability updates.
+//
+// Run with: go run ./examples/conditioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	consensus "consensus"
+)
+
+// reading is one calibrated posterior sample for a sensor.
+type reading struct {
+	temp float64
+	prob float64
+}
+
+func main() {
+	// Posterior readings per sensor.  Probabilities per sensor sum to at
+	// most 1; the deficit is the probability the sensor was down.
+	sensors := []struct {
+		name string
+		rs   []reading
+	}{
+		{"s1-roof", []reading{{41.2, 0.5}, {38.9, 0.4}}},
+		{"s2-lobby", []reading{{25.1, 0.95}}},
+		{"s3-server", []reading{{45.3, 0.35}, {35.2, 0.35}, {30.8, 0.2}}},
+		{"s4-garage", []reading{{33.4, 0.6}, {32.1, 0.3}}},
+		{"s5-kitchen", []reading{{39.7, 0.45}, {28.4, 0.45}}},
+		{"s6-attic", []reading{{44.1, 0.25}, {29.5, 0.55}}},
+	}
+	var blocks []consensus.Block
+	for _, s := range sensors {
+		var b consensus.Block
+		for _, r := range s.rs {
+			b.Alternatives = append(b.Alternatives, consensus.Leaf{Key: s.name, Score: r.temp})
+			b.Probs = append(b.Probs, r.prob)
+		}
+		blocks = append(blocks, b)
+	}
+	db, err := consensus.BID(blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := consensus.NewEngine(consensus.EngineOptions{})
+	if err := eng.Register("sensors", db); err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 3
+	topK := func(when string) {
+		resp := eng.Query(consensus.Request{Tree: "sensors", Op: consensus.OpTopKMean, K: k})
+		if !resp.Ok() {
+			log.Fatal(resp.Error)
+		}
+		fmt.Printf("%-28s %v\n", when+":", resp.TopK)
+	}
+	topK("prior consensus top-3")
+
+	// Field check: the attic sensor is physically dead — its readings were
+	// ghosts.  Condition on absence: the block's mass drops to zero and
+	// every query now answers the conditional distribution.
+	resp := eng.Query(consensus.Request{Tree: "sensors", Op: consensus.OpCondition,
+		Evidence: &consensus.EvidenceRequest{Kind: "absent", Key: "s6-attic"}})
+	if !resp.Ok() {
+		log.Fatal(resp.Error)
+	}
+	fmt.Printf("\nobserved s6-attic dead       (epoch %d, kernel %s)\n", resp.Epoch, resp.Method)
+	topK("conditioned top-3")
+
+	// The server-room sensor was verified reporting: some alternative is
+	// certainly present, so the block rescales by its prior mass and the
+	// hot 45.3° reading's posterior rises from 0.35 to 0.35/0.9.
+	resp = eng.Query(consensus.Request{Tree: "sensors", Op: consensus.OpCondition,
+		Evidence: &consensus.EvidenceRequest{Kind: "present", Key: "s3-server"}})
+	if !resp.Ok() {
+		log.Fatal(resp.Error)
+	}
+	fmt.Printf("\nobserved s3-server reporting (epoch %d, kernel %s)\n", resp.Epoch, resp.Method)
+	fmt.Printf("  Pr(s3-server present) now %.3f\n", resp.Probs["s3-server"])
+	topK("conditioned top-3")
+
+	// Recalibration: the roof sensor's high reading is likelier than first
+	// modelled.  An ordinary mutation takes the same in-place delta path.
+	resp = eng.Query(consensus.Request{Tree: "sensors", Op: consensus.OpMutate,
+		Mutation: &consensus.MutationRequest{Kind: "set-prob", Key: "s1-roof", Score: 41.2, Prob: 0.8, Renormalize: true}})
+	if !resp.Ok() {
+		log.Fatal(resp.Error)
+	}
+	fmt.Printf("\nrecalibrated s1-roof         (epoch %d, kernel %s)\n", resp.Epoch, resp.Method)
+	topK("recalibrated top-3")
+}

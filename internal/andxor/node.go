@@ -48,14 +48,17 @@ func (k Kind) String() string {
 	}
 }
 
-// Node is a single node of an and/xor tree.  Nodes are immutable once the
-// enclosing Tree has been constructed; building happens through the
-// constructors below and validation through New.
+// Node is a single node of an and/xor tree.  Nodes belong to exactly one
+// Tree; building happens through the constructors below and validation
+// through New.  After construction a tree changes only through the
+// mutation entry points on Tree (Apply in mutation.go), which keep the
+// validated invariants intact.
 type Node struct {
 	kind     Kind
 	leaf     types.Leaf
 	children []*Node
 	probs    []float64 // parallel to children; KindOr only
+	parent   *Node     // set by New; nil at the root
 }
 
 // NewLeaf returns a leaf node for the given tuple alternative.

@@ -28,9 +28,18 @@ type Tree struct {
 	leaves   []*Node      // all leaves in DFS order
 	leafAlts []types.Leaf // parallel to leaves; memoized for the hot loops
 	keys     []string     // distinct keys, sorted
+
+	// keyLeaves maps each key to the DFS indices of its leaves, and
+	// leafIndex inverts leaves; both serve the mutation and conditioning
+	// entry points (mutation.go) and the per-key marginal patching the
+	// engine's delta path relies on.
+	keyLeaves map[string][]int
+	leafIndex map[*Node]int
 }
 
 // New validates the DAG-free tree rooted at root and returns it as a Tree.
+// Validation also wires parent pointers, so nodes must belong to exactly
+// one tree.
 func New(root *Node) (*Tree, error) {
 	if root == nil {
 		return nil, fmt.Errorf("andxor: nil root")
@@ -38,6 +47,7 @@ func New(root *Node) (*Tree, error) {
 	t := &Tree{root: root}
 	seen := make(map[*Node]bool)
 	keySet := make(map[string]bool)
+	root.parent = nil
 	if _, err := t.validate(root, seen, keySet); err != nil {
 		return nil, err
 	}
@@ -47,8 +57,12 @@ func New(root *Node) (*Tree, error) {
 	}
 	sort.Strings(t.keys)
 	t.leafAlts = make([]types.Leaf, len(t.leaves))
+	t.keyLeaves = make(map[string][]int, len(keySet))
+	t.leafIndex = make(map[*Node]int, len(t.leaves))
 	for i, n := range t.leaves {
 		t.leafAlts[i] = n.leaf
+		t.keyLeaves[n.leaf.Key] = append(t.keyLeaves[n.leaf.Key], i)
+		t.leafIndex[n] = i
 	}
 	return t, nil
 }
@@ -95,6 +109,9 @@ func (t *Tree) validate(n *Node, seen map[*Node]bool, keySet map[string]bool) (m
 		}
 		keys := make(map[string]bool)
 		for _, c := range n.children {
+			if c != nil {
+				c.parent = n
+			}
 			ck, err := t.validate(c, seen, keySet)
 			if err != nil {
 				return nil, err
@@ -129,6 +146,9 @@ func (t *Tree) validate(n *Node, seen map[*Node]bool, keySet map[string]bool) (m
 		}
 		keys := make(map[string]bool)
 		for _, c := range n.children {
+			if c != nil {
+				c.parent = n
+			}
 			ck, err := t.validate(c, seen, keySet)
 			if err != nil {
 				return nil, err
@@ -200,6 +220,62 @@ func (t *Tree) KeyMarginals() map[string]float64 {
 		m[n.leaf.Key] += probs[i]
 	}
 	return m
+}
+
+// KeyMarginal returns the marginal presence probability of one key and
+// whether the key exists.  The per-leaf products multiply the or-edge
+// probabilities in the same top-down order as MarginalProbs and the leaves
+// sum in DFS order, so a patched marginal is bit-identical to the value a
+// full KeyMarginals recomputation would produce — the invariant the
+// engine's delta path relies on when it patches cached membership maps.
+func (t *Tree) KeyMarginal(key string) (float64, bool) {
+	idxs, ok := t.keyLeaves[key]
+	if !ok {
+		return 0, false
+	}
+	sum := 0.0
+	var edges []float64
+	for _, li := range idxs {
+		edges = edges[:0]
+		for c := t.leaves[li]; c.parent != nil; c = c.parent {
+			if par := c.parent; par.kind == KindOr {
+				edges = append(edges, par.probs[childIndex(par, c)])
+			}
+		}
+		p := 1.0
+		for j := len(edges) - 1; j >= 0; j-- {
+			p *= edges[j]
+		}
+		sum += p
+	}
+	return sum, true
+}
+
+// Clone returns a deep copy of the tree: fresh nodes, identical structure,
+// probabilities and leaf alternatives.  Mutating the clone (or the
+// original) leaves the other untouched, which is how the engine takes
+// ownership of a caller-supplied tree before its first in-place mutation.
+func (t *Tree) Clone() *Tree {
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		m := &Node{kind: n.kind, leaf: n.leaf}
+		if len(n.children) > 0 {
+			m.children = make([]*Node, len(n.children))
+			for i, c := range n.children {
+				m.children[i] = cp(c)
+			}
+		}
+		if len(n.probs) > 0 {
+			m.probs = append([]float64(nil), n.probs...)
+		}
+		return m
+	}
+	nt, err := New(cp(t.root))
+	if err != nil {
+		// t passed validation and the copy is structurally identical.
+		panic(fmt.Sprintf("andxor: cloning a valid tree failed validation: %v", err))
+	}
+	return nt
 }
 
 // Sample draws one possible world according to the tree's distribution,

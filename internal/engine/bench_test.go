@@ -239,3 +239,144 @@ func BenchmarkEngineColdRankDist(b *testing.B) {
 		}
 	}
 }
+
+// mutateBenchTree is the B2 workload of the bench suite (BID, 256 blocks,
+// up to 2 alternatives) on which the mutate-vs-reregister acceptance gate
+// is measured.
+func mutateBenchTree() *andxor.Tree {
+	return workload.BID(rand.New(rand.NewSource(20)), 256, 2)
+}
+
+// BenchmarkMutateVsReregister compares the two ways to change one tuple's
+// probability and read the affected marginal back: the in-place delta path
+// (OpMutate patches the tree, the compiled kernel and the cached
+// membership map, then the query hits the warm cache) versus the
+// pre-mutation workflow (clone the tree, apply the update, re-register —
+// full validation plus cache invalidation — then query cold).  The mutate
+// sub-benchmark must beat reregister by >= 10x.
+func BenchmarkMutateVsReregister(b *testing.B) {
+	base := mutateBenchTree()
+	alt := base.LeafAlternatives()[0]
+	memReq := Request{Tree: "db", Op: OpMembership, Keys: []string{alt.Key}}
+
+	b.Run("mutate", func(b *testing.B) {
+		e := New(Options{})
+		if err := e.Register("db", base); err != nil {
+			b.Fatal(err)
+		}
+		// Warm the kernel and the membership map so the steady-state delta
+		// path — not a first-touch compile — is what is measured.
+		if resp := e.Query(Request{Tree: "db", Op: OpRankDist, K: 20}); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+		if resp := e.Query(memReq); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mreq := Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+				Kind: "set-prob", Key: alt.Key, Score: alt.Score,
+				Prob: 0.05 + float64(i%9)*0.1, Renormalize: true,
+			}}
+			if resp := e.Query(mreq); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+			if resp := e.Query(memReq); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	})
+
+	b.Run("reregister", func(b *testing.B) {
+		e := New(Options{})
+		if err := e.Register("db", base); err != nil {
+			b.Fatal(err)
+		}
+		if resp := e.Query(memReq); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nt := base.Clone()
+			u := andxor.Update{
+				Kind: andxor.UpdateSetProb, Key: alt.Key, Score: alt.Score,
+				Prob: 0.05 + float64(i%9)*0.1, Renormalize: true,
+			}
+			if _, err := nt.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Register("db", nt); err != nil {
+				b.Fatal(err)
+			}
+			if resp := e.Query(memReq); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	})
+}
+
+// BenchmarkMutateVsReregisterRankDist is the rank-distribution variant of
+// the pair: both sides must recompute the k=20 rank distribution (a
+// weight change moves every tuple's rank distribution, so there is no
+// warm carry-over), so the delta path's advantage here is only the saved
+// clone/validate/recompile — this pins the patch overhead as negligible
+// against a real query, not a 10x gate.
+func BenchmarkMutateVsReregisterRankDist(b *testing.B) {
+	base := mutateBenchTree()
+	alt := base.LeafAlternatives()[0]
+	rankReq := Request{Tree: "db", Op: OpRankDist, K: 20, Keys: []string{alt.Key}}
+
+	b.Run("mutate", func(b *testing.B) {
+		e := New(Options{})
+		if err := e.Register("db", base); err != nil {
+			b.Fatal(err)
+		}
+		if resp := e.Query(rankReq); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mreq := Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+				Kind: "set-prob", Key: alt.Key, Score: alt.Score,
+				Prob: 0.05 + float64(i%9)*0.1, Renormalize: true,
+			}}
+			if resp := e.Query(mreq); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+			if resp := e.Query(rankReq); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	})
+
+	b.Run("reregister", func(b *testing.B) {
+		e := New(Options{})
+		if err := e.Register("db", base); err != nil {
+			b.Fatal(err)
+		}
+		if resp := e.Query(rankReq); !resp.Ok() {
+			b.Fatal(resp.Error)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nt := base.Clone()
+			u := andxor.Update{
+				Kind: andxor.UpdateSetProb, Key: alt.Key, Score: alt.Score,
+				Prob: 0.05 + float64(i%9)*0.1, Renormalize: true,
+			}
+			if _, err := nt.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Register("db", nt); err != nil {
+				b.Fatal(err)
+			}
+			if resp := e.Query(rankReq); !resp.Ok() {
+				b.Fatal(resp.Error)
+			}
+		}
+	})
+}

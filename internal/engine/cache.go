@@ -103,6 +103,29 @@ func (c *cache) evictLocked() {
 	}
 }
 
+// add inserts an already-computed value under key, replacing any resident
+// entry.  The mutation path uses it to seed a new epoch's namespace with a
+// warm patched intermediate; the inserted entry is born ready, so later
+// get/peek calls hit immediately.
+func (c *cache) add(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), val: val}
+	close(e.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Existing waiters (if the entry was in flight) still hold it
+		// directly and get the original result; the index now serves the
+		// fresh value.
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	c.items[key] = c.ll.PushFront(e)
+	c.evictLocked()
+}
+
 // peek returns the value for key only if it is resident and ready; it
 // never computes or blocks.
 func (c *cache) peek(key string) (any, bool) {

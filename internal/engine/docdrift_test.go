@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"bufio"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// docTableOps extracts the op names from the "Query families served by the
+// engine" table in the root package documentation.  Table rows are doc
+// lines of the form "//\t<op>  <family>  <cost>"; continuation lines are
+// indented past the tab and carry no op.  Slash-combined rows (the
+// primitives) contribute one op per slash-separated token.
+func docTableOps(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+
+	var ops []string
+	inTable := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		body, ok := strings.CutPrefix(line, "//\t")
+		if !ok {
+			if inTable {
+				break // table ended (blank doc line or prose)
+			}
+			continue
+		}
+		first := strings.Fields(body)
+		if len(first) == 0 || strings.HasPrefix(body, " ") {
+			continue // continuation line, indented past the tab
+		}
+		switch {
+		case first[0] == "op":
+			inTable = true // header row
+			continue
+		case strings.HasPrefix(first[0], "--"):
+			continue // separator row
+		}
+		if !inTable {
+			continue // some other code block (quick start etc.)
+		}
+		for _, tok := range strings.Split(first[0], "/") {
+			if tok != "" {
+				ops = append(ops, tok)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan %s: %v", path, err)
+	}
+	if !inTable || len(ops) == 0 {
+		t.Fatalf("no op table found in %s; did the doc.go table format change?", path)
+	}
+	return ops
+}
+
+// TestDocOpTableMatchesEngine fails when the op table in the root doc.go
+// and the engine's registered op set drift apart in either direction: an
+// op added to the engine without a documented row, or a documented row
+// naming an op the engine no longer serves.
+func TestDocOpTableMatchesEngine(t *testing.T) {
+	documented := docTableOps(t, "../../doc.go")
+
+	docSet := make(map[string]bool, len(documented))
+	for _, op := range documented {
+		if docSet[op] {
+			t.Errorf("doc.go op table lists %q twice", op)
+		}
+		docSet[op] = true
+	}
+	engSet := make(map[string]bool)
+	for _, op := range Ops() {
+		engSet[string(op)] = true
+	}
+
+	var missing, stale []string
+	for op := range engSet {
+		if !docSet[op] {
+			missing = append(missing, op)
+		}
+	}
+	for op := range docSet {
+		if !engSet[op] {
+			stale = append(stale, op)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("engine ops missing from the doc.go op table: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("doc.go op table rows with no matching engine op: %v", stale)
+	}
+}

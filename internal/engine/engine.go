@@ -87,12 +87,30 @@ type Engine struct {
 // name invalidates every cached intermediate of the old tree (the old
 // entries are also purged eagerly, see Register).
 type treeEntry struct {
+	// rw serializes mutations against queries: every query holds the read
+	// lock across its whole dispatch (so it never observes a half-applied
+	// mutation — no torn tree, program or epoch state), and mutations hold
+	// the write lock across tree patch, program patch and epoch bump.
+	// Go's RWMutex blocks new readers once a writer waits, so mutations
+	// cannot starve under a steady query stream.
+	rw   sync.RWMutex
 	tree *andxor.Tree
-	gen  uint64
+	// owned reports whether the entry's tree is an engine-private clone.
+	// Register stores the caller's tree directly (zero-copy for the
+	// immutable common case); the first mutation clones it, so a tree
+	// handed to Register is never mutated behind the caller's back.
+	// Guarded by rw.
+	owned bool
+	gen   uint64
+	// epoch counts the mutations applied under this generation.  It
+	// sub-namespaces cache keys (see epochPrefix), so a mutation
+	// invalidates the cached intermediates of the pre-mutation state
+	// without disturbing other trees or requiring re-registration.
+	epoch atomic.Uint64
 
-	// mu guards rankKs: the rank cutoffs computed under this generation,
-	// sorted ascending.  A resident distribution with cutoff K' >= k
-	// satisfies every ...Ranks consumer, so topk queries reuse the
+	// mu guards rankKs: the rank cutoffs computed under this generation
+	// and epoch, sorted ascending.  A resident distribution with cutoff
+	// K' >= k satisfies every ...Ranks consumer, so topk queries reuse the
 	// smallest resident entry covering k instead of recomputing.
 	mu     sync.Mutex
 	rankKs []int
@@ -105,16 +123,24 @@ type treeEntry struct {
 
 	// prog is the tree compiled for the incremental generating-function
 	// kernel, built on first use and shared by every rank/precedence/size
-	// query of this generation (a Program is immutable and
-	// concurrency-safe; per-query state lives in evaluation arenas).
-	progOnce sync.Once
-	prog     *genfunc.Program
+	// query of this generation (a Program's compiled state only changes
+	// through mutations, which exclude all readers via rw; per-query state
+	// lives in evaluation arenas).  progMu makes the lazy compile safe
+	// under the shared read lock and lets the mutation path patch or swap
+	// the program in place — a sync.Once could not be re-pointed after a
+	// structural mutation.
+	progMu sync.Mutex
+	prog   *genfunc.Program
 }
 
 // program returns the entry's compiled kernel program, compiling on first
 // use.
 func (te *treeEntry) program() *genfunc.Program {
-	te.progOnce.Do(func() { te.prog = genfunc.Compile(te.tree) })
+	te.progMu.Lock()
+	defer te.progMu.Unlock()
+	if te.prog == nil {
+		te.prog = genfunc.Compile(te.tree)
+	}
 	return te.prog
 }
 
@@ -185,11 +211,20 @@ func (e *Engine) Register(name string, t *andxor.Tree) error {
 	return nil
 }
 
-// genPrefix is the cache-key namespace of one (tree, generation) pair;
-// every cached intermediate key starts with it, and retire/exec purge by
-// it.  The '@'/'/' rejection in Register keeps it unambiguous.
+// genPrefix is the cache-key namespace of one (tree, generation) pair:
+// every cached intermediate key starts with it (continuing with the epoch,
+// see epochPrefix), and retire/exec purge by it, covering all epochs at
+// once.  The '@'/'/' rejection in Register keeps it unambiguous, and the
+// trailing '.' keeps generation 1 from matching generation 12's keys.
 func genPrefix(name string, gen uint64) string {
-	return fmt.Sprintf("%s@%d/", name, gen)
+	return fmt.Sprintf("%s@%d.", name, gen)
+}
+
+// epochPrefix narrows genPrefix to one mutation epoch; a mutation purges
+// exactly its predecessor's prefix.  The trailing '/' keeps epoch 1 from
+// matching epoch 12's keys.
+func epochPrefix(name string, gen, epoch uint64) string {
+	return fmt.Sprintf("%s@%d.%d/", name, gen, epoch)
 }
 
 // retire purges the cache entries of a replaced or removed generation.
@@ -215,13 +250,23 @@ func (e *Engine) Unregister(name string) bool {
 	return ok
 }
 
-// Tree returns the tree registered under name.
+// Tree returns the tree registered under name.  Before the first
+// mutation the registered tree itself is returned (it is immutable from
+// the engine's side: the first mutation clones it).  After a mutation the
+// entry's tree is an engine-private clone that later mutations patch in
+// place, so Tree returns a fresh deep copy — never a tree the engine may
+// concurrently rewrite.
 func (e *Engine) Tree(name string) (*andxor.Tree, bool) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	te, ok := e.trees[name]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, false
+	}
+	te.rw.RLock()
+	defer te.rw.RUnlock()
+	if te.owned {
+		return te.tree.Clone(), true
 	}
 	return te.tree, true
 }
@@ -346,10 +391,25 @@ func (e *Engine) exec(ctx context.Context, req Request) Response {
 		resp.Error = fmt.Sprintf("engine: unknown tree %q", req.Tree)
 		return resp
 	}
-	if err := e.dispatch(ctx, &resp, te, req); err != nil {
-		// Drop any partially populated answer fields: an error response
-		// carries the error alone.
-		resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+	if req.Op == OpMutate || req.Op == OpCondition {
+		// Mutations take the entry's write lock inside; they must not hold
+		// the read lock here.
+		if err := e.mutate(&resp, te, req); err != nil {
+			resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+		}
+	} else {
+		// The read lock spans the whole dispatch so a concurrent mutation
+		// can never be observed half-applied: tree, compiled program, epoch
+		// and cache keys all belong to one consistent state.
+		te.rw.RLock()
+		resp.Epoch = te.epoch.Load()
+		err := e.dispatch(ctx, &resp, te, req)
+		te.rw.RUnlock()
+		if err != nil {
+			// Drop any partially populated answer fields: an error response
+			// carries the error alone.
+			resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+		}
 	}
 	if te.retired.Load() {
 		// The tree was replaced or removed while we were computing; any
@@ -646,9 +706,12 @@ func (e *Engine) upsilons(te *treeEntry, name string, k int) (*topk.Upsilons, er
 	return v.(*topk.Upsilons), nil
 }
 
-// key builds a cache key namespaced by the tree's registration generation.
+// key builds a cache key namespaced by the tree's registration generation
+// and mutation epoch.  Queries call it under the entry's read lock, so
+// the epoch cannot move mid-key; a mutation bumping the epoch retargets
+// every later key and purges the old epoch's entries.
 func (e *Engine) key(te *treeEntry, name, format string, args ...any) string {
-	return genPrefix(name, te.gen) + fmt.Sprintf(format, args...)
+	return epochPrefix(name, te.gen, te.epoch.Load()) + fmt.Sprintf(format, args...)
 }
 
 // clampK caps k at the number of tuples, matching the library's top-k

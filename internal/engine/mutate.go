@@ -1,0 +1,130 @@
+package engine
+
+// This file serves OpMutate and OpCondition: in-place updates and evidence
+// conditioning of registered trees as first-class engine operations.  The
+// delta path has three layers, each bit-identical to the cold alternative
+// (re-registering the mutated tree):
+//
+//   - andxor.Tree.Apply validates and patches the tree, returning a Delta;
+//   - genfunc.Program.Apply consumes the Delta, patching the compiled
+//     instruction weights and every pooled arena (weight-only deltas) or
+//     recompiling (structural deltas);
+//   - the engine bumps the entry's mutation epoch, which retargets every
+//     cache key, purges the pre-mutation epoch's intermediates, and
+//     re-seeds the membership map warm by patching only the changed keys.
+//
+// Ordering discipline: the mutation holds the entry's write lock across
+// all three layers, so a query (which holds the read lock across its
+// whole dispatch) sees either the complete old state or the complete new
+// state, never a tree newer than its program or cache keys.
+
+import (
+	"fmt"
+
+	"consensus/internal/andxor"
+)
+
+// Method values reported by mutation responses.
+const (
+	// MethodPatched: the compiled program was updated in place (weight-only
+	// delta against a resident program) — the cheap path.
+	MethodPatched = "patched"
+	// MethodRecompiled: the compiled program was rebuilt (structural delta)
+	// or was not resident yet and will compile lazily on the next query.
+	MethodRecompiled = "recompiled"
+)
+
+// updateOf translates the request payload into the andxor update.
+// validate() vetted the payload shape, so unknown kinds cannot reach the
+// default branches.
+func updateOf(req Request) andxor.Update {
+	if req.Op == OpMutate {
+		m := req.Mutation
+		return andxor.Update{
+			Kind:        andxor.UpdateKind(m.Kind),
+			Key:         m.Key,
+			Score:       m.Score,
+			Prob:        m.Prob,
+			Label:       m.Label,
+			Renormalize: m.Renormalize,
+		}
+	}
+	ev := req.Evidence
+	return andxor.Update{Kind: andxor.UpdateKind(ev.Kind), Key: ev.Key, Score: ev.Score}
+}
+
+// mutate applies one mutation or evidence assertion to the entry.  On
+// success the response reports the new epoch, whether the compiled kernel
+// was patched or recompiled, and the new marginals of the affected keys.
+func (e *Engine) mutate(resp *Response, te *treeEntry, req Request) error {
+	u := updateOf(req)
+	te.rw.Lock()
+	defer te.rw.Unlock()
+	if te.retired.Load() {
+		// The entry lost a race with Register/Unregister; applying the
+		// mutation here would silently drop it on the floor.
+		return fmt.Errorf("engine: tree %q was replaced or removed concurrently; re-issue the mutation", req.Tree)
+	}
+	if !te.owned {
+		// Clone-on-first-mutate: the registered tree belongs to the caller
+		// of Register and must never be mutated behind their back.
+		te.tree = te.tree.Clone()
+		te.owned = true
+	}
+	d, err := te.tree.Apply(u)
+	if err != nil {
+		return err
+	}
+
+	// Bring the compiled kernel up to date.  A resident program takes the
+	// delta path (weight patch or recompile); an absent one stays absent
+	// and compiles lazily against the mutated tree on the next query.
+	method := MethodRecompiled
+	te.progMu.Lock()
+	if te.prog != nil {
+		np, patched := te.prog.Apply(te.tree, d)
+		te.prog = np
+		if patched {
+			method = MethodPatched
+		}
+	}
+	te.progMu.Unlock()
+
+	// Epoch bump: every cached intermediate of the pre-mutation state is
+	// now unreachable through e.key and purged below.  The membership map
+	// is the one intermediate cheap to carry over warm — only the keys the
+	// Delta names changed, and Tree.KeyMarginal patches them bit-identical
+	// to a cold KeyMarginals recomputation.
+	old := te.epoch.Load()
+	oldMembership, hadMembership := e.cache.peek(epochPrefix(req.Tree, te.gen, old) + "membership")
+	te.epoch.Store(old + 1)
+	te.mu.Lock()
+	te.rankKs = nil
+	te.mu.Unlock()
+	e.cache.removePrefix(epochPrefix(req.Tree, te.gen, old))
+
+	resp.Probs = make(map[string]float64, len(d.Keys))
+	for _, k := range d.Keys {
+		if m, ok := te.tree.KeyMarginal(k); ok {
+			resp.Probs[k] = m
+		}
+	}
+	resp.Removed = append([]string(nil), d.Removed...)
+	if hadMembership {
+		oldMap := oldMembership.(map[string]float64)
+		nm := make(map[string]float64, len(oldMap))
+		for k, v := range oldMap {
+			nm[k] = v
+		}
+		for _, k := range d.Removed {
+			delete(nm, k)
+		}
+		for k, v := range resp.Probs {
+			nm[k] = v
+		}
+		e.cache.add(epochPrefix(req.Tree, te.gen, old+1)+"membership", nm)
+	}
+	resp.Epoch = old + 1
+	resp.Method = method
+	return nil
+}

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"consensus/internal/andxor"
+	"consensus/internal/types"
+	"consensus/internal/workload"
+)
+
+// mutTree builds the small BID fixture the mutation tests share.
+func mutTree(t testing.TB) *andxor.Tree {
+	t.Helper()
+	tr, err := andxor.BID([]andxor.Block{
+		{Alternatives: []types.Leaf{{Key: "t1", Score: 8}, {Key: "t1", Score: 2}}, Probs: []float64{0.5, 0.3}},
+		{Alternatives: []types.Leaf{{Key: "t2", Score: 6}}, Probs: []float64{0.6}},
+		{Alternatives: []types.Leaf{{Key: "t3", Score: 4}, {Key: "t3", Score: 1}}, Probs: []float64{0.25, 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMutateSetProb(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Compile the kernel so the mutation exercises the patch path.
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: 2}))
+
+	resp := mustOk(t, e.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.1,
+	}}))
+	if resp.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", resp.Epoch)
+	}
+	if resp.Method != MethodPatched {
+		t.Fatalf("method = %q, want %q", resp.Method, MethodPatched)
+	}
+	if got := resp.Probs["t1"]; got != 0.4 {
+		t.Fatalf("reported t1 marginal = %v, want 0.4", got)
+	}
+	q := mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership, Keys: []string{"t1"}}))
+	if q.Probs["t1"] != 0.4 {
+		t.Fatalf("queried t1 marginal = %v, want 0.4", q.Probs["t1"])
+	}
+	if q.Epoch != 1 {
+		t.Fatalf("query epoch = %d, want 1", q.Epoch)
+	}
+
+	// The caller's tree must be untouched (clone-on-first-mutate).
+	tr := mutTree(t)
+	e2 := New(Options{})
+	if err := e2.Register("db", tr); err != nil {
+		t.Fatal(err)
+	}
+	mustOk(t, e2.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.1,
+	}}))
+	if m, _ := tr.KeyMarginal("t1"); m != 0.8 {
+		t.Fatalf("caller's tree was mutated: t1 marginal = %v, want 0.8", m)
+	}
+}
+
+func TestMutateStructuralAndCondition(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: 2}))
+
+	resp := mustOk(t, e.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: "insert", Key: "t2", Score: 9, Prob: 0.3, Label: "late",
+	}}))
+	if resp.Method != MethodRecompiled {
+		t.Fatalf("insert method = %q, want %q", resp.Method, MethodRecompiled)
+	}
+	probs := []float64{0.6, 0.3}
+	if got, want := resp.Probs["t2"], probs[0]+probs[1]; got != want {
+		t.Fatalf("t2 marginal after insert = %v, want %v", got, want)
+	}
+
+	resp = mustOk(t, e.Query(Request{Tree: "db", Op: OpCondition, Evidence: &EvidenceRequest{
+		Kind: "absent", Key: "t3",
+	}}))
+	if resp.Method != MethodPatched {
+		t.Fatalf("condition method = %q, want %q", resp.Method, MethodPatched)
+	}
+	if got := resp.Probs["t3"]; got != 0 {
+		t.Fatalf("t3 marginal after absent evidence = %v, want 0", got)
+	}
+	if resp.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", resp.Epoch)
+	}
+
+	// Deleting a key's last alternative (possible only in a shared x-tuple
+	// block, where the block survives) reports the key as removed and
+	// drops it from membership answers.
+	xe := New(Options{})
+	xt := andxor.MustNew(andxor.NewOr(
+		[]*andxor.Node{
+			andxor.NewLeaf(types.Leaf{Key: "a", Score: 3}),
+			andxor.NewLeaf(types.Leaf{Key: "b", Score: 1}),
+		},
+		[]float64{0.4, 0.5},
+	))
+	if err := xe.Register("db", xt); err != nil {
+		t.Fatal(err)
+	}
+	mustOk(t, xe.Query(Request{Tree: "db", Op: OpMembership}))
+	resp = mustOk(t, xe.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: "delete", Key: "b", Score: 1,
+	}}))
+	if len(resp.Removed) != 1 || resp.Removed[0] != "b" {
+		t.Fatalf("removed = %v, want [b]", resp.Removed)
+	}
+	q := mustOk(t, xe.Query(Request{Tree: "db", Op: OpMembership}))
+	if _, ok := q.Probs["b"]; ok {
+		t.Fatalf("membership still lists removed key b: %v", q.Probs)
+	}
+	if q.Probs["a"] != 0.4 {
+		t.Fatalf("surviving key a marginal = %v, want 0.4", q.Probs["a"])
+	}
+}
+
+func TestMutateValidation(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Request{
+		{Tree: "db", Op: OpMutate},
+		{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{Kind: "frob", Key: "t1"}},
+		{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{Kind: "set-prob"}},
+		{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{Kind: "set-prob", Key: "t1", Score: 8, Prob: 1.5}},
+		{Tree: "db", Op: OpCondition},
+		{Tree: "db", Op: OpCondition, Evidence: &EvidenceRequest{Kind: "maybe", Key: "t1"}},
+		{Tree: "db", Op: OpCondition, Evidence: &EvidenceRequest{Kind: "present"}},
+		{Tree: "missing", Op: OpMutate, Mutation: &MutationRequest{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.5}},
+		// Domain-level rejections surfaced from andxor.
+		{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{Kind: "set-prob", Key: "nope", Score: 8, Prob: 0.5}},
+		{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.9}},
+		{Tree: "db", Op: OpCondition, Evidence: &EvidenceRequest{Kind: "choose", Key: "t1", Score: 99}},
+	}
+	for i, req := range bad {
+		if resp := e.Query(req); resp.Ok() {
+			t.Fatalf("bad request %d accepted: %+v", i, req)
+		}
+	}
+	// A failed mutation leaves the tree untouched and the epoch unmoved.
+	q := mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership, Keys: []string{"t1"}}))
+	if q.Probs["t1"] != 0.8 || q.Epoch != 0 {
+		t.Fatalf("tree disturbed by rejected mutations: marginal %v epoch %d", q.Probs["t1"], q.Epoch)
+	}
+}
+
+// applyAll is the re-registration reference: clone the pristine tree and
+// apply the whole update sequence cold.
+func applyAll(t *testing.T, tr *andxor.Tree, ups []andxor.Update) *andxor.Tree {
+	t.Helper()
+	nt := tr.Clone()
+	for _, u := range ups {
+		if _, err := nt.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nt
+}
+
+// TestMutateMatchesReregister is the engine-level differential suite: a
+// mutated-in-place tree must answer every query family bit-identically to
+// a cold re-registration of an identically mutated tree.
+func TestMutateMatchesReregister(t *testing.T) {
+	for shape := 0; shape < 3; shape++ {
+		rng := rand.New(rand.NewSource(int64(40 + shape)))
+		var tr *andxor.Tree
+		switch shape {
+		case 0:
+			tr = workload.Independent(rng, 12)
+		case 1:
+			tr = workload.BID(rng, 12, 3)
+		default:
+			tr = workload.Nested(rng, 12, 3)
+		}
+		alts := tr.LeafAlternatives()
+		ups := []andxor.Update{
+			{Kind: andxor.UpdateSetProb, Key: alts[0].Key, Score: alts[0].Score, Prob: 0.9, Renormalize: true},
+			// Probability 0 keeps the insert valid whatever mass the block
+			// already holds; the structural recompile is what's under test.
+			{Kind: andxor.UpdateInsert, Key: alts[1].Key, Score: 5000, Prob: 0, Label: "x"},
+			{Kind: andxor.EvidenceAbsent, Key: alts[2].Key},
+			{Kind: andxor.UpdateSetProb, Key: alts[0].Key, Score: alts[0].Score, Prob: 0.2},
+		}
+
+		hot := New(Options{})
+		if err := hot.Register("db", tr.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		// Warm every family before mutating, so the epoch switch and the
+		// kernel patch (not a cold cache) are what is under test.
+		warm := []Request{
+			{Tree: "db", Op: OpRankDist, K: 4},
+			{Tree: "db", Op: OpTopKMean, K: 3},
+			{Tree: "db", Op: OpSizeDist},
+			{Tree: "db", Op: OpMembership},
+			{Tree: "db", Op: OpMeanWorld},
+		}
+		for _, req := range warm {
+			mustOk(t, hot.Query(req))
+		}
+		// Updates the engine legitimately rejects for this tree shape (e.g.
+		// conditioning a nested block under an or-ancestor) are skipped on
+		// BOTH sides, so hot and cold see the same sequence.
+		var applied []andxor.Update
+		for _, u := range ups {
+			var req Request
+			switch u.Kind {
+			case andxor.UpdateSetProb, andxor.UpdateInsert, andxor.UpdateDelete:
+				req = Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+					Kind: string(u.Kind), Key: u.Key, Score: u.Score, Prob: u.Prob,
+					Label: u.Label, Renormalize: u.Renormalize,
+				}}
+			default:
+				req = Request{Tree: "db", Op: OpCondition, Evidence: &EvidenceRequest{
+					Kind: string(u.Kind), Key: u.Key, Score: u.Score,
+				}}
+			}
+			if resp := hot.Query(req); resp.Ok() {
+				applied = append(applied, u)
+			}
+		}
+		if len(applied) < 2 {
+			t.Fatalf("shape %d: only %d of %d updates applied", shape, len(applied), len(ups))
+		}
+
+		cold := New(Options{})
+		if err := cold.Register("db", applyAll(t, tr, applied)); err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range warm {
+			got := mustOk(t, hot.Query(req))
+			want := mustOk(t, cold.Query(req))
+			// The answers must agree EXACTLY; only the epoch discriminates
+			// a mutated tree from a re-registered one.
+			got.Epoch = 0
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shape %d op %s: mutated %+v != re-registered %+v", shape, req.Op, got, want)
+			}
+		}
+	}
+}
+
+// TestMembershipStaysWarmAcrossMutation pins the warm delta path: a
+// weight-only mutation patches the cached membership map into the new
+// epoch instead of recomputing it, so the next membership query is a
+// cache hit.
+func TestMembershipStaysWarmAcrossMutation(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership}))
+	computes := e.Stats().Computes
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpCondition, Evidence: &EvidenceRequest{Kind: "present", Key: "t1"}}))
+	q := mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership}))
+	if got := e.Stats().Computes; got != computes {
+		t.Fatalf("membership recomputed after mutation: computes %d -> %d", computes, got)
+	}
+	if q.Probs["t1"] != 1 {
+		t.Fatalf("t1 marginal after present evidence = %v, want 1", q.Probs["t1"])
+	}
+	// And the patched values must be exactly what a cold recompute yields.
+	cold := New(Options{})
+	nt := mutTree(t)
+	if _, err := nt.Apply(andxor.Update{Kind: andxor.EvidencePresent, Key: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Register("db", nt); err != nil {
+		t.Fatal(err)
+	}
+	want := mustOk(t, cold.Query(Request{Tree: "db", Op: OpMembership}))
+	if !reflect.DeepEqual(q.Probs, want.Probs) {
+		t.Fatalf("patched membership %v != cold %v", q.Probs, want.Probs)
+	}
+}
+
+// TestConcurrentQueriesDuringMutation hammers one tree with queries from
+// many goroutines while a mutator rewrites probabilities; run under the
+// race detector this doubles as the torn-state check.  Every response
+// must be internally consistent: an answer computed half under the old
+// weights and half under the new ones would produce marginals outside
+// [0, 1] or rank rows disagreeing with their own cumulative row.
+func TestConcurrentQueriesDuringMutation(t *testing.T) {
+	e := New(Options{Workers: 8})
+	tr := workload.BID(rand.New(rand.NewSource(99)), 40, 2)
+	if err := e.Register("db", tr); err != nil {
+		t.Fatal(err)
+	}
+	alts := tr.LeafAlternatives()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ops := []Request{
+				{Tree: "db", Op: OpMembership},
+				{Tree: "db", Op: OpRankDist, K: 3},
+				{Tree: "db", Op: OpSizeDist},
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp := e.Query(ops[i%len(ops)])
+				if !resp.Ok() {
+					select {
+					case errs <- resp.Error:
+					default:
+					}
+					return
+				}
+				for k, p := range resp.Probs {
+					if p < -1e-12 || p > 1+1e-9 {
+						select {
+						case errs <- fmt.Sprintf("torn marginal %v for %s", p, k):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		a := alts[i%len(alts)]
+		resp := e.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+			Kind: "set-prob", Key: a.Key, Score: a.Score,
+			Prob: 0.05 + float64(i%9)*0.1, Renormalize: true,
+		}})
+		if !resp.Ok() {
+			t.Fatalf("mutation %d failed: %s", i, resp.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if got := e.Query(Request{Tree: "db", Op: OpMembership}); !got.Ok() || got.Epoch != 200 {
+		t.Fatalf("final epoch = %d (err %q), want 200", got.Epoch, got.Error)
+	}
+}
+
+// TestMutateAfterReplaceRejected pins the retire race: a mutation that
+// lost a lookup race with Register must fail loudly rather than silently
+// update an unregistered tree.
+func TestMutateAfterReplaceRejected(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.RLock()
+	te := e.trees["db"]
+	e.mu.RUnlock()
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	err := e.mutate(&resp, te, Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.1,
+	}})
+	if err == nil {
+		t.Fatal("mutation against a retired entry accepted")
+	}
+}

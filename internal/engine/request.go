@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"consensus/internal/andxor"
 	"consensus/internal/approx"
 	"consensus/internal/types"
 )
@@ -55,7 +56,37 @@ const (
 	// evaluation otherwise.  It is the only op that needs no registered
 	// tree.
 	OpSPJEval Op = "spj-eval"
+	// OpMutate applies the in-place update posted in Request.Mutation to
+	// the registered tree: a tuple-probability update ("set-prob") or an
+	// alternative insert/delete.  Probability updates patch the compiled
+	// kernel in place; insert/delete recompile it.
+	OpMutate Op = "mutate"
+	// OpCondition asserts the evidence posted in Request.Evidence: a key
+	// observed present, absent, or fixed to one alternative ("choose").
+	// Conditioning is a weight-only rescaling of the key's block
+	// (Bayes-correct when the block is unconditionally materialized), so
+	// it always patches the compiled kernel in place.
+	OpCondition Op = "condition"
 )
+
+// allOps lists every op the engine serves, in the order doc.go's op table
+// documents them.  Exposed through Ops for doc-drift checking.
+var allOps = []Op{
+	OpTopKMean, OpTopKMedian, OpRankDist,
+	OpMeanWorld, OpMedianWorld,
+	OpMeanWorldJaccard, OpMedianWorldJaccard,
+	OpRankingConsensus, OpClusteringMean,
+	OpAggregateMean, OpAggregateMedian,
+	OpSizeDist, OpMembership, OpWorldProb,
+	OpSPJEval,
+	OpMutate, OpCondition,
+}
+
+// Ops returns every op the engine serves.  The doc-drift test pins the
+// package documentation's op table to this registry.
+func Ops() []Op {
+	return append([]Op(nil), allOps...)
+}
 
 // Metric names accepted by OpTopKMean requests.
 const (
@@ -155,6 +186,10 @@ type Request struct {
 	GroupBy string `json:"group_by,omitempty"`
 	// SPJ carries the query and database of an OpSPJEval request.
 	SPJ *SPJRequest `json:"spj,omitempty"`
+	// Mutation carries the update of an OpMutate request.
+	Mutation *MutationRequest `json:"mutation,omitempty"`
+	// Evidence carries the assertion of an OpCondition request.
+	Evidence *EvidenceRequest `json:"evidence,omitempty"`
 
 	// Mode selects the evaluation backend: ModeExact (also the meaning of
 	// the empty string, unless the engine sets a different default),
@@ -171,6 +206,38 @@ type Request struct {
 	// Seed selects the sampling RNG stream; zero means the engine's
 	// fixed default, so identical requests share cache entries.
 	Seed int64 `json:"seed,omitempty"`
+}
+
+// MutationRequest is the payload of an OpMutate request.  Alternatives
+// are identified by (Key, Score), matching the library's convention that
+// a key's alternatives carry distinct scores.
+type MutationRequest struct {
+	// Kind is "set-prob", "insert" or "delete".
+	Kind string `json:"kind"`
+	// Key names the tuple being updated.
+	Key string `json:"key"`
+	// Score identifies the alternative (set-prob, delete) or is the new
+	// alternative's score (insert).
+	Score float64 `json:"score"`
+	// Prob is the new edge probability (set-prob) or the new alternative's
+	// probability (insert).
+	Prob float64 `json:"prob,omitempty"`
+	// Label is the new alternative's label (insert).
+	Label string `json:"label,omitempty"`
+	// Renormalize makes set-prob rescale the sibling edges (and the stop
+	// mass) to preserve their proportions instead of requiring the block
+	// to stay within budget.
+	Renormalize bool `json:"renormalize,omitempty"`
+}
+
+// EvidenceRequest is the payload of an OpCondition request.
+type EvidenceRequest struct {
+	// Kind is "present", "absent" or "choose".
+	Kind string `json:"kind"`
+	// Key names the observed tuple.
+	Key string `json:"key"`
+	// Score identifies the chosen alternative (choose only).
+	Score float64 `json:"score,omitempty"`
 }
 
 // SPJRequest is the payload of an OpSPJEval request: a boolean
@@ -247,8 +314,17 @@ type Response struct {
 	Ranking []string `json:"ranking,omitempty"`
 	// Method records which algorithm served ops with several (e.g.
 	// "exact" vs "cc-pivot" clusterings, "safe-plan" vs "lineage" SPJ
-	// evaluation, "footrule/enumerated" vs "footrule/sampled" rankings).
+	// evaluation, "footrule/enumerated" vs "footrule/sampled" rankings,
+	// "patched" vs "recompiled" mutations).
 	Method string `json:"method,omitempty"`
+	// Epoch is the tree's mutation epoch: the number of mutations applied
+	// under its current registration.  Query responses echo the epoch they
+	// were answered under; mutation responses carry the epoch the mutation
+	// created.  Omitted (zero) until the tree's first mutation.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Removed lists keys that disappeared entirely (an OpMutate delete of
+	// a key's last alternative).
+	Removed []string `json:"removed,omitempty"`
 
 	// Approx describes how an approx/auto request was served; nil on
 	// plain exact requests.
@@ -309,6 +385,33 @@ func (r *Request) validate() error {
 	case OpSPJEval:
 		if err := r.SPJ.validate(); err != nil {
 			return err
+		}
+	case OpMutate:
+		if r.Mutation == nil {
+			return fmt.Errorf("engine: op %q needs a mutation payload", r.Op)
+		}
+		switch andxor.UpdateKind(r.Mutation.Kind) {
+		case andxor.UpdateSetProb, andxor.UpdateInsert, andxor.UpdateDelete:
+		default:
+			return fmt.Errorf("engine: unknown mutation kind %q (want set-prob, insert or delete)", r.Mutation.Kind)
+		}
+		if r.Mutation.Key == "" {
+			return fmt.Errorf("engine: mutation is missing the key")
+		}
+		if r.Mutation.Prob < 0 || r.Mutation.Prob > 1 || math.IsNaN(r.Mutation.Prob) {
+			return fmt.Errorf("engine: mutation probability %v must lie in [0, 1]", r.Mutation.Prob)
+		}
+	case OpCondition:
+		if r.Evidence == nil {
+			return fmt.Errorf("engine: op %q needs an evidence payload", r.Op)
+		}
+		switch andxor.UpdateKind(r.Evidence.Kind) {
+		case andxor.EvidencePresent, andxor.EvidenceAbsent, andxor.EvidenceChoose:
+		default:
+			return fmt.Errorf("engine: unknown evidence kind %q (want present, absent or choose)", r.Evidence.Kind)
+		}
+		if r.Evidence.Key == "" {
+			return fmt.Errorf("engine: evidence is missing the key")
 		}
 	case OpMeanWorld, OpMedianWorld, OpSizeDist, OpMembership, OpWorldProb,
 		OpMeanWorldJaccard, OpMedianWorldJaccard:

@@ -171,6 +171,39 @@ func (ar *arena) setGeneric(leaf int32, score float64, kid int32) {
 	}
 }
 
+// markInst marks one instruction and its root path dirty, stopping at the
+// first already-dirty ancestor (whose own marking flagged the rest).  It
+// is the instruction-level analogue of setLeaf's path marking, used by the
+// weight-patch path where the change originates at an internal sum
+// instruction rather than a leaf assignment.
+func (ar *arena) markInst(id int32) {
+	ar.anyDirty = true
+	for n := id; n >= 0; n = ar.insts[n].parent {
+		w, bit := n>>6, uint64(1)<<(n&63)
+		if ar.dirty[w]&bit != 0 {
+			break
+		}
+		ar.dirty[w] |= bit
+	}
+}
+
+// patchWeights re-evaluates the arena after instruction weights changed
+// (ar.insts aliases the Program's instruction array, so the new weights
+// are already visible).  The arena first returns to the all-zero
+// assignment, then recomputes the changed instructions and their
+// ancestors, and finally re-snapshots: the stored all-zero state must
+// reflect the new weights or a later heavy reset would resurrect stale
+// values.
+func (ar *arena) patchWeights(changed []int32) {
+	ar.reset()
+	for _, id := range changed {
+		ar.markInst(id)
+	}
+	ar.flush()
+	copy(ar.snapVals, ar.vals)
+	copy(ar.snapLens, ar.lens)
+}
+
 // flush re-evaluates the dirty instructions in postorder.  Ascending
 // instruction id is a topological order (children always precede parents),
 // so one low-to-high scan of the dirty bitset suffices — no sort.

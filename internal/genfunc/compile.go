@@ -72,6 +72,19 @@ type Program struct {
 	keyID    []int32      // leaf index -> index into keys
 	keyIdx   map[string]int32
 
+	// Weight placement of leaf-adjacent or-edges, recorded at compile time
+	// for the delta path (Apply in delta.go): leafEdge[l] is the opSum
+	// instruction carrying leaf l's edge probability (-1 when the leaf's
+	// parent is not an or-node), leafEdgeB whether it sits in wb rather
+	// than wa, and leafGroup[l] the group's final sum instruction — the one
+	// whose constant term c holds the or-node's stop probability.  The
+	// binarization keeps a carried odd term's weight attached until the
+	// term is consumed, so each edge weight appears in exactly one
+	// instruction.
+	leafEdge  []int32
+	leafEdgeB []bool
+	leafGroup []int32
+
 	// byScore lists leaf indices by strictly decreasing score (ties broken
 	// by ascending leaf index); altsOfKey[kid] lists the leaves of one key
 	// in the same order.  Both drive the moving-threshold kernels.
@@ -95,10 +108,14 @@ type Program struct {
 	pools   map[[2]int]*sync.Pool
 	scratch sync.Pool
 
-	// valOnce caches ValidateScores' verdict: score validity is a property
-	// of the tree alone, so repeated batched evaluations (every Ranks call)
-	// check it once.
-	valOnce sync.Once
+	// valMu/valDone cache ValidateScores' verdict: score validity is a
+	// property of the tree's leaves and weights alone, so repeated batched
+	// evaluations (every Ranks call) check it once.  Unlike a sync.Once
+	// the guard is resettable: a weight mutation (Apply) can change which
+	// tied alternatives co-occur, so the delta path invalidates the
+	// verdict.
+	valMu   sync.Mutex
+	valDone bool
 	valErr  error
 
 	// sizeOnce caches the static per-instruction polynomial extents of the
@@ -215,15 +232,31 @@ func Compile(t *andxor.Tree) *Program {
 			id := p.emit(inst{op: opLeaf, a: -1, b: -1, leaf: int32(len(p.leafNode))})
 			p.leafNode = append(p.leafNode, id)
 			p.keyID = append(p.keyID, keyIdx[l.Key])
+			p.leafEdge = append(p.leafEdge, -1)
+			p.leafEdgeB = append(p.leafEdgeB, false)
+			p.leafGroup = append(p.leafGroup, -1)
 			return id
 		case andxor.KindOr:
 			children := n.Children()
 			probs := n.Probs()
 			terms := make([]sumTerm, len(children))
 			for i, c := range children {
-				terms[i] = sumTerm{node: compile(c), w: probs[i]}
+				terms[i] = sumTerm{node: compile(c), w: probs[i], src: -1}
+				if c.Kind() == andxor.KindLeaf {
+					terms[i].src = int32(len(p.leafNode) - 1)
+				}
 			}
-			return p.reduceSum(terms, n.StopProb())
+			srcs := make([]int32, 0, len(terms))
+			for _, tm := range terms {
+				if tm.src >= 0 {
+					srcs = append(srcs, tm.src)
+				}
+			}
+			root := p.reduceSum(terms, n.StopProb())
+			for _, s := range srcs {
+				p.leafGroup[s] = root
+			}
+			return root
 		default: // KindAnd
 			ids := make([]int32, len(n.Children()))
 			for i, c := range n.Children() {
@@ -301,31 +334,52 @@ func (p *Program) emit(in inst) int32 {
 	return int32(len(p.insts) - 1)
 }
 
-// sumTerm is one weighted operand of an or-node reduction.
+// sumTerm is one weighted operand of an or-node reduction; src is the leaf
+// index whose edge probability the weight is (or -1 for internal operands),
+// threaded through the levels so the weight's final instruction placement
+// can be recorded for the delta path.
 type sumTerm struct {
 	node int32
 	w    float64
+	src  int32
+}
+
+// recordEdge notes that leaf src's edge probability lives in instruction
+// id's wa (or wb when bSide) slot.
+func (p *Program) recordEdge(src, id int32, bSide bool) {
+	if src >= 0 {
+		p.leafEdge[src] = id
+		p.leafEdgeB[src] = bSide
+	}
 }
 
 // reduceSum emits a balanced binary tree of weighted sums computing
 // stop + Σ w_i·val(node_i); the stop constant is folded into the final sum
-// so no extra instruction is spent on it.
+// so no extra instruction is spent on it.  A carried odd term keeps its
+// weight (and src) until a later level consumes it.
 func (p *Program) reduceSum(terms []sumTerm, stop float64) int32 {
 	if len(terms) == 1 {
-		return p.emit(inst{op: opSum, a: terms[0].node, b: -1, wa: terms[0].w, c: stop})
+		id := p.emit(inst{op: opSum, a: terms[0].node, b: -1, wa: terms[0].w, c: stop})
+		p.recordEdge(terms[0].src, id, false)
+		return id
 	}
 	for len(terms) > 2 {
 		level := make([]sumTerm, 0, (len(terms)+1)/2)
 		for i := 0; i+1 < len(terms); i += 2 {
 			id := p.emit(inst{op: opSum, a: terms[i].node, b: terms[i+1].node, wa: terms[i].w, wb: terms[i+1].w})
-			level = append(level, sumTerm{node: id, w: 1})
+			p.recordEdge(terms[i].src, id, false)
+			p.recordEdge(terms[i+1].src, id, true)
+			level = append(level, sumTerm{node: id, w: 1, src: -1})
 		}
 		if len(terms)%2 == 1 {
 			level = append(level, terms[len(terms)-1])
 		}
 		terms = level
 	}
-	return p.emit(inst{op: opSum, a: terms[0].node, b: terms[1].node, wa: terms[0].w, wb: terms[1].w, c: stop})
+	id := p.emit(inst{op: opSum, a: terms[0].node, b: terms[1].node, wa: terms[0].w, wb: terms[1].w, c: stop})
+	p.recordEdge(terms[0].src, id, false)
+	p.recordEdge(terms[1].src, id, true)
+	return id
 }
 
 // reduceMul emits a balanced binary tree of products over the operands.

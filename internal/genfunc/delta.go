@@ -1,0 +1,132 @@
+package genfunc
+
+// This file is the compiled kernel's half of the mutation path.  A
+// Tree.Apply produces an andxor.Delta; Program.Apply consumes it, either
+// patching the instruction weights (and every pooled arena) in place —
+// weight-only deltas: probability updates and evidence conditioning — or
+// recompiling when the leaf set changed (insert/delete).
+//
+// The weight patch is bit-identical to a cold recompile by construction:
+// the Delta carries the exact float64 values a cold Compile of the mutated
+// tree would read back from the nodes, and compile.go records where each
+// leaf-adjacent edge weight (leafEdge/leafEdgeB) and each group's stop
+// constant (leafGroup) landed in the instruction array.  Writing those
+// slots makes the instruction array bitwise identical to the cold one, and
+// since every instruction's arena value is a pure function of its
+// children, re-evaluating the changed instructions and their ancestors
+// lands every arena on the cold program's state too.
+
+import (
+	"sync"
+	"weak"
+
+	"consensus/internal/andxor"
+)
+
+// Apply brings p up to date with a mutation already applied to t (the tree
+// p was compiled from) and returns the current program.  Weight-only
+// deltas patch p in place and return (p, true); structural deltas
+// recompile and return (Compile(t), false).  Apply requires exclusive
+// access to p: no evaluation may run concurrently (the engine serializes
+// mutations against queries per tree).
+func (p *Program) Apply(t *andxor.Tree, d *andxor.Delta) (*Program, bool) {
+	if d == nil || d.Structural {
+		np := Compile(t)
+		// Refresh the package-level memo (if the tree is in it) so the
+		// package-level evaluators agree with the recompiled program.
+		wp := weak.Make(t)
+		if _, ok := progCache.Load(wp); ok {
+			progCache.Store(wp, np)
+		}
+		return np, false
+	}
+	changed := p.patchWeights(d)
+	// Weight changes can flip the score-validity verdict: whether two tied
+	// alternatives of different keys co-occur with positive probability
+	// depends on the edge weights.
+	p.valMu.Lock()
+	p.valDone = false
+	p.valErr = nil
+	p.valMu.Unlock()
+	if len(changed) > 0 {
+		p.patchArenas(changed)
+	}
+	return p, true
+}
+
+// patchWeights writes the delta's edge probabilities and stop mass into
+// the instruction array and returns the ids of the instructions whose
+// fields actually changed.  Values are written unconditionally (the Delta
+// holds exactly the floats a cold compile reads), but unchanged
+// instructions are not reported so arenas skip re-evaluation entirely for
+// no-op updates.
+func (p *Program) patchWeights(d *andxor.Delta) []int32 {
+	changed := make([]int32, 0, len(d.Leaves)+1)
+	mark := func(id int32) {
+		for _, c := range changed {
+			if c == id {
+				return
+			}
+		}
+		changed = append(changed, id)
+	}
+	for i, li := range d.Leaves {
+		id := p.leafEdge[li]
+		if id < 0 {
+			// Weight deltas only describe leaf-adjacent or-edges
+			// (andxor.Tree.Apply enforces it), so every listed leaf has a
+			// recorded placement.
+			panic("genfunc: weight delta for a leaf without an or-edge")
+		}
+		in := &p.insts[id]
+		if p.leafEdgeB[li] {
+			if in.wb != d.Probs[i] {
+				mark(id)
+			}
+			in.wb = d.Probs[i]
+		} else {
+			if in.wa != d.Probs[i] {
+				mark(id)
+			}
+			in.wa = d.Probs[i]
+		}
+	}
+	if len(d.Leaves) > 0 {
+		gid := p.leafGroup[d.Leaves[0]]
+		in := &p.insts[gid]
+		if in.c != d.Stop {
+			mark(gid)
+		}
+		in.c = d.Stop
+	}
+	return changed
+}
+
+// patchArenas re-evaluates every pooled arena under the patched weights:
+// each arena is drained from its pool, reset to the all-zero assignment,
+// re-evaluated along the changed instructions' root paths, re-snapshotted,
+// and returned to the pool.  Instructions outside those paths have values
+// identical under old and new weights (pure functions of unchanged
+// inputs), so the patched arena is bit-identical to a freshly built one.
+func (p *Program) patchArenas(changed []int32) {
+	p.poolMu.Lock()
+	pools := make([]*sync.Pool, 0, len(p.pools))
+	for _, pool := range p.pools {
+		pools = append(pools, pool)
+	}
+	p.poolMu.Unlock()
+	for _, pool := range pools {
+		var ars []*arena
+		for {
+			v := pool.Get()
+			if v == nil {
+				break
+			}
+			ars = append(ars, v.(*arena))
+		}
+		for _, ar := range ars {
+			ar.patchWeights(changed)
+			pool.Put(ar)
+		}
+	}
+}

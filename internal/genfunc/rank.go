@@ -125,9 +125,16 @@ func ValidateScores(t *andxor.Tree) error {
 // ValidateScores is the compiled-kernel form of the package-level
 // ValidateScores.  The verdict is a property of the tree alone, so it is
 // computed once per Program and cached; every batched kernel (Ranks,
-// ExpectedRank) consults it for free after the first call.
+// ExpectedRank) consults it for free after the first call.  The cache is
+// invalidated by weight mutations (Apply): a tied pair's co-occurrence
+// probability depends on the edge weights, so the verdict can flip.
 func (p *Program) ValidateScores() error {
-	p.valOnce.Do(func() { p.valErr = p.validateScores() })
+	p.valMu.Lock()
+	defer p.valMu.Unlock()
+	if !p.valDone {
+		p.valErr = p.validateScores()
+		p.valDone = true
+	}
 	return p.valErr
 }
 
