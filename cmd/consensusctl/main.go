@@ -13,6 +13,7 @@
 //	consensusctl -db db.json cluster -restarts 20
 //	consensusctl -db db.json groupby
 //	consensusctl -db db.json mutate -kind set-prob -key a -score 9 -prob 0.7 > db2.json
+//	consensusctl -db db.json mutate -batch updates.json > db2.json
 //	consensusctl -db db.json condition -kind present -key a > db2.json
 //	consensusctl serve -addr :8080 [-db db.json -name default]
 //
@@ -21,7 +22,12 @@
 // evidence assertion (present, absent, choose) to the tree, report the
 // affected marginals on stderr, and write the mutated tree JSON to stdout
 // so pipelines can chain updates; against a running server the same
-// operations are the engine ops "mutate" and "condition".  The serve
+// operations are the engine ops "mutate" and "condition".  With -batch
+// the updates are read as a JSON array of
+// {"kind","key","score","prob","label","renormalize"} objects (the same
+// shape as the engine's "mutations"/"evidences" request fields, - for
+// stdin) and applied atomically: either every update lands or the tree is
+// left untouched.  The serve
 // subcommand starts the concurrent consensus-serving engine over HTTP/JSON
 // (see package consensus/internal/engine for the endpoint list); -db
 // optionally preloads one tree, and further trees can be registered at
@@ -35,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +71,7 @@ func main() {
 	prob := flag.Float64("prob", 0, "mutate: new edge probability for set-prob/insert")
 	label := flag.String("label", "", "mutate: label of an inserted alternative")
 	renorm := flag.Bool("renorm", false, "mutate set-prob: rescale the rest of the block so its total mass is preserved")
+	batch := flag.String("batch", "", "mutate/condition: path to a JSON array of updates (or - for stdin), applied atomically as one batch")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -153,6 +161,15 @@ func main() {
 			fmt.Printf("cluster %d: %v\n", id, byCluster[id])
 		}
 	case "mutate", "condition":
+		if *batch != "" {
+			if *kind != "" {
+				fail(fmt.Errorf("%s takes either -kind or -batch, not both", cmd))
+			}
+			if err := runMutateBatch(tree, cmd, *batch); err != nil {
+				fail(err)
+			}
+			break
+		}
 		u := consensus.Update{
 			Kind: consensus.UpdateKind(*kind), Key: *key, Score: *score,
 			Prob: *prob, Label: *label, Renormalize: *renorm,
@@ -187,19 +204,8 @@ func main() {
 // (so shell pipelines can chain updates; against a running server the same
 // operations are the engine ops "mutate" and "condition").
 func runMutate(tree *consensus.Tree, cmd string, u consensus.Update) error {
-	switch u.Kind {
-	case consensus.UpdateSetProb, consensus.UpdateInsert, consensus.UpdateDelete:
-		if cmd != "mutate" {
-			return fmt.Errorf("kind %q belongs to the mutate subcommand", u.Kind)
-		}
-	case consensus.EvidencePresent, consensus.EvidenceAbsent, consensus.EvidenceChoose:
-		if cmd != "condition" {
-			return fmt.Errorf("kind %q belongs to the condition subcommand", u.Kind)
-		}
-	case "":
-		return fmt.Errorf("%s needs -kind (and -key)", cmd)
-	default:
-		return fmt.Errorf("unknown %s kind %q", cmd, u.Kind)
+	if err := checkKind(cmd, u.Kind); err != nil {
+		return err
 	}
 	d, err := tree.Apply(u)
 	if err != nil {
@@ -218,6 +224,98 @@ func runMutate(tree *consensus.Tree, cmd string, u consensus.Update) error {
 		return err
 	}
 	_, err = fmt.Printf("%s\n", data)
+	return err
+}
+
+// checkKind vets that an update kind belongs to the given subcommand, so
+// a batch cannot smuggle evidence assertions through mutate or vice versa
+// (the engine enforces the same split between its two ops).
+func checkKind(cmd string, kind consensus.UpdateKind) error {
+	switch kind {
+	case consensus.UpdateSetProb, consensus.UpdateInsert, consensus.UpdateDelete:
+		if cmd != "mutate" {
+			return fmt.Errorf("kind %q belongs to the mutate subcommand", kind)
+		}
+	case consensus.EvidencePresent, consensus.EvidenceAbsent, consensus.EvidenceChoose:
+		if cmd != "condition" {
+			return fmt.Errorf("kind %q belongs to the condition subcommand", kind)
+		}
+	case "":
+		return fmt.Errorf("%s needs -kind (and -key)", cmd)
+	default:
+		return fmt.Errorf("unknown %s kind %q", cmd, kind)
+	}
+	return nil
+}
+
+// batchUpdate is the wire shape of one -batch entry, matching the field
+// names of the engine's batched "mutations"/"evidences" request forms.
+type batchUpdate struct {
+	Kind        string  `json:"kind"`
+	Key         string  `json:"key"`
+	Score       float64 `json:"score,omitempty"`
+	Prob        float64 `json:"prob,omitempty"`
+	Label       string  `json:"label,omitempty"`
+	Renormalize bool    `json:"renormalize,omitempty"`
+}
+
+// runMutateBatch reads a JSON update array and applies it atomically via
+// Tree.ApplyAll: a failing update anywhere in the batch leaves the tree
+// untouched and nothing is written to stdout.
+func runMutateBatch(tree *consensus.Tree, cmd, path string) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var raw []batchUpdate
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("parsing %s batch: %w", cmd, err)
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("%s batch is empty", cmd)
+	}
+	us := make([]consensus.Update, len(raw))
+	for i, b := range raw {
+		us[i] = consensus.Update{
+			Kind: consensus.UpdateKind(b.Kind), Key: b.Key, Score: b.Score,
+			Prob: b.Prob, Label: b.Label, Renormalize: b.Renormalize,
+		}
+		if err := checkKind(cmd, us[i].Kind); err != nil {
+			return fmt.Errorf("batch update %d: %w", i, err)
+		}
+	}
+	ds, err := tree.ApplyAll(us)
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		for _, k := range d.Keys {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if m, ok := tree.KeyMarginal(k); ok {
+				fmt.Fprintf(os.Stderr, "%s: Pr(%s present) = %.6g\n", cmd, k, m)
+			}
+		}
+		for _, k := range d.Removed {
+			if _, ok := tree.KeyMarginal(k); !ok {
+				fmt.Fprintf(os.Stderr, "%s: %s removed\n", cmd, k)
+			}
+		}
+	}
+	out, err := tree.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Printf("%s\n", out)
 	return err
 }
 
@@ -264,6 +362,7 @@ func flagWasSet(name string) bool {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: consensusctl -db <file|-> <mean-world|median-world|size-dist|topk|topk-median|rank|cluster|groupby>")
 	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> mutate -kind set-prob|insert|delete -key K [-score S -prob P -label L -renorm]")
+	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> mutate|condition -batch <file|-> (JSON update array, applied atomically)")
 	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> condition -kind present|absent|choose -key K [-score S]")
 	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N -mode exact|approx|auto -epsilon E -delta D]")
 	os.Exit(2)

@@ -52,3 +52,63 @@ func TestLoadTree(t *testing.T) {
 		t.Fatal("missing file must error")
 	}
 }
+
+func TestRunMutateBatch(t *testing.T) {
+	mk := func() *consensus.Tree {
+		db, err := consensus.Independent([]consensus.TupleProb{
+			{Leaf: consensus.Leaf{Key: "a", Score: 3}, Prob: 0.5},
+			{Leaf: consensus.Leaf{Key: "b", Score: 1}, Prob: 0.4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	write := func(body string) string {
+		path := filepath.Join(t.TempDir(), "batch.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	tree := mk()
+	path := write(`[
+		{"kind":"set-prob","key":"a","score":3,"prob":0.7},
+		{"kind":"set-prob","key":"b","score":1,"prob":0.1,"renormalize":true}
+	]`)
+	if err := runMutateBatch(tree, "mutate", path); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := tree.KeyMarginal("a"); m != 0.7 {
+		t.Fatalf("a marginal = %v, want 0.7", m)
+	}
+	if m, _ := tree.KeyMarginal("b"); m != 0.1 {
+		t.Fatalf("b marginal = %v, want 0.1", m)
+	}
+
+	// A failing update anywhere leaves the tree untouched.
+	tree = mk()
+	path = write(`[{"kind":"set-prob","key":"a","score":3,"prob":0.7},{"kind":"set-prob","key":"ghost","score":1,"prob":0.5}]`)
+	if err := runMutateBatch(tree, "mutate", path); err == nil {
+		t.Fatal("batch with unknown key accepted")
+	}
+	if m, _ := tree.KeyMarginal("a"); m != 0.5 {
+		t.Fatalf("failed batch mutated the tree: a marginal = %v, want 0.5", m)
+	}
+
+	// Evidence kinds are refused by the mutate subcommand (and vice versa),
+	// and empty or malformed batches error out.
+	if err := runMutateBatch(mk(), "mutate", write(`[{"kind":"present","key":"a"}]`)); err == nil {
+		t.Fatal("evidence kind accepted by mutate")
+	}
+	if err := runMutateBatch(mk(), "condition", write(`[{"kind":"present","key":"a"}]`)); err != nil {
+		t.Fatalf("condition batch rejected: %v", err)
+	}
+	if err := runMutateBatch(mk(), "mutate", write(`[]`)); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := runMutateBatch(mk(), "mutate", write(`{"kind":"set-prob"}`)); err == nil {
+		t.Fatal("non-array batch accepted")
+	}
+}

@@ -41,11 +41,13 @@
 //     worker-sharded sampling with Hoeffding / empirical-Bernstein
 //     stopping, reporting the realized confidence radius in the response;
 //   - in-place mutation and evidence conditioning of registered trees
-//     (OpMutate, OpCondition): probability updates, alternative
-//     inserts/deletes and observed evidence propagate as deltas through the
-//     compiled kernel and its pooled arenas, bit-identical to re-registering
-//     the mutated tree but without paying recompilation on weight-only
-//     changes (see docs/ARCHITECTURE.md for the delta path).
+//     (OpMutate, OpCondition), singly or as atomic batches: probability
+//     updates, alternative inserts/deletes and observed evidence propagate
+//     as deltas through the compiled kernel and its pooled arenas,
+//     bit-identical to re-registering the mutated tree but without paying
+//     recompilation on weight-only changes — which also repair the cached
+//     rank/size/membership intermediates into the new epoch instead of
+//     purging them (see docs/ARCHITECTURE.md for the delta path).
 //
 // # Quick start
 //
@@ -102,9 +104,13 @@
 //	                                    self-join free); #P-hard otherwise,
 //	                                    served by exact lineage evaluation
 //	mutate                mutation      poly; weight updates patch the compiled
-//	                                    kernel in place, insert/delete recompile
+//	                                    kernel in place and repair cached
+//	                                    intermediates, insert/delete recompile;
+//	                                    batched form applies N updates under
+//	                                    one epoch bump
 //	condition             evidence      poly; weight-only block rescaling
-//	                                    (local conditioning), patched in place
+//	                                    (local conditioning), patched in place;
+//	                                    batched form as for mutate
 //	rank-dist/size-dist/  primitives    poly (Section 3.3 generating
 //	membership/world-prob               functions)
 //
@@ -140,15 +146,46 @@
 //	resp = eng.Query(consensus.Request{Tree: "db", Op: consensus.OpCondition,
 //		Evidence: &consensus.EvidenceRequest{Kind: "present", Key: "b"}})
 //
+// Both ops also take a batched form — Mutations ("mutations" on the wire)
+// for OpMutate, Evidences for OpCondition, exactly one of the singular and
+// batched field per request — applying up to 1024 updates atomically:
+// either every update lands under a single epoch bump, or a failing update
+// anywhere leaves the tree, the caches and the epoch untouched:
+//
+//	resp = eng.Query(consensus.Request{Tree: "db", Op: consensus.OpMutate,
+//		Mutations: []consensus.MutationRequest{
+//			{Kind: "set-prob", Key: "a", Prob: 0.7},
+//			{Kind: "delete", Key: "b", Score: 7},
+//		}})
+//
 // The response reports the new mutation epoch, the fresh marginals of every
 // affected key, any keys removed by x-tuple conditioning, and whether the
 // compiled kernel was "patched" in place (weight-only deltas against a
 // resident program) or "recompiled" (structural changes).  Mutations are
 // serialized per tree and atomic with respect to queries: a concurrent
 // query sees either the complete old state or the complete new state.
+//
+// A mutation bumps the tree's epoch, retargeting every cache key; what
+// happens to the previously cached intermediates depends on the delta:
+//
+//	delta kind / condition              cached intermediates
+//	----------------------------------  ------------------------------------
+//	weight-only, kernel resident        repaired into the new epoch: rank
+//	                                    distributions of every resident
+//	                                    cutoff (one shared sweep at the
+//	                                    widest), world-size distribution
+//	                                    (dirty-path recompute), membership
+//	                                    map (patched marginals) — follow-up
+//	                                    queries are warm cache hits
+//	structural (insert/delete), kernel  purged; intermediates rebuild
+//	recompiled or absent                lazily on the next query
+//	foreign-typed cache entry, or a     purged (repair falls back rather
+//	repair error                        than trusting the entry)
+//
 // Post-mutation query answers are bit-identical to re-registering the
-// mutated tree cold; docs/ARCHITECTURE.md documents the delta-propagation
-// architecture and the tests pinning that invariant.
+// mutated tree cold — repaired intermediates included; docs/ARCHITECTURE.md
+// documents the delta-propagation architecture and the tests pinning that
+// invariant.
 //
 // # The compiled exact kernel
 //

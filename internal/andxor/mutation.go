@@ -107,6 +107,37 @@ func (t *Tree) Apply(u Update) (*Delta, error) {
 	}
 }
 
+// ApplyAll applies a batch of updates atomically: either every update
+// applies (in order) or none does.  The batch runs against a scratch
+// clone first, so a failing update leaves t untouched instead of
+// half-applied; a fully successful batch is then adopted with the *Tree
+// pointer (and everything keyed on it) kept stable.  The returned deltas
+// are one per update, against the evolving tree state — exactly what the
+// same sequence of Apply calls would have produced.
+func (t *Tree) ApplyAll(us []Update) ([]*Delta, error) {
+	if len(us) == 0 {
+		return nil, nil
+	}
+	if len(us) == 1 {
+		d, err := t.Apply(us[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*Delta{d}, nil
+	}
+	c := t.Clone()
+	ds := make([]*Delta, len(us))
+	for i, u := range us {
+		d, err := c.Apply(u)
+		if err != nil {
+			return nil, fmt.Errorf("andxor: batch update %d (%s %q): %w", i, u.Kind, u.Key, err)
+		}
+		ds[i] = d
+	}
+	*t = *c
+	return ds, nil
+}
+
 // findAlt locates the leaf of (key, score), returning its DFS index.
 func (t *Tree) findAlt(key string, score float64) (int, error) {
 	idxs, ok := t.keyLeaves[key]
@@ -225,6 +256,22 @@ func (t *Tree) applySetProb(u Update) (*Delta, error) {
 			}
 		}
 		group.probs[ci] = u.Prob
+		// The rescale's fixed point is a block carrying its full mass: if
+		// the edges summed to exactly 1 before, they sum to 1 after, and
+		// each renormalization adds fresh rounding noise around that
+		// fixed point.  A long stream of renormalizing updates can drift
+		// the float sum past 1+probSlack, producing a tree that fails its
+		// own validation (Clone panics).  Pull the block back onto the
+		// simplex whenever rounding pushes it over.
+		sum := 0.0
+		for _, p := range group.probs {
+			sum += p
+		}
+		if sum > 1 {
+			for j := range group.probs {
+				group.probs[j] /= sum
+			}
+		}
 		return t.weightDelta(group, leaves), nil
 	}
 	sum := u.Prob

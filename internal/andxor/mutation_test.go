@@ -1,6 +1,7 @@
 package andxor
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -281,4 +282,126 @@ func randomNestedTree(rng *rand.Rand, nKeys int) *Tree {
 		}
 	}
 	return MustNew(blocks[0])
+}
+
+// TestApplyAllSequentialEquivalence pins the batch entry point to the
+// sequential one: a successful ApplyAll leaves the tree in exactly the
+// state the same Apply sequence reaches, with matching per-update deltas.
+func TestApplyAllSequentialEquivalence(t *testing.T) {
+	batch := bid2(t)
+	seq := bid2(t)
+	us := []Update{
+		{Kind: UpdateSetProb, Key: "t1", Score: 8, Prob: 0.1},
+		{Kind: UpdateSetProb, Key: "t1", Score: 2, Prob: 0.6, Renormalize: true},
+		{Kind: EvidencePresent, Key: "t2"},
+		{Kind: UpdateInsert, Key: "t1", Score: 9, Prob: 0.2, Label: "late"},
+	}
+	ds, err := batch.ApplyAll(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != len(us) {
+		t.Fatalf("got %d deltas for %d updates", len(ds), len(us))
+	}
+	for i, u := range us {
+		sd, err := seq.Apply(u)
+		if err != nil {
+			t.Fatalf("sequential step %d: %v", i, err)
+		}
+		if ds[i].Structural != sd.Structural {
+			t.Fatalf("step %d: Structural = %v, sequential %v", i, ds[i].Structural, sd.Structural)
+		}
+	}
+	bm, sm := batch.KeyMarginals(), seq.KeyMarginals()
+	for k, v := range sm {
+		if bm[k] != v {
+			t.Fatalf("key %q: batch marginal %v, sequential %v", k, bm[k], v)
+		}
+	}
+}
+
+// TestApplyAllAtomic pins the all-or-nothing contract: a batch whose
+// middle update fails must leave the tree exactly as it was, including
+// the effects the earlier (valid) updates would have had.
+func TestApplyAllAtomic(t *testing.T) {
+	tr := bid2(t)
+	before := tr.KeyMarginals()
+	ds, err := tr.ApplyAll([]Update{
+		{Kind: UpdateSetProb, Key: "t1", Score: 8, Prob: 0.2},
+		{Kind: UpdateSetProb, Key: "t9", Score: 1, Prob: 0.5}, // unknown key
+		{Kind: EvidenceAbsent, Key: "t2"},
+	})
+	if err == nil {
+		t.Fatal("batch with an invalid update applied")
+	}
+	if ds != nil {
+		t.Fatalf("failed batch returned deltas %v", ds)
+	}
+	after := tr.KeyMarginals()
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("key %q: marginal moved %v -> %v across a failed batch", k, v, after[k])
+		}
+	}
+	// The error names the failing position so clients can fix the batch.
+	if want := "batch update 1"; !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not name the failing update (%q)", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRenormalizeDriftStaysValid pins the simplex clamp in renormalizing
+// set-prob: the sibling rescale amplifies float rounding (its scale factor
+// can exceed 1), so a long stream of renormalizations would compound drift
+// until the block's edge sum crossed the validation slack and Clone —
+// which re-validates and panics on a corrupt tree — blew up mid-mutation.
+// Every applied update must leave the tree strictly cloneable.
+func TestRenormalizeDriftStaysValid(t *testing.T) {
+	// Random double-precision edge probabilities and repeated extreme
+	// renormalizations: the sibling rescale has its fixed point at block
+	// mass exactly 1, so multi-alternative blocks converge onto the
+	// simplex boundary where any upward rounding crosses the validation
+	// slack.  Every applied update must leave the tree strictly
+	// cloneable (Clone re-validates and panics on a corrupt tree).
+	rng := rand.New(rand.NewSource(20))
+	var blocks []Block
+	for i := 0; i < 64; i++ {
+		// Half the blocks carry full mass (edges sum to 1, the rescale's
+		// fixed point); the rest leave random stop mass.
+		a, b, c := rng.Float64(), rng.Float64(), 0.0
+		if i%2 == 0 {
+			c = rng.Float64()
+		}
+		sum := a + b + c
+		key := fmt.Sprintf("t%d", i+1)
+		blocks = append(blocks, Block{
+			Alternatives: []types.Leaf{{Key: key, Score: float64(2 * i)}, {Key: key, Score: float64(2*i + 1)}},
+			Probs:        []float64{a / sum, b / sum},
+		})
+	}
+	tr, err := BID(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alts := tr.LeafAlternatives()
+	for round := 0; round < 200; round++ {
+		for i, a := range alts {
+			u := Update{
+				Kind: UpdateSetProb, Key: a.Key, Score: a.Score,
+				Prob: 0.05 + float64(i%9)*0.1, Renormalize: true,
+			}
+			if _, err := tr.Apply(u); err != nil {
+				t.Fatalf("round %d update %d rejected: %v", round, i, err)
+			}
+		}
+		tr.Clone() // panics if accumulated drift corrupted the tree
+	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -68,5 +69,43 @@ func TestCacheErrorNotCached(t *testing.T) {
 	}
 	if c.len() != 1 {
 		t.Fatalf("cache holds %d entries, want 1", c.len())
+	}
+}
+
+// TestCacheAddEnforcesCapacity pins that the direct-insertion path (used
+// by the mutation carry-over to seed the new epoch's namespace) respects
+// the LRU capacity at every step, never overshooting even transiently,
+// and evicts oldest-first.
+func TestCacheAddEnforcesCapacity(t *testing.T) {
+	c := newCache(4)
+	for i := 0; i < 32; i++ {
+		c.add(fmt.Sprintf("k%d", i), i)
+		if n := c.len(); n > 4 {
+			t.Fatalf("cache holds %d entries after add %d, cap 4", n, i)
+		}
+	}
+	if _, ok := c.peek("k31"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := c.peek("k0"); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	// Mixed get/add traffic respects the cap too.
+	for i := 0; i < 16; i++ {
+		if _, err := c.get(fmt.Sprintf("g%d", i), func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		c.add(fmt.Sprintf("a%d", i), i)
+		if n := c.len(); n > 4 {
+			t.Fatalf("cache holds %d entries during mixed traffic, cap 4", n)
+		}
+	}
+	// Re-adding an existing key replaces in place, no duplicate element.
+	c.add("a15", 99)
+	if n := c.len(); n > 4 {
+		t.Fatalf("re-add grew the cache to %d entries, cap 4", n)
+	}
+	if v, _ := c.peek("a15"); v != 99 {
+		t.Fatalf("re-add did not replace the value: %v", v)
 	}
 }

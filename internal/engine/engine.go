@@ -80,6 +80,11 @@ type Engine struct {
 	defaultMode    string
 	defaultEpsilon float64
 	defaultDelta   float64
+
+	// repairDisabled forces every mutation down the purge path (no warm
+	// carry-over of rank/size intermediates).  Test/bench knob only: the
+	// repair-vs-purge benchmark needs the old behavior as its baseline.
+	repairDisabled bool
 }
 
 // treeEntry pins a registered tree together with its registration
@@ -651,6 +656,14 @@ func (e *Engine) topkMean(te *treeEntry, req Request) (topkResult, error) {
 	return v.(topkResult), nil
 }
 
+// maxRankKs bounds the per-entry rank-cutoff index: every tracked cutoff
+// costs a cache peek on reuse lookups and a repair slot on every mutation,
+// so a client cycling arbitrary k values must not inflate either.  When
+// the index is full the smallest cutoff is dropped — its cache entry stays
+// resident until the LRU evicts it (an exact-k lookup still hits it), it
+// just stops being found by ranksAtLeast and the mutation repair pass.
+const maxRankKs = 8
+
 // ranks returns the (cached) rank distribution of the tree with cutoff
 // exactly k, recording the cutoff so ranksAtLeast can find it later.
 func (e *Engine) ranks(te *treeEntry, name string, k int) (*genfunc.RankDist, error) {
@@ -667,6 +680,11 @@ func (e *Engine) ranks(te *treeEntry, name string, k int) (*genfunc.RankDist, er
 		te.rankKs = append(te.rankKs, 0)
 		copy(te.rankKs[pos+1:], te.rankKs[pos:])
 		te.rankKs[pos] = k
+		if len(te.rankKs) > maxRankKs {
+			// Drop the smallest cutoff: larger resident distributions serve
+			// strictly more ranksAtLeast consumers.
+			te.rankKs = append(te.rankKs[:0], te.rankKs[1:]...)
+		}
 	}
 	te.mu.Unlock()
 	return rd, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -423,5 +424,45 @@ func TestResponseIsolation(t *testing.T) {
 	r2 := mustOk(t, e.Query(req))
 	if !reflect.DeepEqual(r2.TopK, want) {
 		t.Errorf("cached answer was corrupted: %v, want %v", r2.TopK, want)
+	}
+}
+
+// TestRankCutoffIndexBounded pins the maxRankKs cap: a client cycling
+// arbitrary rank cutoffs must not grow the per-entry cutoff index without
+// bound.  The smallest cutoffs are dropped first; their cache entries stay
+// resident (an exact-k query still hits) — they just stop being reused by
+// ranksAtLeast and the mutation repair pass.
+func TestRankCutoffIndexBounded(t *testing.T) {
+	e, _ := newTestEngine(t, Options{})
+	for k := 1; k <= maxRankKs+4; k++ {
+		mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: k}))
+	}
+	e.mu.RLock()
+	te := e.trees["db"]
+	e.mu.RUnlock()
+	te.mu.Lock()
+	ks := append([]int(nil), te.rankKs...)
+	te.mu.Unlock()
+	if len(ks) != maxRankKs {
+		t.Fatalf("rankKs holds %d cutoffs, want cap %d (got %v)", len(ks), maxRankKs, ks)
+	}
+	// The survivors are the largest cutoffs, still sorted ascending.
+	for i, k := range ks {
+		if want := 5 + i; k != want {
+			t.Fatalf("rankKs[%d] = %d, want %d (got %v)", i, k, want, ks)
+		}
+	}
+	// A re-query of a dropped cutoff is a cache hit (the entry is resident)
+	// and must not duplicate or reorder the index.
+	computes := e.Stats().Computes
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: 1}))
+	if got := e.Stats().Computes; got != computes {
+		t.Fatalf("dropped cutoff recomputed: computes %d -> %d", computes, got)
+	}
+	te.mu.Lock()
+	ks2 := append([]int(nil), te.rankKs...)
+	te.mu.Unlock()
+	if len(ks2) != maxRankKs || !sort.IntsAreSorted(ks2) {
+		t.Fatalf("re-query disturbed the cutoff index: %v", ks2)
 	}
 }

@@ -55,6 +55,19 @@ func FuzzHandlerQuery(f *testing.F) {
 		`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x"}]}],"tables":{"R":[{"vals":["a"],"prob":0.5}]}}}`,
 		`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x","const":"a"}]}],"tables":{}}}`,
 		`{"op":"spj-eval"}`,
+		// Mutation and evidence payloads, singular and batched, well-formed
+		// and malformed: exactly one of mutation/mutations must be set, every
+		// batch entry is validated, and oversized batches are refused.
+		`{"tree":"db","op":"mutate","mutation":{"kind":"set-prob","key":"t1","score":1,"prob":0.5,"renormalize":true}}`,
+		`{"tree":"db","op":"mutate","mutations":[{"kind":"set-prob","key":"t1","score":1,"prob":0.3},{"kind":"insert","key":"t2","score":9,"prob":0},{"kind":"delete","key":"t3","score":2}]}`,
+		`{"tree":"db","op":"mutate","mutation":{"kind":"set-prob","key":"t1","prob":0.3},"mutations":[{"kind":"delete","key":"t2","score":1}]}`,
+		`{"tree":"db","op":"mutate","mutations":[]}`,
+		`{"tree":"db","op":"mutate","mutations":[{"kind":"frob","key":"x"}]}`,
+		`{"tree":"db","op":"mutate","mutations":[{"kind":"set-prob","key":"t1","prob":1e999}]}`,
+		`{"tree":"db","op":"condition","evidences":[{"kind":"present","key":"t1"},{"kind":"absent","key":"t2"}]}`,
+		`{"tree":"db","op":"condition","evidences":[{"kind":"choose","key":"t1","score":1}]}`,
+		`{"tree":"db","op":"condition","evidence":{"kind":"present","key":"t1"},"evidences":[{"kind":"absent","key":"t2"}]}`,
+		`{"tree":"db","op":"condition","evidences":[{"kind":"present"}]}`,
 	} {
 		f.Add([]byte(seed))
 	}

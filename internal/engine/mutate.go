@@ -5,13 +5,26 @@ package engine
 // delta path has three layers, each bit-identical to the cold alternative
 // (re-registering the mutated tree):
 //
-//   - andxor.Tree.Apply validates and patches the tree, returning a Delta;
-//   - genfunc.Program.Apply consumes the Delta, patching the compiled
-//     instruction weights and every pooled arena (weight-only deltas) or
-//     recompiling (structural deltas);
+//   - andxor.Tree.Apply/ApplyAll validates and patches the tree, returning
+//     Deltas (ApplyAll is all-or-nothing: a failing batch leaves the tree
+//     untouched);
+//   - genfunc.Program.Apply/ApplyAll consumes the Deltas, patching the
+//     compiled instruction weights and every pooled arena (weight-only
+//     deltas) or recompiling (structural deltas), and reports the dirty
+//     instruction set;
 //   - the engine bumps the entry's mutation epoch, which retargets every
-//     cache key, purges the pre-mutation epoch's intermediates, and
-//     re-seeds the membership map warm by patching only the changed keys.
+//     cache key, and decides per cached intermediate between repair and
+//     purge: weight-only deltas against a resident program carry the
+//     cached rank distributions (every resident cutoff, one shared sweep
+//     at the widest), the world-size distribution and the membership map
+//     warm into the new epoch's namespace; everything else — structural
+//     deltas, foreign-typed entries, repair errors — falls back to the
+//     purge and rebuilds lazily.
+//
+// A batched request (Request.Mutations / Request.Evidences) applies N
+// updates under one entry write lock with a single epoch bump and one
+// repair pass, amortizing the per-mutation costs (arena patching, epoch
+// purge, repair sweeps) across the whole batch.
 //
 // Ordering discipline: the mutation holds the entry's write lock across
 // all three layers, so a query (which holds the read lock across its
@@ -22,6 +35,7 @@ import (
 	"fmt"
 
 	"consensus/internal/andxor"
+	"consensus/internal/genfunc"
 )
 
 // Method values reported by mutation responses.
@@ -34,30 +48,45 @@ const (
 	MethodRecompiled = "recompiled"
 )
 
-// updateOf translates the request payload into the andxor update.
-// validate() vetted the payload shape, so unknown kinds cannot reach the
-// default branches.
-func updateOf(req Request) andxor.Update {
+// updatesOf translates the request payload — singular or batched form —
+// into the andxor updates.  validate() vetted the payload shape, so
+// unknown kinds cannot reach the default branches.
+func updatesOf(req Request) []andxor.Update {
 	if req.Op == OpMutate {
-		m := req.Mutation
-		return andxor.Update{
-			Kind:        andxor.UpdateKind(m.Kind),
-			Key:         m.Key,
-			Score:       m.Score,
-			Prob:        m.Prob,
-			Label:       m.Label,
-			Renormalize: m.Renormalize,
+		ms := req.Mutations
+		if req.Mutation != nil {
+			ms = []MutationRequest{*req.Mutation}
 		}
+		us := make([]andxor.Update, len(ms))
+		for i, m := range ms {
+			us[i] = andxor.Update{
+				Kind:        andxor.UpdateKind(m.Kind),
+				Key:         m.Key,
+				Score:       m.Score,
+				Prob:        m.Prob,
+				Label:       m.Label,
+				Renormalize: m.Renormalize,
+			}
+		}
+		return us
 	}
-	ev := req.Evidence
-	return andxor.Update{Kind: andxor.UpdateKind(ev.Kind), Key: ev.Key, Score: ev.Score}
+	evs := req.Evidences
+	if req.Evidence != nil {
+		evs = []EvidenceRequest{*req.Evidence}
+	}
+	us := make([]andxor.Update, len(evs))
+	for i, ev := range evs {
+		us[i] = andxor.Update{Kind: andxor.UpdateKind(ev.Kind), Key: ev.Key, Score: ev.Score}
+	}
+	return us
 }
 
-// mutate applies one mutation or evidence assertion to the entry.  On
-// success the response reports the new epoch, whether the compiled kernel
-// was patched or recompiled, and the new marginals of the affected keys.
+// mutate applies one mutation/evidence assertion — or a whole batch —
+// to the entry under a single write lock and epoch bump.  On success the
+// response reports the new epoch, whether the compiled kernel was patched
+// or recompiled, and the new marginals of the affected keys.
 func (e *Engine) mutate(resp *Response, te *treeEntry, req Request) error {
-	u := updateOf(req)
+	us := updatesOf(req)
 	te.rw.Lock()
 	defer te.rw.Unlock()
 	if te.retired.Load() {
@@ -71,7 +100,7 @@ func (e *Engine) mutate(resp *Response, te *treeEntry, req Request) error {
 		te.tree = te.tree.Clone()
 		te.owned = true
 	}
-	d, err := te.tree.Apply(u)
+	ds, err := te.tree.ApplyAll(us)
 	if err != nil {
 		return err
 	}
@@ -80,50 +109,128 @@ func (e *Engine) mutate(resp *Response, te *treeEntry, req Request) error {
 	// delta path (weight patch or recompile); an absent one stays absent
 	// and compiles lazily against the mutated tree on the next query.
 	method := MethodRecompiled
+	patched := false
+	var changed []int32
 	te.progMu.Lock()
-	if te.prog != nil {
-		np, patched := te.prog.Apply(te.tree, d)
-		te.prog = np
+	prog := te.prog
+	if prog != nil {
+		prog, patched, changed = prog.ApplyAll(te.tree, ds)
+		te.prog = prog
 		if patched {
 			method = MethodPatched
 		}
 	}
 	te.progMu.Unlock()
 
-	// Epoch bump: every cached intermediate of the pre-mutation state is
-	// now unreachable through e.key and purged below.  The membership map
-	// is the one intermediate cheap to carry over warm — only the keys the
-	// Delta names changed, and Tree.KeyMarginal patches them bit-identical
-	// to a cold KeyMarginals recomputation.
-	old := te.epoch.Load()
-	oldMembership, hadMembership := e.cache.peek(epochPrefix(req.Tree, te.gen, old) + "membership")
-	te.epoch.Store(old + 1)
-	te.mu.Lock()
-	te.rankKs = nil
-	te.mu.Unlock()
-	e.cache.removePrefix(epochPrefix(req.Tree, te.gen, old))
-
-	resp.Probs = make(map[string]float64, len(d.Keys))
-	for _, k := range d.Keys {
+	// Merge the batch's deltas against the final tree state: affected keys
+	// report their new marginals; a key counts as removed only if it is
+	// absent from the final tree (a delete-then-reinsert within one batch
+	// is not a removal).
+	var affected, removedRaw []string
+	seen := make(map[string]bool, len(ds))
+	seenRm := make(map[string]bool)
+	for _, d := range ds {
+		for _, k := range d.Keys {
+			if !seen[k] {
+				seen[k] = true
+				affected = append(affected, k)
+			}
+		}
+		for _, k := range d.Removed {
+			if !seenRm[k] {
+				seenRm[k] = true
+				removedRaw = append(removedRaw, k)
+			}
+		}
+	}
+	resp.Probs = make(map[string]float64, len(affected))
+	for _, k := range affected {
 		if m, ok := te.tree.KeyMarginal(k); ok {
 			resp.Probs[k] = m
 		}
 	}
-	resp.Removed = append([]string(nil), d.Removed...)
-	if hadMembership {
-		oldMap := oldMembership.(map[string]float64)
-		nm := make(map[string]float64, len(oldMap))
-		for k, v := range oldMap {
-			nm[k] = v
+	for _, k := range removedRaw {
+		if _, ok := te.tree.KeyMarginal(k); !ok {
+			resp.Removed = append(resp.Removed, k)
 		}
-		for _, k := range d.Removed {
-			delete(nm, k)
-		}
-		for k, v := range resp.Probs {
-			nm[k] = v
-		}
-		e.cache.add(epochPrefix(req.Tree, te.gen, old+1)+"membership", nm)
 	}
+
+	// Epoch bump with per-intermediate carry-over.  Weight-only batches
+	// against a resident program repair the cached intermediates into the
+	// new epoch's namespace: the rank distributions of every resident
+	// cutoff re-derive from one shared sweep at the widest cutoff
+	// (RanksAll), the world-size distribution re-derives along the dirty
+	// instruction paths only, and the membership map patches the keys the
+	// deltas name.  Structural batches (and foreign-typed cache entries,
+	// and repair errors) keep the purge: those intermediates rebuild
+	// lazily under the new epoch.  All repairs are bit-identical to cold
+	// recomputation (see genfunc.RepairRanks), so a query can never tell
+	// a repaired entry from a recomputed one.
+	old := te.epoch.Load()
+	oldPrefix := epochPrefix(req.Tree, te.gen, old)
+	newPrefix := epochPrefix(req.Tree, te.gen, old+1)
+	var keptKs []int
+	if patched && !e.repairDisabled {
+		te.mu.Lock()
+		ks := append([]int(nil), te.rankKs...)
+		te.mu.Unlock()
+		var resident []int
+		var oldRDs []*genfunc.RankDist
+		for _, k := range ks {
+			if v, ok := e.cache.peek(oldPrefix + fmt.Sprintf("ranks/%d", k)); ok {
+				if rd, ok := v.(*genfunc.RankDist); ok {
+					resident = append(resident, k)
+					oldRDs = append(oldRDs, rd)
+				}
+			}
+		}
+		if len(resident) > 0 {
+			repaired := oldRDs
+			if len(changed) > 0 {
+				// A repair error (e.g. the mutation created a co-occurring
+				// cross-key score tie) leaves the entries to the purge; the
+				// next rank query surfaces the error itself.
+				if rds, err := prog.RanksAll(resident, e.rankWorkers); err == nil {
+					repaired = rds
+				} else {
+					repaired = nil
+				}
+			}
+			for i, rd := range repaired {
+				e.cache.add(newPrefix+fmt.Sprintf("ranks/%d", resident[i]), rd)
+				keptKs = append(keptKs, resident[i])
+			}
+		}
+		if v, ok := e.cache.peek(oldPrefix + "size-dist"); ok {
+			if sd, ok := v.([]float64); ok {
+				e.cache.add(newPrefix+"size-dist", []float64(prog.RepairWorldSize(genfunc.Poly(sd), changed)))
+			}
+		}
+	}
+	if v, ok := e.cache.peek(oldPrefix + "membership"); ok {
+		// Checked assertion: a foreign-typed entry under the membership key
+		// must fall back to the purge path, not panic while holding the
+		// entry write lock.
+		if oldMap, ok := v.(map[string]float64); ok {
+			nm := make(map[string]float64, len(oldMap))
+			for k, v := range oldMap {
+				nm[k] = v
+			}
+			for _, k := range removedRaw {
+				delete(nm, k)
+			}
+			for k, v := range resp.Probs {
+				nm[k] = v
+			}
+			e.cache.add(newPrefix+"membership", nm)
+		}
+	}
+	te.epoch.Store(old + 1)
+	te.mu.Lock()
+	te.rankKs = keptKs
+	te.mu.Unlock()
+	e.cache.removePrefix(oldPrefix)
+
 	resp.Epoch = old + 1
 	resp.Method = method
 	return nil

@@ -1,9 +1,14 @@
 package engine
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -383,5 +388,478 @@ func TestMutateAfterReplaceRejected(t *testing.T) {
 	}})
 	if err == nil {
 		t.Fatal("mutation against a retired entry accepted")
+	}
+	// The batched form hits the same guard.
+	err = e.mutate(&resp, te, Request{Tree: "db", Op: OpMutate, Mutations: []MutationRequest{
+		{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.1},
+		{Kind: "set-prob", Key: "t3", Score: 4, Prob: 0.2},
+	}})
+	if err == nil {
+		t.Fatal("batched mutation against a retired entry accepted")
+	}
+}
+
+// validRenormBatch builds up to n renormalizing set-prob updates that the
+// tree is guaranteed to accept as one sequence, by vetting each candidate
+// against a scratch clone.  Returns both request and andxor forms.
+func validRenormBatch(t *testing.T, tr *andxor.Tree, n int) ([]MutationRequest, []andxor.Update) {
+	t.Helper()
+	scratch := tr.Clone()
+	alts := tr.LeafAlternatives()
+	var ms []MutationRequest
+	var ups []andxor.Update
+	for i := 0; len(ms) < n && i < 4*len(alts); i++ {
+		a := alts[i%len(alts)]
+		u := andxor.Update{
+			Kind: andxor.UpdateSetProb, Key: a.Key, Score: a.Score,
+			Prob: 0.05 + float64(i%9)*0.1, Renormalize: true,
+		}
+		if _, err := scratch.Apply(u); err != nil {
+			continue
+		}
+		ups = append(ups, u)
+		ms = append(ms, MutationRequest{
+			Kind: string(u.Kind), Key: u.Key, Score: u.Score,
+			Prob: u.Prob, Renormalize: true,
+		})
+	}
+	return ms, ups
+}
+
+// TestBatchedMutateMatchesReregister is the batched half of the
+// differential suite: one Mutations batch must leave every query family
+// bit-identical to a cold re-registration of the sequentially updated
+// tree, across the three workload shapes, with the cached intermediates
+// carried warm through the single epoch bump.
+func TestBatchedMutateMatchesReregister(t *testing.T) {
+	for shape := 0; shape < 3; shape++ {
+		rng := rand.New(rand.NewSource(int64(70 + shape)))
+		var tr *andxor.Tree
+		switch shape {
+		case 0:
+			tr = workload.Independent(rng, 12)
+		case 1:
+			tr = workload.BID(rng, 12, 3)
+		default:
+			tr = workload.Nested(rng, 12, 3)
+		}
+		ms, ups := validRenormBatch(t, tr, 6)
+		if len(ms) < 2 {
+			t.Fatalf("shape %d: only %d valid updates", shape, len(ms))
+		}
+
+		hot := New(Options{})
+		if err := hot.Register("db", tr.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		warm := []Request{
+			{Tree: "db", Op: OpRankDist, K: 4},
+			{Tree: "db", Op: OpTopKMean, K: 3},
+			{Tree: "db", Op: OpSizeDist},
+			{Tree: "db", Op: OpMembership},
+			{Tree: "db", Op: OpMeanWorld},
+		}
+		for _, req := range warm {
+			mustOk(t, hot.Query(req))
+		}
+		resp := mustOk(t, hot.Query(Request{Tree: "db", Op: OpMutate, Mutations: ms}))
+		if resp.Epoch != 1 {
+			t.Fatalf("shape %d: epoch after one batch = %d, want exactly 1 bump", shape, resp.Epoch)
+		}
+		if resp.Method != MethodPatched {
+			t.Fatalf("shape %d: method = %q, want %q", shape, resp.Method, MethodPatched)
+		}
+
+		cold := New(Options{})
+		if err := cold.Register("db", applyAll(t, tr, ups)); err != nil {
+			t.Fatal(err)
+		}
+		for _, req := range warm {
+			got := mustOk(t, hot.Query(req))
+			want := mustOk(t, cold.Query(req))
+			got.Epoch = 0
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shape %d op %s: batched %+v != re-registered %+v", shape, req.Op, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchedConditionMatchesReregister does the same for the Evidences
+// batch form: two evidence assertions under one epoch bump.
+func TestBatchedConditionMatchesReregister(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	warm := []Request{
+		{Tree: "db", Op: OpRankDist, K: 2},
+		{Tree: "db", Op: OpSizeDist},
+		{Tree: "db", Op: OpMembership},
+	}
+	for _, req := range warm {
+		mustOk(t, e.Query(req))
+	}
+	resp := mustOk(t, e.Query(Request{Tree: "db", Op: OpCondition, Evidences: []EvidenceRequest{
+		{Kind: "present", Key: "t1"},
+		{Kind: "absent", Key: "t3"},
+	}}))
+	if resp.Epoch != 1 {
+		t.Fatalf("epoch after evidence batch = %d, want 1", resp.Epoch)
+	}
+
+	nt := mutTree(t)
+	for _, u := range []andxor.Update{
+		{Kind: andxor.EvidencePresent, Key: "t1"},
+		{Kind: andxor.EvidenceAbsent, Key: "t3"},
+	} {
+		if _, err := nt.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := New(Options{})
+	if err := cold.Register("db", nt); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range warm {
+		got := mustOk(t, e.Query(req))
+		want := mustOk(t, cold.Query(req))
+		got.Epoch = 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("op %s: batched evidence %+v != re-registered %+v", req.Op, got, want)
+		}
+	}
+}
+
+// TestBatchMutateSingleEpochBump pins the headline batch contract: a
+// 64-update batch performs exactly one epoch bump, and the repair pass
+// re-seeds the rank, size and membership intermediates so the follow-up
+// queries are cache hits (Computes unmoved) with answers bit-identical
+// to a cold re-registration.
+func TestBatchMutateSingleEpochBump(t *testing.T) {
+	tr := workload.BID(rand.New(rand.NewSource(77)), 64, 2)
+	e := New(Options{})
+	if err := e.Register("db", tr.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	warm := []Request{
+		{Tree: "db", Op: OpRankDist, K: 5},
+		{Tree: "db", Op: OpSizeDist},
+		{Tree: "db", Op: OpMembership},
+	}
+	for _, req := range warm {
+		mustOk(t, e.Query(req))
+	}
+	ms, ups := validRenormBatch(t, tr, 64)
+	if len(ms) != 64 {
+		t.Fatalf("built %d valid updates, want 64", len(ms))
+	}
+
+	computes := e.Stats().Computes
+	resp := mustOk(t, e.Query(Request{Tree: "db", Op: OpMutate, Mutations: ms}))
+	if resp.Epoch != 1 {
+		t.Fatalf("epoch after 64-update batch = %d, want exactly 1", resp.Epoch)
+	}
+	for _, req := range warm {
+		if got := mustOk(t, e.Query(req)); got.Epoch != 1 {
+			t.Fatalf("op %s answered from epoch %d, want 1", req.Op, got.Epoch)
+		}
+	}
+	if got := e.Stats().Computes; got != computes {
+		t.Fatalf("warm intermediates recomputed after batch: computes %d -> %d", computes, got)
+	}
+
+	cold := New(Options{})
+	if err := cold.Register("db", applyAll(t, tr, ups)); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range warm {
+		got := mustOk(t, e.Query(req))
+		want := mustOk(t, cold.Query(req))
+		got.Epoch = 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("op %s: repaired %+v != re-registered %+v", req.Op, got, want)
+		}
+	}
+}
+
+// TestBatchMutateAtomic pins all-or-nothing batch semantics at the engine
+// level: a batch whose middle update fails must leave the tree, the epoch
+// and the caches exactly as they were.
+func TestBatchMutateAtomic(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: 2}))
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership}))
+	computes := e.Stats().Computes
+
+	resp := e.Query(Request{Tree: "db", Op: OpMutate, Mutations: []MutationRequest{
+		{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.1},
+		{Kind: "set-prob", Key: "nope", Score: 1, Prob: 0.5}, // unknown key: domain rejection
+		{Kind: "set-prob", Key: "t3", Score: 4, Prob: 0.2},
+	}})
+	if resp.Ok() {
+		t.Fatal("batch with a failing middle update accepted")
+	}
+	if !strings.Contains(resp.Error, "batch update 1") {
+		t.Fatalf("error %q does not locate the failing update", resp.Error)
+	}
+	q := mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership, Keys: []string{"t1"}}))
+	if q.Probs["t1"] != 0.8 || q.Epoch != 0 {
+		t.Fatalf("failed batch disturbed the tree: marginal %v epoch %d", q.Probs["t1"], q.Epoch)
+	}
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpRankDist, K: 2}))
+	if got := e.Stats().Computes; got != computes {
+		t.Fatalf("failed batch invalidated caches: computes %d -> %d", computes, got)
+	}
+}
+
+// TestRankAndSizeStayWarmAcrossMutation pins the tentpole repair path:
+// after a weight-only mutation the previously cached rank distributions
+// (every resident cutoff) and world-size distribution are carried into
+// the new epoch by the repair pass, so follow-up queries are cache hits
+// — and their answers are bit-identical to a cold recompute.
+func TestRankAndSizeStayWarmAcrossMutation(t *testing.T) {
+	tr := workload.BID(rand.New(rand.NewSource(55)), 24, 2)
+	e := New(Options{})
+	if err := e.Register("db", tr.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Tree: "db", Op: OpRankDist, K: 3},
+		{Tree: "db", Op: OpRankDist, K: 7},
+		{Tree: "db", Op: OpSizeDist},
+	}
+	for _, req := range reqs {
+		mustOk(t, e.Query(req))
+	}
+	computes := e.Stats().Computes
+
+	alt := tr.LeafAlternatives()[0]
+	u := andxor.Update{Kind: andxor.UpdateSetProb, Key: alt.Key, Score: alt.Score, Prob: 0.42, Renormalize: true}
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: string(u.Kind), Key: u.Key, Score: u.Score, Prob: u.Prob, Renormalize: true,
+	}}))
+	for _, req := range reqs {
+		mustOk(t, e.Query(req))
+	}
+	if got := e.Stats().Computes; got != computes {
+		t.Fatalf("rank/size recomputed after weight-only mutation: computes %d -> %d", computes, got)
+	}
+
+	cold := New(Options{})
+	if err := cold.Register("db", applyAll(t, tr, []andxor.Update{u})); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		got := mustOk(t, e.Query(req))
+		want := mustOk(t, cold.Query(req))
+		got.Epoch = 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("op %s k=%d: repaired %+v != cold %+v", req.Op, req.K, got, want)
+		}
+	}
+
+	// A structural mutation keeps the purge: the next queries recompute.
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: "insert", Key: alt.Key, Score: 5000, Prob: 0, Label: "x",
+	}}))
+	computes = e.Stats().Computes
+	for _, req := range reqs {
+		mustOk(t, e.Query(req))
+	}
+	if got := e.Stats().Computes; got == computes {
+		t.Fatal("structural mutation did not invalidate rank/size intermediates")
+	}
+}
+
+// TestMutateForeignTypedCacheEntries is the regression for the unchecked
+// membership assertion: wrongly-typed values planted under the carried
+// cache keys must send the carry-over down the purge path — no panic
+// while holding the entry write lock, and correct answers afterwards.
+func TestMutateForeignTypedCacheEntries(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{Tree: "db", Op: OpRankDist, K: 2},
+		{Tree: "db", Op: OpSizeDist},
+		{Tree: "db", Op: OpMembership},
+	}
+	for _, req := range reqs {
+		mustOk(t, e.Query(req))
+	}
+	e.mu.RLock()
+	te := e.trees["db"]
+	e.mu.RUnlock()
+	prefix := epochPrefix("db", te.gen, te.epoch.Load())
+	for _, suffix := range []string{"ranks/2", "size-dist", "membership"} {
+		e.cache.add(prefix+suffix, struct{ bogus int }{41})
+	}
+
+	resp := mustOk(t, e.Query(Request{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{
+		Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.1,
+	}}))
+	if resp.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", resp.Epoch)
+	}
+	cold := New(Options{})
+	if err := cold.Register("db", applyAll(t, mutTree(t), []andxor.Update{
+		{Kind: andxor.UpdateSetProb, Key: "t1", Score: 8, Prob: 0.1},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		got := mustOk(t, e.Query(req))
+		want := mustOk(t, cold.Query(req))
+		got.Epoch = 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("op %s after foreign-typed entries: %+v != cold %+v", req.Op, got, want)
+		}
+	}
+}
+
+// TestBatchDeleteThenRenormalize covers the awkward batch shape: deleting
+// a key's last alternative (emptying its slot in a shared x-tuple block)
+// followed by a renormalizing set-prob on the survivor, in one atomic
+// batch.  The removal must be reported, membership must drop the key,
+// and everything must match the cold reference.
+func TestBatchDeleteThenRenormalize(t *testing.T) {
+	mk := func() *andxor.Tree {
+		return andxor.MustNew(andxor.NewOr(
+			[]*andxor.Node{
+				andxor.NewLeaf(types.Leaf{Key: "a", Score: 3}),
+				andxor.NewLeaf(types.Leaf{Key: "b", Score: 1}),
+			},
+			[]float64{0.4, 0.5},
+		))
+	}
+	e := New(Options{})
+	if err := e.Register("db", mk()); err != nil {
+		t.Fatal(err)
+	}
+	mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership}))
+	resp := mustOk(t, e.Query(Request{Tree: "db", Op: OpMutate, Mutations: []MutationRequest{
+		{Kind: "delete", Key: "b", Score: 1},
+		{Kind: "set-prob", Key: "a", Score: 3, Prob: 0.7, Renormalize: true},
+	}}))
+	if len(resp.Removed) != 1 || resp.Removed[0] != "b" {
+		t.Fatalf("removed = %v, want [b]", resp.Removed)
+	}
+	if got := resp.Probs["a"]; got != 0.7 {
+		t.Fatalf("a marginal = %v, want 0.7", got)
+	}
+	q := mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership}))
+	if _, ok := q.Probs["b"]; ok {
+		t.Fatalf("membership still lists removed key b: %v", q.Probs)
+	}
+
+	cold := New(Options{})
+	if err := cold.Register("db", applyAll(t, mk(), []andxor.Update{
+		{Kind: andxor.UpdateDelete, Key: "b", Score: 1},
+		{Kind: andxor.UpdateSetProb, Key: "a", Score: 3, Prob: 0.7, Renormalize: true},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	want := mustOk(t, cold.Query(Request{Tree: "db", Op: OpMembership}))
+	q.Epoch = 0
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("batched %+v != re-registered %+v", q, want)
+	}
+}
+
+// TestBatchValidation pins the request-shape rules for the batched forms.
+func TestBatchValidation(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", mutTree(t)); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]MutationRequest, maxBatchUpdates+1)
+	for i := range big {
+		big[i] = MutationRequest{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.5}
+	}
+	bad := []Request{
+		{Tree: "db", Op: OpMutate, Mutations: []MutationRequest{}},
+		{Tree: "db", Op: OpMutate, Mutation: &MutationRequest{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.5},
+			Mutations: []MutationRequest{{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.5}}},
+		{Tree: "db", Op: OpMutate, Mutations: []MutationRequest{{Kind: "frob", Key: "t1"}}},
+		{Tree: "db", Op: OpMutate, Mutations: []MutationRequest{{Kind: "set-prob", Key: "t1", Score: 8, Prob: 2}}},
+		{Tree: "db", Op: OpMutate, Mutations: big},
+		{Tree: "db", Op: OpCondition, Evidences: []EvidenceRequest{}},
+		{Tree: "db", Op: OpCondition, Evidence: &EvidenceRequest{Kind: "present", Key: "t1"},
+			Evidences: []EvidenceRequest{{Kind: "present", Key: "t1"}}},
+		{Tree: "db", Op: OpCondition, Evidences: []EvidenceRequest{{Kind: "maybe", Key: "t1"}}},
+		{Tree: "db", Op: OpCondition, Evidences: []EvidenceRequest{{Kind: "present"}}},
+	}
+	for i, req := range bad {
+		if resp := e.Query(req); resp.Ok() {
+			t.Fatalf("bad batch request %d accepted: %+v", i, req)
+		}
+	}
+	// The index of the offending entry is reported.
+	resp := e.Query(Request{Tree: "db", Op: OpMutate, Mutations: []MutationRequest{
+		{Kind: "set-prob", Key: "t1", Score: 8, Prob: 0.5},
+		{Kind: "frob", Key: "t1"},
+	}})
+	if !strings.Contains(resp.Error, "mutations[1]") {
+		t.Fatalf("error %q does not name mutations[1]", resp.Error)
+	}
+	q := mustOk(t, e.Query(Request{Tree: "db", Op: OpMembership, Keys: []string{"t1"}}))
+	if q.Probs["t1"] != 0.8 || q.Epoch != 0 {
+		t.Fatalf("tree disturbed by rejected batches: marginal %v epoch %d", q.Probs["t1"], q.Epoch)
+	}
+}
+
+// TestHandlerMutateRemovedJSON pins the wire shape of Response.Removed: a
+// mutation removing nothing omits the field entirely (nil and empty both
+// marshal as absent), a real removal lists the keys.
+func TestHandlerMutateRemovedJSON(t *testing.T) {
+	e := New(Options{})
+	xt := andxor.MustNew(andxor.NewOr(
+		[]*andxor.Node{
+			andxor.NewLeaf(types.Leaf{Key: "a", Score: 3}),
+			andxor.NewLeaf(types.Leaf{Key: "b", Score: 1}),
+		},
+		[]float64{0.4, 0.5},
+	))
+	if err := e.Register("db", xt); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	post := func(body string) []byte {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST %s: status %d (%s)", body, resp.StatusCode, raw)
+		}
+		return raw
+	}
+
+	raw := post(`{"tree":"db","op":"mutate","mutation":{"kind":"set-prob","key":"a","score":3,"prob":0.2}}`)
+	if bytes.Contains(raw, []byte(`"removed"`)) {
+		t.Fatalf("no-removal mutation response carries a removed field: %s", raw)
+	}
+	raw = post(`{"tree":"db","op":"mutate","mutations":[{"kind":"delete","key":"b","score":1}]}`)
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Removed, []string{"b"}) {
+		t.Fatalf("removed = %v, want [b] (%s)", resp.Removed, raw)
+	}
+	if !bytes.Contains(raw, []byte(`"removed":["b"]`)) {
+		t.Fatalf("removal not serialized: %s", raw)
 	}
 }

@@ -186,10 +186,20 @@ type Request struct {
 	GroupBy string `json:"group_by,omitempty"`
 	// SPJ carries the query and database of an OpSPJEval request.
 	SPJ *SPJRequest `json:"spj,omitempty"`
-	// Mutation carries the update of an OpMutate request.
+	// Mutation carries the update of an OpMutate request.  Exactly one of
+	// Mutation and Mutations must be set.
 	Mutation *MutationRequest `json:"mutation,omitempty"`
-	// Evidence carries the assertion of an OpCondition request.
+	// Mutations carries a batched OpMutate request: the updates apply in
+	// order under one entry write lock, atomically (a failing update
+	// rejects the whole batch, leaving the tree untouched), with a single
+	// epoch bump and one cache-repair pass for the batch.
+	Mutations []MutationRequest `json:"mutations,omitempty"`
+	// Evidence carries the assertion of an OpCondition request.  Exactly
+	// one of Evidence and Evidences must be set.
 	Evidence *EvidenceRequest `json:"evidence,omitempty"`
+	// Evidences carries a batched OpCondition request, with the same
+	// atomicity and single-epoch-bump semantics as Mutations.
+	Evidences []EvidenceRequest `json:"evidences,omitempty"`
 
 	// Mode selects the evaluation backend: ModeExact (also the meaning of
 	// the empty string, unless the engine sets a different default),
@@ -238,6 +248,42 @@ type EvidenceRequest struct {
 	Key string `json:"key"`
 	// Score identifies the chosen alternative (choose only).
 	Score float64 `json:"score,omitempty"`
+}
+
+// maxBatchUpdates bounds the length of a batched mutation/evidence
+// request: a batch applies under one entry write lock, so its size bounds
+// how long queries on that tree can be blocked.
+const maxBatchUpdates = 1024
+
+// validate checks one mutation payload (singular or batch entry).  The
+// messages carry no "engine:" prefix; callers add it, plus the batch
+// position for batch entries.
+func (m *MutationRequest) validate() error {
+	switch andxor.UpdateKind(m.Kind) {
+	case andxor.UpdateSetProb, andxor.UpdateInsert, andxor.UpdateDelete:
+	default:
+		return fmt.Errorf("unknown mutation kind %q (want set-prob, insert or delete)", m.Kind)
+	}
+	if m.Key == "" {
+		return fmt.Errorf("mutation is missing the key")
+	}
+	if m.Prob < 0 || m.Prob > 1 || math.IsNaN(m.Prob) {
+		return fmt.Errorf("mutation probability %v must lie in [0, 1]", m.Prob)
+	}
+	return nil
+}
+
+// validate checks one evidence payload (singular or batch entry).
+func (ev *EvidenceRequest) validate() error {
+	switch andxor.UpdateKind(ev.Kind) {
+	case andxor.EvidencePresent, andxor.EvidenceAbsent, andxor.EvidenceChoose:
+	default:
+		return fmt.Errorf("unknown evidence kind %q (want present, absent or choose)", ev.Kind)
+	}
+	if ev.Key == "" {
+		return fmt.Errorf("evidence is missing the key")
+	}
+	return nil
 }
 
 // SPJRequest is the payload of an OpSPJEval request: a boolean
@@ -387,31 +433,42 @@ func (r *Request) validate() error {
 			return err
 		}
 	case OpMutate:
-		if r.Mutation == nil {
+		switch {
+		case r.Mutation == nil && len(r.Mutations) == 0:
 			return fmt.Errorf("engine: op %q needs a mutation payload", r.Op)
+		case r.Mutation != nil && len(r.Mutations) > 0:
+			return fmt.Errorf("engine: op %q must set exactly one of mutation and mutations", r.Op)
+		case len(r.Mutations) > maxBatchUpdates:
+			return fmt.Errorf("engine: mutations batch holds %d updates, limit %d", len(r.Mutations), maxBatchUpdates)
 		}
-		switch andxor.UpdateKind(r.Mutation.Kind) {
-		case andxor.UpdateSetProb, andxor.UpdateInsert, andxor.UpdateDelete:
-		default:
-			return fmt.Errorf("engine: unknown mutation kind %q (want set-prob, insert or delete)", r.Mutation.Kind)
+		if r.Mutation != nil {
+			if err := r.Mutation.validate(); err != nil {
+				return fmt.Errorf("engine: %w", err)
+			}
 		}
-		if r.Mutation.Key == "" {
-			return fmt.Errorf("engine: mutation is missing the key")
-		}
-		if r.Mutation.Prob < 0 || r.Mutation.Prob > 1 || math.IsNaN(r.Mutation.Prob) {
-			return fmt.Errorf("engine: mutation probability %v must lie in [0, 1]", r.Mutation.Prob)
+		for i := range r.Mutations {
+			if err := r.Mutations[i].validate(); err != nil {
+				return fmt.Errorf("engine: mutations[%d]: %w", i, err)
+			}
 		}
 	case OpCondition:
-		if r.Evidence == nil {
+		switch {
+		case r.Evidence == nil && len(r.Evidences) == 0:
 			return fmt.Errorf("engine: op %q needs an evidence payload", r.Op)
+		case r.Evidence != nil && len(r.Evidences) > 0:
+			return fmt.Errorf("engine: op %q must set exactly one of evidence and evidences", r.Op)
+		case len(r.Evidences) > maxBatchUpdates:
+			return fmt.Errorf("engine: evidences batch holds %d updates, limit %d", len(r.Evidences), maxBatchUpdates)
 		}
-		switch andxor.UpdateKind(r.Evidence.Kind) {
-		case andxor.EvidencePresent, andxor.EvidenceAbsent, andxor.EvidenceChoose:
-		default:
-			return fmt.Errorf("engine: unknown evidence kind %q (want present, absent or choose)", r.Evidence.Kind)
+		if r.Evidence != nil {
+			if err := r.Evidence.validate(); err != nil {
+				return fmt.Errorf("engine: %w", err)
+			}
 		}
-		if r.Evidence.Key == "" {
-			return fmt.Errorf("engine: evidence is missing the key")
+		for i := range r.Evidences {
+			if err := r.Evidences[i].validate(); err != nil {
+				return fmt.Errorf("engine: evidences[%d]: %w", i, err)
+			}
 		}
 	case OpMeanWorld, OpMedianWorld, OpSizeDist, OpMembership, OpWorldProb,
 		OpMeanWorldJaccard, OpMedianWorldJaccard:

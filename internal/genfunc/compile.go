@@ -124,6 +124,17 @@ type Program struct {
 	sizeOnce sync.Once
 	sizeLens []int32
 	sizeOffs []int32
+
+	// sizeMu guards the persistent world-size evaluation state: sizeBuf
+	// holds the last full bottom-up evaluation (sizeOffs layout), and
+	// sizeDirty lists the instructions whose weights changed since it was
+	// filled.  The next WorldSizeDist re-evaluates only the dirty
+	// instructions and their ancestors (see kernel.go), which is what lets
+	// the engine repair a cached world-size distribution through a
+	// mutation at dirty-path cost instead of a full pass.
+	sizeMu    sync.Mutex
+	sizeBuf   []float64
+	sizeDirty []int32
 }
 
 // progCache memoizes Compile per source tree, weakly keyed so the cache

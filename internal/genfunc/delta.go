@@ -25,11 +25,13 @@ import (
 
 // Apply brings p up to date with a mutation already applied to t (the tree
 // p was compiled from) and returns the current program.  Weight-only
-// deltas patch p in place and return (p, true); structural deltas
-// recompile and return (Compile(t), false).  Apply requires exclusive
-// access to p: no evaluation may run concurrently (the engine serializes
-// mutations against queries per tree).
-func (p *Program) Apply(t *andxor.Tree, d *andxor.Delta) (*Program, bool) {
+// deltas patch p in place and return (p, true, changed), where changed is
+// the dirty instruction set — the ids whose fields actually moved; callers
+// repairing cached results off p (RepairRanks, RepairWorldSize) key on it.
+// Structural deltas recompile and return (Compile(t), false, nil).  Apply
+// requires exclusive access to p: no evaluation may run concurrently (the
+// engine serializes mutations against queries per tree).
+func (p *Program) Apply(t *andxor.Tree, d *andxor.Delta) (*Program, bool, []int32) {
 	if d == nil || d.Structural {
 		np := Compile(t)
 		// Refresh the package-level memo (if the tree is in it) so the
@@ -38,7 +40,7 @@ func (p *Program) Apply(t *andxor.Tree, d *andxor.Delta) (*Program, bool) {
 		if _, ok := progCache.Load(wp); ok {
 			progCache.Store(wp, np)
 		}
-		return np, false
+		return np, false, nil
 	}
 	changed := p.patchWeights(d)
 	// Weight changes can flip the score-validity verdict: whether two tied
@@ -51,7 +53,81 @@ func (p *Program) Apply(t *andxor.Tree, d *andxor.Delta) (*Program, bool) {
 	if len(changed) > 0 {
 		p.patchArenas(changed)
 	}
-	return p, true
+	return p, true, changed
+}
+
+// ApplyAll brings p up to date with a batch of mutations already applied
+// to t (in order), amortizing the per-delta costs: the weight patches of
+// the whole batch accumulate into one dirty instruction set, the
+// score-validation verdict resets once and every pooled arena is repaired
+// once, instead of per update.  A structural delta anywhere in the batch
+// recompiles once, covering the whole batch (the tree already carries
+// every update).  The return contract matches Apply, with changed the
+// union of the batch's dirty instruction sets.
+func (p *Program) ApplyAll(t *andxor.Tree, ds []*andxor.Delta) (*Program, bool, []int32) {
+	for _, d := range ds {
+		if d == nil || d.Structural {
+			return p.Apply(t, d)
+		}
+	}
+	if len(ds) == 0 {
+		return p, true, nil
+	}
+	var changed []int32
+	for _, d := range ds {
+		for _, id := range p.patchWeights(d) {
+			dup := false
+			for _, c := range changed {
+				if c == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				changed = append(changed, id)
+			}
+		}
+	}
+	p.valMu.Lock()
+	p.valDone = false
+	p.valErr = nil
+	p.valMu.Unlock()
+	if len(changed) > 0 {
+		p.patchArenas(changed)
+	}
+	return p, true, changed
+}
+
+// RepairRanks brings a previously computed rank distribution up to date
+// after Apply/ApplyAll reported changed as the dirty instruction set.  An
+// empty changed set means the instruction array is bitwise unchanged, so
+// old is still exact and returned as-is.  Otherwise every row must be
+// re-derived: the root polynomial is multilinear in the mutated block's
+// edge weights, so a genuine weight change moves every key's rank row, and
+// the delta path's bit-identity contract (repaired results == cold
+// recomputation, float for float) rules out per-row shortcuts.  The
+// re-derivation runs the standard incremental descending-score sweep on
+// the patched program — whose instruction array is bitwise identical to a
+// cold compile of the mutated tree — so the repaired distribution equals
+// the cold one exactly.
+func (p *Program) RepairRanks(old *RankDist, changed []int32, workers int) (*RankDist, error) {
+	if len(changed) == 0 {
+		return old, nil
+	}
+	return p.RanksParallel(old.K, workers)
+}
+
+// RepairWorldSize is RepairRanks' analogue for a cached world-size
+// distribution: an empty changed set returns old unchanged, otherwise the
+// distribution is re-derived through the persistent size buffer, which
+// re-evaluates only the dirty instructions and their ancestor paths (see
+// WorldSizeDist) — the same dirty-path walk arenas use, at a fraction of a
+// full bottom-up pass.
+func (p *Program) RepairWorldSize(old Poly, changed []int32) Poly {
+	if len(changed) == 0 {
+		return old
+	}
+	return p.WorldSizeDist()
 }
 
 // patchWeights writes the delta's edge probabilities and stop mass into
@@ -98,6 +174,13 @@ func (p *Program) patchWeights(d *andxor.Delta) []int32 {
 			mark(gid)
 		}
 		in.c = d.Stop
+	}
+	if len(changed) > 0 {
+		// Invalidate the persistent world-size buffer's rows for the next
+		// WorldSizeDist, which repairs them along their root paths.
+		p.sizeMu.Lock()
+		p.sizeDirty = append(p.sizeDirty, changed...)
+		p.sizeMu.Unlock()
 	}
 	return changed
 }

@@ -100,7 +100,7 @@ func TestApplyFixedDeltas(t *testing.T) {
 		if err != nil {
 			t.Fatalf("step %d (%s %s): %v", i, u.Kind, u.Key, err)
 		}
-		np, patched := p.Apply(tr, d)
+		np, patched, _ := p.Apply(tr, d)
 		if patched != !d.Structural {
 			t.Fatalf("step %d: patched = %v for structural = %v", i, patched, d.Structural)
 		}
@@ -131,7 +131,7 @@ func TestApplyRandomUpdateStreams(t *testing.T) {
 					continue // invalid draw; tree untouched by contract
 				}
 				applied++
-				p, _ = p.Apply(tr, d)
+				p, _, _ = p.Apply(tr, d)
 				if applied%7 == 0 {
 					assertProgramsAgree(t, tr, p, fmt.Sprintf("shape %d n %d step %d", shape, n, step))
 				}
@@ -169,7 +169,7 @@ func TestApplyPatchesPooledArenas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p, _ = p.Apply(tr, d); p == nil {
+	if p, _, _ = p.Apply(tr, d); p == nil {
 		t.Fatal("nil program")
 	}
 	assertProgramsAgree(t, tr, p, "first patch with warm pools")
@@ -181,7 +181,7 @@ func TestApplyPatchesPooledArenas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, _ = p.Apply(tr, d)
+	p, _, _ = p.Apply(tr, d)
 	assertProgramsAgree(t, tr, p, "second patch with warm pools")
 }
 
@@ -205,7 +205,7 @@ func TestApplyResetsScoreValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, _ = p.Apply(tr, d)
+	p, _, _ = p.Apply(tr, d)
 	if err := p.ValidateScores(); err == nil {
 		t.Fatal("co-occurring cross-key tie accepted after weight patch")
 	}
@@ -214,9 +214,192 @@ func TestApplyResetsScoreValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, _ = p.Apply(tr, d)
+	p, _, _ = p.Apply(tr, d)
 	if err := p.ValidateScores(); err != nil {
 		t.Fatalf("tie still rejected after conditioning it away: %v", err)
+	}
+}
+
+// TestRanksAllBitIdentical pins the shared-sweep multi-cutoff kernel to
+// the direct per-cutoff calls: every distribution RanksAll assembles from
+// the widest sweep must equal Ranks at that cutoff float for float (the
+// truncation-prefix property applied per row), sequential and sharded.
+func TestRanksAllBitIdentical(t *testing.T) {
+	for shape := 0; shape < 3; shape++ {
+		tr := testTree(shape, 31+shape, 14, 3)
+		p := Compile(tr)
+		ks := []int{3, 7, 1, 7, 5}
+		for _, workers := range []int{1, 4} {
+			rds, err := p.RanksAll(ks, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rds) != len(ks) {
+				t.Fatalf("RanksAll returned %d distributions for %d cutoffs", len(rds), len(ks))
+			}
+			for i, k := range ks {
+				want, err := p.Ranks(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rds[i].K != k {
+					t.Fatalf("shape %d workers %d: cutoff %d came back as K=%d", shape, workers, k, rds[i].K)
+				}
+				if !reflect.DeepEqual(rds[i].eq, want.eq) || !reflect.DeepEqual(rds[i].le, want.le) {
+					t.Fatalf("shape %d workers %d: RanksAll cutoff %d differs from direct Ranks", shape, workers, k)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyAllMatchesSequential pins the batched program patch to the
+// sequential one: one ApplyAll over a batch of weight-only deltas must
+// leave the program in exactly the state the per-delta Apply loop reaches,
+// and both bit-identical to a cold compile of the final tree.
+func TestApplyAllMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := testTree(1, 9, 10, 3)
+	ctrl := tr.Clone()
+	p := Compile(tr)
+	cp := Compile(ctrl)
+
+	var us []andxor.Update
+	alts := tr.LeafAlternatives()
+	for i := 0; i < 12; i++ {
+		a := alts[rng.Intn(len(alts))]
+		us = append(us, andxor.Update{Kind: andxor.UpdateSetProb, Key: a.Key, Score: a.Score, Prob: rng.Float64(), Renormalize: true})
+	}
+
+	ds, err := tr.ApplyAll(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, patched, changed := p.ApplyAll(tr, ds)
+	if !patched || np != p {
+		t.Fatalf("weight-only batch: patched=%v, new program=%v", patched, np != p)
+	}
+	if len(changed) == 0 {
+		t.Fatal("weight-only batch reported no changed instructions")
+	}
+
+	for i, u := range us {
+		d, err := ctrl.Apply(u)
+		if err != nil {
+			t.Fatalf("control step %d: %v", i, err)
+		}
+		cp, _, _ = cp.Apply(ctrl, d)
+	}
+	if !reflect.DeepEqual(p.insts, cp.insts) {
+		t.Fatal("batched and sequential patches leave different instruction arrays")
+	}
+	assertProgramsAgree(t, tr, p, "ApplyAll batch")
+}
+
+// TestApplyAllStructuralRecompiles pins the batch fallback: any structural
+// delta in the batch recompiles once against the final tree.
+func TestApplyAllStructuralRecompiles(t *testing.T) {
+	tr := testTree(1, 5, 8, 3)
+	p := Compile(tr)
+	alts := tr.LeafAlternatives()
+	ds, err := tr.ApplyAll([]andxor.Update{
+		{Kind: andxor.UpdateSetProb, Key: alts[0].Key, Score: alts[0].Score, Prob: 0.4},
+		{Kind: andxor.UpdateInsert, Key: alts[1].Key, Score: 2000, Prob: 0.1, Label: "late"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, patched, changed := p.ApplyAll(tr, ds)
+	if patched {
+		t.Fatal("structural batch reported patched")
+	}
+	if changed != nil {
+		t.Fatalf("structural batch reported changed instructions %v", changed)
+	}
+	assertProgramsAgree(t, tr, np, "structural batch recompile")
+}
+
+// TestRepairReusesResultsOnNoOp pins the cheap half of the repair
+// contract: an empty dirty set means the instruction array is bitwise
+// unchanged, so RepairRanks/RepairWorldSize hand back the original results
+// without recomputation (pointer/backing-array identity, not just value
+// equality).
+func TestRepairReusesResultsOnNoOp(t *testing.T) {
+	tr := testTree(0, 3, 6, 3)
+	p := Compile(tr)
+	alts := tr.LeafAlternatives()
+	set := andxor.Update{Kind: andxor.UpdateSetProb, Key: alts[0].Key, Score: alts[0].Score, Prob: 0.37}
+	if d, err := tr.Apply(set); err != nil {
+		t.Fatal(err)
+	} else {
+		p, _, _ = p.Apply(tr, d)
+	}
+	old, err := p.Ranks(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSize := p.WorldSizeDist()
+
+	// Re-assert the probability the alternative already has: a no-op.
+	d, err := tr.Apply(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, patched, changed := p.Apply(tr, d)
+	if !patched || len(changed) != 0 {
+		t.Fatalf("no-op update: patched=%v changed=%v", patched, changed)
+	}
+	got, err := p.RepairRanks(old, changed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != old {
+		t.Fatal("RepairRanks recomputed on an empty dirty set")
+	}
+	if gs := p.RepairWorldSize(oldSize, changed); len(gs) != len(oldSize) || (len(gs) > 0 && &gs[0] != &oldSize[0]) {
+		t.Fatal("RepairWorldSize recomputed on an empty dirty set")
+	}
+}
+
+// TestRepairMatchesCold pins the expensive half: after a genuine weight
+// change, the repaired rank and world-size distributions equal a cold
+// compile of the mutated tree float for float, across all three workload
+// shapes and both worker counts.
+func TestRepairMatchesCold(t *testing.T) {
+	for shape := 0; shape < 3; shape++ {
+		tr := testTree(shape, 17+shape, 12, 3)
+		p := Compile(tr)
+		alts := tr.LeafAlternatives()
+		old, err := p.Ranks(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldSize := p.WorldSizeDist()
+		d, err := tr.Apply(andxor.Update{Kind: andxor.UpdateSetProb, Key: alts[0].Key, Score: alts[0].Score, Prob: 0.31, Renormalize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, patched, changed := p.Apply(tr, d)
+		if !patched || len(changed) == 0 {
+			t.Fatalf("shape %d: patched=%v changed=%v", shape, patched, changed)
+		}
+		cold := Compile(tr)
+		for _, workers := range []int{1, 4} {
+			got, err := p.RepairRanks(old, changed, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cold.Ranks(old.K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.eq, want.eq) || !reflect.DeepEqual(got.le, want.le) {
+				t.Fatalf("shape %d workers %d: repaired RankDist differs from cold compile", shape, workers)
+			}
+		}
+		if got, want := p.RepairWorldSize(oldSize, changed), cold.WorldSizeDist(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shape %d: repaired WorldSizeDist differs from cold compile", shape)
+		}
 	}
 }
 
@@ -237,7 +420,7 @@ func FuzzApplyDelta(f *testing.F) {
 			if err != nil {
 				continue
 			}
-			p, _ = p.Apply(tr, d)
+			p, _, _ = p.Apply(tr, d)
 		}
 		assertProgramsAgree(t, tr, p, "fuzz stream end")
 	})

@@ -1,6 +1,7 @@
 package genfunc
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 )
@@ -90,6 +91,74 @@ func (p *Program) RanksParallel(k, workers int) (*RankDist, error) {
 	return rd, nil
 }
 
+// RanksAll computes the rank distributions of several cutoffs with one
+// shared sweep at the widest cutoff.  A truncated evaluation is a bitwise
+// prefix of a wider one (the accumulation-order property pinned by
+// TestRanksCutoffPrefixBitIdentical), so assembling each narrower
+// distribution from the shared contribution rows is bit-identical to a
+// direct Ranks/RanksParallel call at that cutoff.  The engine's mutation
+// repair uses this to re-seed every resident cutoff for the price of the
+// widest one.  Duplicate cutoffs are allowed; order is preserved.
+func (p *Program) RanksAll(ks []int, workers int) ([]*RankDist, error) {
+	if len(ks) == 0 {
+		return nil, nil
+	}
+	kmax := ks[0]
+	for _, k := range ks {
+		if k < 1 {
+			return nil, errRankCutoff(k)
+		}
+		if k > kmax {
+			kmax = k
+		}
+	}
+	if err := p.ValidateScores(); err != nil {
+		return nil, err
+	}
+	n := len(p.leaves)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	fb := p.acquireFloats(n * kmax)
+	contrib := fb.s
+	if workers <= 1 {
+		ar := p.acquireArena(kmax-1, 1)
+		p.ranksRange(ar, kmax, 0, n, contrib)
+		p.releaseArena(ar)
+	} else {
+		// The shard split must match RanksParallel's exactly: it depends
+		// only on n and workers, so every per-alternative row here is the
+		// row that a direct call at any of the cutoffs would compute.
+		var wg sync.WaitGroup
+		base, rem := n/workers, n%workers
+		lo := 0
+		for w := 0; w < workers; w++ {
+			hi := lo + base
+			if w < rem {
+				hi++
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				ar := p.acquireArena(kmax-1, 1)
+				p.ranksRange(ar, kmax, lo, hi, contrib)
+				p.releaseArena(ar)
+			}(lo, hi)
+			lo = hi
+		}
+		wg.Wait()
+	}
+	out := make([]*RankDist, len(ks))
+	for i, k := range ks {
+		out[i] = p.assembleRankDistStride(k, kmax, contrib)
+	}
+	p.releaseFloats(fb)
+	return out, nil
+}
+
 // ranksRange computes the per-alternative rank contributions for the
 // score-order positions [lo, hi): contrib[a*k+j] = Pr(alternative a is
 // present and ranked j+1), writing only rows owned by this range (shards
@@ -158,10 +227,19 @@ func (p *Program) ranksRange(ar *arena, k, lo, hi int, contrib []float64) {
 // the legacy evaluator, which keeps sequential and parallel results
 // bit-identical.
 func (p *Program) assembleRankDist(k int, contrib []float64) *RankDist {
+	return p.assembleRankDistStride(k, k, contrib)
+}
+
+// assembleRankDistStride folds contribution rows laid out with the given
+// row stride (>= k) into a cutoff-k RankDist, reading only each row's
+// k-prefix.  With stride == k this is the plain assembly; a wider stride
+// lets RanksAll assemble several cutoffs from one shared sweep, relying on
+// the truncation-prefix property for the narrower rows.
+func (p *Program) assembleRankDistStride(k, stride int, contrib []float64) *RankDist {
 	rd := newRankDist(p.keys, p.keyIdx, k)
 	for a := 0; a < len(p.leaves); a++ {
 		dist := rd.eq[int(p.keyID[a])*(k+1):]
-		row := contrib[a*k : a*k+k]
+		row := contrib[a*stride : a*stride+k]
 		for j := 1; j <= k; j++ {
 			dist[j] += row[j-1]
 		}
@@ -327,43 +405,88 @@ func (p *Program) sizeExtents() (lens, offs []int32) {
 
 // WorldSizeDist computes the possible-world size distribution on the
 // compiled program: every leaf is assigned x and the untruncated root
-// polynomial is evaluated in one bottom-up pass over a pooled buffer.
+// polynomial is evaluated bottom-up over a persistent per-Program buffer.
 // Unlike the arena kernels this uses exact per-instruction polynomial
 // sizes (degree bounds are known statically once every leaf is x), so
 // large trees cost the same O(Σ product sizes) as the legacy evaluator —
 // minus its per-node allocations and recursion.
+//
+// The buffer carries over across weight mutations: patchWeights records
+// the changed instructions in sizeDirty, and the next call re-evaluates
+// only those and their ancestor paths (ascending instruction id is a
+// topological order, so children rewrite before parents).  The repair is
+// bit-identical to a full pass because every instruction's row is a pure
+// write-first function of its children's rows — recomputed or carried, a
+// row holds exactly the floats the full pass writes.
 func (p *Program) WorldSizeDist() Poly {
 	lens, offs := p.sizeExtents()
 	n := len(p.insts)
-	fb := p.acquireFloats(int(offs[n]))
-	buf := fb.s
-	for i, in := range p.insts {
-		dst := buf[offs[i] : offs[i]+lens[i]]
-		switch in.op {
-		case opLeaf:
-			dst[1] = 1
-		case opSum:
-			a := buf[offs[in.a] : offs[in.a]+lens[in.a]]
-			for k, v := range a {
-				dst[k] = in.wa * v
-			}
-			if in.b >= 0 {
-				b := buf[offs[in.b] : offs[in.b]+lens[in.b]]
-				for k, v := range b {
-					dst[k] += in.wb * v
+	p.sizeMu.Lock()
+	switch {
+	case p.sizeBuf == nil:
+		p.sizeBuf = make([]float64, offs[n])
+		for i := range p.insts {
+			p.sizeRecompute(lens, offs, int32(i))
+		}
+	case len(p.sizeDirty) > 0:
+		dirty := make([]uint64, (n+63)/64)
+		for _, id := range p.sizeDirty {
+			for i := id; i >= 0; i = p.insts[i].parent {
+				w, bit := i>>6, uint64(1)<<(i&63)
+				if dirty[w]&bit != 0 {
+					break // the rest of this root path is already marked
 				}
+				dirty[w] |= bit
 			}
-			dst[0] += in.c
-		default:
-			// World-size rows are exact-width (dst is precisely
-			// len(a)+len(b)-1), so the untruncated kernel applies.
-			a := buf[offs[in.a] : offs[in.a]+lens[in.a]]
-			b := buf[offs[in.b] : offs[in.b]+lens[in.b]]
-			convFull(dst, a, b)
+		}
+		for w, word := range dirty {
+			base := int32(w) << 6
+			for word != 0 {
+				p.sizeRecompute(lens, offs, base+int32(bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
 		}
 	}
-	root := buf[offs[n-1]:offs[n]]
+	p.sizeDirty = p.sizeDirty[:0]
+	root := p.sizeBuf[offs[n-1]:offs[n]]
 	out := Poly(append([]float64(nil), root...)).Trim(0)
-	p.releaseFloats(fb)
+	p.sizeMu.Unlock()
 	return out
+}
+
+// sizeRecompute rewrites instruction id's world-size row as a write-first
+// function of its children's rows: every cell of the row is stored, never
+// accumulated into, so the row lands on the same bits whether the buffer
+// is fresh (full pass) or carries a previous evaluation (dirty-path
+// repair).
+func (p *Program) sizeRecompute(lens, offs []int32, id int32) {
+	in := &p.insts[id]
+	buf := p.sizeBuf
+	dst := buf[offs[id] : offs[id]+lens[id]]
+	switch in.op {
+	case opLeaf:
+		dst[0], dst[1] = 0, 1
+	case opSum:
+		la := lens[in.a]
+		a := buf[offs[in.a] : offs[in.a]+la]
+		for k, v := range a {
+			dst[k] = in.wa * v
+		}
+		clear(dst[la:])
+		if in.b >= 0 {
+			b := buf[offs[in.b] : offs[in.b]+lens[in.b]]
+			for k, v := range b {
+				dst[k] += in.wb * v
+			}
+		}
+		dst[0] += in.c
+	default:
+		// World-size rows are exact-width (dst is precisely
+		// len(a)+len(b)-1), so the untruncated kernel applies; convFull
+		// accumulates, so the row clears first.
+		clear(dst)
+		a := buf[offs[in.a] : offs[in.a]+lens[in.a]]
+		b := buf[offs[in.b] : offs[in.b]+lens[in.b]]
+		convFull(dst, a, b)
+	}
 }
