@@ -13,7 +13,7 @@ COVER_PKGS  ?= ./internal/approx ./internal/engine ./internal/rankagg \
 # Fixed benchtime so bench.json artifacts are comparable across commits.
 BENCHTIME ?= 20x
 
-.PHONY: all build test race bench bench-json bench-compare bench-compare-base bench-baseline lint fmt cover fuzz vulncheck
+.PHONY: all build test race bench bench-json bench-compare bench-compare-base bench-baseline lint fmt cover fuzz vulncheck cluster-smoke
 
 all: build test
 
@@ -87,10 +87,20 @@ cover:
 	awk "BEGIN { exit !($$total >= $(COVER_FLOOR)) }" || { \
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
-# Fuzz smoke: a short randomized run of the HTTP request-decoding fuzz
-# target, enough to catch decode/validation panics without burning CI time.
+# Fuzz smoke: short randomized runs of the HTTP request-decoding target
+# (which seeds both the legacy flat form and the v1 envelope) and the
+# coordinator's cluster-admin endpoints, enough to catch
+# decode/validation panics without burning CI time.
 fuzz:
 	$(GO) test ./internal/engine -run XXX -fuzz FuzzHandlerQuery -fuzztime 10s
+	$(GO) test ./internal/distrib -run XXX -fuzz FuzzClusterAdmin -fuzztime 10s
+
+# Distributed-tier smoke: one coordinator over three loopback workers
+# cross-checked byte-for-byte against a single-process server on the six
+# consensus query families, then a worker kill mid-read-stream with zero
+# allowed failures (see cmd/clustersmoke).
+cluster-smoke:
+	$(GO) run ./cmd/clustersmoke
 
 lint:
 	@fmt_out="$$(gofmt -l .)"; \

@@ -1,0 +1,191 @@
+// Command clustersmoke is the distributed-tier smoke test CI runs: it
+// boots one coordinator over three loopback workers plus a plain
+// single-process server, registers the same trees on both fronts, and
+// requires byte-identical HTTP response bodies across the six consensus
+// query families of the paper (the E16 cross-check list), a mutation,
+// and the post-mutation re-queries.  It then kills one worker mid-stream
+// and requires a run of mixed reads to finish with zero client-visible
+// failures.  Any divergence or failure exits non-zero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"consensus/internal/distrib"
+	"consensus/internal/engine"
+	"consensus/internal/workload"
+)
+
+// sixFamilyQueries mirrors the E16 experiment's cross-check list: one
+// query per consensus family.
+var sixFamilyQueries = []string{
+	`{"tree":"indep","op":"topk-mean","k":3}`,
+	`{"tree":"indep","op":"mean-world-jaccard"}`,
+	`{"tree":"indep","op":"ranking-consensus"}`,
+	`{"tree":"labeled","op":"clustering-mean"}`,
+	`{"tree":"labeled","op":"aggregate-mean","k":3}`,
+	`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x"}]},{"relation":"S","args":[{"var":"x"},{"var":"y"}]}],"tables":{"R":[{"vals":["a"],"prob":0.5},{"vals":["b"],"prob":0.25}],"S":[{"vals":["a","u"],"prob":0.4},{"vals":["b","v"],"prob":0.8}]}}}`,
+}
+
+// server is one loopback HTTP server the smoke can kill.
+type server struct {
+	url string
+	srv *http.Server
+}
+
+func start(handler http.Handler) (*server, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &server{url: "http://" + l.Addr().String(), srv: &http.Server{Handler: handler}}
+	go func() { _ = s.srv.Serve(l) }()
+	return s, nil
+}
+
+func (s *server) close() { _ = s.srv.Close() }
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatalf("clustersmoke: FAIL: %v", err)
+	}
+	log.Printf("clustersmoke: PASS")
+}
+
+func run() error {
+	// Three workers: exactly what `consensusctl worker` serves.
+	var workers []*server
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		w, err := start(engine.New(engine.Options{}).Handler())
+		if err != nil {
+			return err
+		}
+		defer w.close()
+		workers = append(workers, w)
+		addrs = append(addrs, w.url)
+	}
+
+	coord, err := distrib.New(distrib.Options{Workers: addrs, HedgeDelay: 20 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	front, err := start(coord.Handler())
+	if err != nil {
+		return err
+	}
+	defer front.close()
+
+	single, err := start(engine.New(engine.Options{}).Handler())
+	if err != nil {
+		return err
+	}
+	defer single.close()
+
+	// Same trees on both fronts, registered over the wire.
+	rng := rand.New(rand.NewSource(16))
+	indep, err := json.Marshal(workload.Independent(rng, 8))
+	if err != nil {
+		return err
+	}
+	labeled, err := json.Marshal(workload.Labeled(rng, 7, 2, 3))
+	if err != nil {
+		return err
+	}
+	for name, tree := range map[string][]byte{"indep": indep, "labeled": labeled} {
+		if err := compare("PUT /v1/trees/"+name, func(base string) ([]byte, error) {
+			return do(http.MethodPut, base+"/v1/trees/"+name, tree)
+		}, front.url, single.url); err != nil {
+			return err
+		}
+	}
+
+	// Six families, a mutation, and the six families again after it.
+	queries := append([]string(nil), sixFamilyQueries...)
+	queries = append(queries, `{"tree":"indep","op":"condition","evidence":{"kind":"absent","key":"t3"}}`)
+	queries = append(queries, sixFamilyQueries...)
+	for i, q := range queries {
+		if err := compare(fmt.Sprintf("query %d %s", i, opOf(q)), func(base string) ([]byte, error) {
+			return do(http.MethodPost, base+"/v1/query", []byte(q))
+		}, front.url, single.url); err != nil {
+			return err
+		}
+	}
+	log.Printf("clustersmoke: %d responses byte-identical across cluster and single process", len(queries)+2)
+
+	// Kill one worker, then demand a clean run of mixed reads.
+	workers[1].close()
+	reads := []string{
+		`{"tree":"indep","op":"size-dist"}`,
+		`{"tree":"labeled","op":"membership"}`,
+		`{"tree":"indep","op":"topk-mean","k":2}`,
+		`{"tree":"labeled","op":"rank-dist","k":2}`,
+	}
+	for i := 0; i < 40; i++ {
+		body, err := do(http.MethodPost, front.url+"/v1/query", []byte(reads[i%len(reads)]))
+		if err != nil {
+			return fmt.Errorf("read %d after worker kill: %w", i, err)
+		}
+		var resp engine.Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("read %d after worker kill: undecodable response %s", i, body)
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("read %d after worker kill failed: %s (%s)", i, resp.Error, resp.Code)
+		}
+	}
+	log.Printf("clustersmoke: 40/40 mixed reads succeeded with one worker down")
+	return nil
+}
+
+// compare runs the same request against both fronts and demands
+// byte-identical bodies.
+func compare(label string, req func(base string) ([]byte, error), cluster, single string) error {
+	got, err := req(cluster)
+	if err != nil {
+		return fmt.Errorf("%s against cluster: %w", label, err)
+	}
+	want, err := req(single)
+	if err != nil {
+		return fmt.Errorf("%s against single process: %w", label, err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("%s diverged:\n cluster: %s\n single:  %s", label, got, want)
+	}
+	return nil
+}
+
+func do(method, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// opOf extracts the op field for progress labels.
+func opOf(q string) string {
+	var r struct {
+		Op string `json:"op"`
+	}
+	if json.Unmarshal([]byte(q), &r) != nil {
+		return "?"
+	}
+	return r.Op
+}

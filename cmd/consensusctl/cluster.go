@@ -1,0 +1,83 @@
+package main
+
+// The distributed serving tier: "consensusctl worker" runs one shard
+// process (a plain engine over HTTP — the internal RPC boundary is the
+// public HTTP/JSON surface), and "consensusctl coordinator" runs the
+// placement/routing front that shards registered trees across workers.
+// Clients talk to the coordinator exactly as they would to a
+// single-process server: same endpoints, byte-identical responses.
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"consensus/internal/distrib"
+)
+
+// coordConfig carries the coordinator-subcommand flags.
+type coordConfig struct {
+	addr           string
+	cluster        string // comma-separated worker base URLs
+	db             string // optional tree to preload ("" = none, "-" = stdin)
+	name           string // registration name for the preloaded tree
+	replication    int
+	attemptTimeout time.Duration
+	retries        int
+	hedge          time.Duration
+	admission      int
+	probe          time.Duration
+}
+
+// runCoordinator starts the cluster front: consistent-hash placement of
+// registered trees over the workers, routed reads with per-attempt
+// timeouts/retries/hedging, replicated writes, cost-priced admission
+// control, and the /cluster/* membership admin endpoints.  It blocks
+// until the listener fails.
+func runCoordinator(cfg coordConfig) error {
+	var workers []string
+	for _, w := range strings.Split(cfg.cluster, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) == 0 {
+		return fmt.Errorf("coordinator needs -cluster with at least one worker base URL")
+	}
+	c, err := distrib.New(distrib.Options{
+		Workers:           workers,
+		Replication:       cfg.replication,
+		AttemptTimeout:    cfg.attemptTimeout,
+		Retries:           cfg.retries,
+		HedgeDelay:        cfg.hedge,
+		AdmissionCapacity: cfg.admission,
+		ProbeInterval:     cfg.probe,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if cfg.db != "" {
+		tree, err := loadTree(cfg.db)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", cfg.db, err)
+		}
+		if err := c.Register(cfg.name, tree); err != nil {
+			return err
+		}
+		log.Printf("registered tree %q (%d tuples, %d alternatives)",
+			cfg.name, len(tree.Keys()), tree.NumLeaves())
+	}
+	log.Printf("consensusctl: coordinating %d workers on %s", len(workers), cfg.addr)
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}

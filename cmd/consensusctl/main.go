@@ -16,6 +16,8 @@
 //	consensusctl -db db.json mutate -batch updates.json > db2.json
 //	consensusctl -db db.json condition -kind present -key a > db2.json
 //	consensusctl serve -addr :8080 [-db db.json -name default]
+//	consensusctl worker -addr :8081
+//	consensusctl coordinator -addr :8080 -cluster http://h1:8081,http://h2:8081,http://h3:8081
 //
 // With -db - the tree is read from stdin.  The mutate and condition
 // subcommands apply one in-place update (set-prob, insert, delete) or
@@ -38,6 +40,19 @@
 // aggregate-median, ranking-consensus, spj-eval (which posts its query and
 // tables inline; see workloadgen -kind spj for a generator), and the
 // mutation ops mutate and condition.
+//
+// The worker and coordinator subcommands form the distributed serving
+// tier.  A worker is a plain serving engine (same surface as serve); the
+// coordinator shards registered trees across its -cluster workers by
+// consistent hashing with replication (default 2), routes reads with
+// per-attempt timeouts, bounded retries on retryable error codes and
+// tail-hedging, fans mutations out to every replica, sheds load past the
+// -admission cost budget with the "overloaded" error code, and restores
+// crashed-and-rejoined workers from its authoritative tree snapshots.
+// Clients talk to the coordinator exactly as to a single-process server
+// — same endpoints, byte-identical responses — plus the membership admin
+// endpoints POST /cluster/join, POST /cluster/leave ({"addr":...}) and
+// GET /cluster/members.
 package main
 
 import (
@@ -72,6 +87,13 @@ func main() {
 	label := flag.String("label", "", "mutate: label of an inserted alternative")
 	renorm := flag.Bool("renorm", false, "mutate set-prob: rescale the rest of the block so its total mass is preserved")
 	batch := flag.String("batch", "", "mutate/condition: path to a JSON array of updates (or - for stdin), applied atomically as one batch")
+	cluster := flag.String("cluster", "", "coordinator: comma-separated worker base URLs (http://host:port,...)")
+	replication := flag.Int("replication", 0, "coordinator: replicas per tree (0 = default 2, clamped to cluster size)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "coordinator: per-RPC-attempt timeout (0 = default 2s)")
+	retries := flag.Int("retries", 0, "coordinator: extra routed attempts after the first (0 = default 2, negative disables)")
+	hedge := flag.Duration("hedge", 0, "coordinator: tail-hedging delay for reads (0 = default 250ms, negative disables)")
+	admission := flag.Int("admission", 0, "coordinator: cost-unit admission capacity (0 = default 256, negative disables)")
+	probe := flag.Duration("probe", 0, "coordinator: worker health-probe interval (0 = default 1s, negative disables)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -85,9 +107,12 @@ func main() {
 			usage()
 		}
 	}
-	if cmd == "serve" {
+	switch cmd {
+	case "serve", "worker":
 		// Serving needs no preloaded tree; -db is opt-in here, so the
-		// global default of "-" (stdin) does not apply.
+		// global default of "-" (stdin) does not apply.  A worker is a
+		// plain serving engine — the coordinator drives it through the
+		// same public HTTP/JSON surface clients use.
 		dbPath := *db
 		if !flagWasSet("db") {
 			dbPath = ""
@@ -95,6 +120,19 @@ func main() {
 		if err := runServe(serveConfig{
 			addr: *addr, db: dbPath, name: *name, workers: *workers, cache: *cacheSize,
 			mode: *mode, epsilon: *epsilon, delta: *delta,
+		}); err != nil {
+			fail(err)
+		}
+		return
+	case "coordinator":
+		dbPath := *db
+		if !flagWasSet("db") {
+			dbPath = ""
+		}
+		if err := runCoordinator(coordConfig{
+			addr: *addr, cluster: *cluster, db: dbPath, name: *name,
+			replication: *replication, attemptTimeout: *attemptTimeout,
+			retries: *retries, hedge: *hedge, admission: *admission, probe: *probe,
 		}); err != nil {
 			fail(err)
 		}
@@ -365,6 +403,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> mutate|condition -batch <file|-> (JSON update array, applied atomically)")
 	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> condition -kind present|absent|choose -key K [-score S]")
 	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N -mode exact|approx|auto -epsilon E -delta D]")
+	fmt.Fprintln(os.Stderr, "       consensusctl worker -addr <host:port> [same flags as serve]")
+	fmt.Fprintln(os.Stderr, "       consensusctl coordinator -addr <host:port> -cluster <url,url,...> [-replication N -attempt-timeout D -retries N -hedge D -admission N -probe D -db <file> -name <tree>]")
 	os.Exit(2)
 }
 

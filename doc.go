@@ -243,7 +243,65 @@
 // intermediates are cached under separate keys, so budgets never collide.
 // Consensus worlds, median top-k and world probabilities are exact-only.
 //
+// # Error codes
+//
+// Every failed Response carries a typed machine-readable code in
+// Response.Code alongside the human-readable Error string.  The HTTP
+// handler maps structurally invalid requests to their status directly;
+// semantically failed queries answer 200 with the code inside the
+// Response body.  Retryable codes mark transient conditions — they are
+// exactly the codes the cluster coordinator retries on another replica:
+//
+//	code           http  retryable  meaning
+//	-------------  ----  ---------  ----------------------------------------
+//	bad_request    400   no         malformed request, payload or parameters
+//	unknown_tree   404   no         tree name was never registered
+//	unknown_key    404   no         key absent from the registered tree
+//	retired_epoch  409   no         tree replaced/removed concurrently;
+//	                                re-issue against the new registration
+//	overloaded     429   yes        queue full or admission control shed the
+//	                                request; retry with backoff
+//	timeout        504   yes        deadline expired while queued or running
+//	canceled       499   no         the caller canceled the request
+//	unavailable    503   yes        worker unreachable or answer undecodable
+//	                                (cluster transport failure)
+//	failed         500   no         deterministic computation failure
+//
+// # Distributed serving
+//
+// The same HTTP/JSON surface scales past one process.  A worker is a
+// plain serving engine; the coordinator shards registered trees across
+// workers and routes queries so that clients cannot tell a cluster from
+// a single process — responses are byte-identical (pinned by
+// internal/distrib's cross-check tests and the `make cluster-smoke` CI
+// job):
+//
+//	consensusctl worker -addr :8081
+//	consensusctl worker -addr :8082
+//	consensusctl worker -addr :8083
+//	consensusctl coordinator -addr :8080 \
+//	    -cluster http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+// The coordinator places each tree on a consistent-hash ring (replica
+// fan-out 2 by default, clamped to the cluster size), keeps the
+// authoritative serialized snapshot of every tree, fans mutations out to
+// all replicas serialized per tree, and serves reads with per-attempt
+// timeouts, bounded retries on the retryable codes above, and one
+// tail-hedged duplicate attempt when the first replica is slow
+// (-attempt-timeout, -retries, -hedge).  Admission control prices each
+// request by the cost classes of the op table — primitives 1, poly-time
+// families 4, mutations 8, NP-hard families 16 — and sheds work past the
+// -admission capacity with "overloaded" instead of queueing behind
+// wedged computations.  Workers that crash and come back empty are
+// restored from the authoritative snapshots, either by the health prober
+// (-probe) or lazily on first touch; a restored shard is bit-identical
+// to the pre-crash state, applied mutations included.  Membership is
+// administered at runtime via POST /cluster/join and POST /cluster/leave
+// ({"addr":"http://host:port"}) and inspected via GET /cluster/members;
+// joins and leaves rebalance shard placements before answering.
+//
 // See examples/ for runnable end-to-end programs, README.md for the
 // install/serve quickstart and docs/ARCHITECTURE.md for the request
-// lifecycle and delta-propagation architecture.
+// lifecycle, the delta-propagation architecture and the distributed
+// tier.
 package consensus

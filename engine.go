@@ -1,6 +1,10 @@
 package consensus
 
-import "consensus/internal/engine"
+import (
+	"net/http"
+
+	"consensus/internal/engine"
+)
 
 // Engine-layer re-exports: the concurrent consensus-serving subsystem.
 // An Engine registers trees by name and answers typed requests through a
@@ -43,11 +47,49 @@ type (
 	// EvidenceRequest is the payload of an OpCondition request: a key
 	// observed present, absent, or fixed to one alternative.
 	EvidenceRequest = engine.EvidenceRequest
+	// ErrorCode classifies a failed Request (Response.Code); see the
+	// error-code table in the package documentation for the HTTP status
+	// mapping and which codes mark retryable transient conditions.
+	ErrorCode = engine.Code
+	// EngineCore is the registry half of the serving API (tree ownership,
+	// naming, stats); EngineCompute is the dispatch half (executing
+	// validated requests).  A single-process Engine implements both; the
+	// distributed coordinator implements EngineCore authoritatively and
+	// forwards EngineCompute to its workers.
+	EngineCore = engine.Core
+	// EngineCompute is the dispatch half of the serving API.
+	EngineCompute = engine.Compute
+	// EngineService is a full consensus-serving endpoint: EngineCore and
+	// EngineCompute together.  NewEngineHandler serves any EngineService
+	// over HTTP/JSON with identical wire behavior.
+	EngineService = engine.Service
 )
 
 // NewEngine builds an engine; the zero EngineOptions selects GOMAXPROCS
 // workers and the default cache size.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// NewEngineHandler serves the engine's HTTP/JSON surface over any
+// EngineService implementation — Engine.Handler is this applied to the
+// single-process engine.
+func NewEngineHandler(s EngineService) http.Handler { return engine.NewHandler(s) }
+
+// ErrorCodes returns every error code the engine can emit, in the order
+// the package documentation's error-code table lists them.
+func ErrorCodes() []ErrorCode { return engine.Codes() }
+
+// Typed error codes carried in Response.Code by failed requests.
+const (
+	CodeBadRequest   = engine.CodeBadRequest
+	CodeUnknownTree  = engine.CodeUnknownTree
+	CodeUnknownKey   = engine.CodeUnknownKey
+	CodeRetiredEpoch = engine.CodeRetiredEpoch
+	CodeOverloaded   = engine.CodeOverloaded
+	CodeTimeout      = engine.CodeTimeout
+	CodeCanceled     = engine.CodeCanceled
+	CodeUnavailable  = engine.CodeUnavailable
+	CodeFailed       = engine.CodeFailed
+)
 
 // Request operations served by the engine, covering every consensus query
 // family of the paper: top-k (mean/median), set answers (symmetric

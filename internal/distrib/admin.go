@@ -1,0 +1,93 @@
+package distrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"consensus/internal/engine"
+)
+
+// maxAdminBytes bounds cluster-admin request bodies; they carry one
+// address.
+const maxAdminBytes = 4 << 10
+
+// Handler serves the coordinator: the full engine HTTP/JSON surface
+// (engine.NewHandler over the coordinator's Service implementation, so
+// clients cannot tell a cluster from a single process) plus the cluster
+// admin endpoints:
+//
+//	POST /cluster/join     {"addr": "http://host:port"}  add a worker
+//	POST /cluster/leave    {"addr": "http://host:port"}  remove a worker
+//	GET  /cluster/members  {"placement_epoch", "members": [{addr, alive}]}
+//
+// Join and leave rebalance shard placements before answering; malformed
+// payloads are 400s with the usual {"error","code"} body.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", engine.NewHandler(c))
+
+	type addrBody struct {
+		Addr string `json:"addr"`
+	}
+	decodeAddr := func(w http.ResponseWriter, r *http.Request) (string, bool) {
+		var body addrBody
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAdminBytes)).Decode(&body); err != nil {
+			writeAdminError(w, http.StatusBadRequest, fmt.Errorf("distrib: decoding admin body: %w", err))
+			return "", false
+		}
+		if body.Addr == "" {
+			writeAdminError(w, http.StatusBadRequest, fmt.Errorf("distrib: admin body is missing \"addr\""))
+			return "", false
+		}
+		return body.Addr, true
+	}
+
+	mux.HandleFunc("POST /cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := decodeAddr(w, r)
+		if !ok {
+			return
+		}
+		if err := c.Join(r.Context(), addr); err != nil {
+			writeAdminError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeAdminJSON(w, map[string]any{"joined": addr, "placement_epoch": c.PlacementEpoch()})
+	})
+
+	mux.HandleFunc("POST /cluster/leave", func(w http.ResponseWriter, r *http.Request) {
+		addr, ok := decodeAddr(w, r)
+		if !ok {
+			return
+		}
+		if err := c.Leave(r.Context(), addr); err != nil {
+			writeAdminError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeAdminJSON(w, map[string]any{"left": addr, "placement_epoch": c.PlacementEpoch()})
+	})
+
+	mux.HandleFunc("GET /cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, map[string]any{
+			"placement_epoch": c.PlacementEpoch(),
+			"members":         c.Members(),
+		})
+	})
+
+	return mux
+}
+
+func writeAdminJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeAdminError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": err.Error(),
+		"code":  string(engine.CodeBadRequest),
+	})
+}

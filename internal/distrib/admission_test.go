@@ -1,0 +1,82 @@
+package distrib
+
+import (
+	"testing"
+
+	"consensus/internal/engine"
+)
+
+// TestOpCostClasses pins the pricing to doc.go's complexity column: the
+// generating-function primitives are cheapest, the NP-hard families
+// dearest, and every engine op has a class.
+func TestOpCostClasses(t *testing.T) {
+	want := map[engine.Op]int{
+		engine.OpRankDist:           costPrimitive,
+		engine.OpSizeDist:           costPrimitive,
+		engine.OpMembership:         costPrimitive,
+		engine.OpWorldProb:          costPrimitive,
+		engine.OpTopKMean:           costFamily,
+		engine.OpTopKMedian:         costFamily,
+		engine.OpMeanWorld:          costFamily,
+		engine.OpMedianWorld:        costFamily,
+		engine.OpMeanWorldJaccard:   costFamily,
+		engine.OpMedianWorldJaccard: costFamily,
+		engine.OpAggregateMean:      costFamily,
+		engine.OpSPJEval:            costFamily,
+		engine.OpRankingConsensus:   costHard,
+		engine.OpClusteringMean:     costHard,
+		engine.OpAggregateMedian:    costHard,
+		engine.OpMutate:             costMutation,
+		engine.OpCondition:          costMutation,
+	}
+	for _, op := range engine.Ops() {
+		w, ok := want[op]
+		if !ok {
+			t.Errorf("op %s has no pinned cost class; classify it", op)
+			continue
+		}
+		if got := opCost(op); got != w {
+			t.Errorf("opCost(%s) = %d, want %d", op, got, w)
+		}
+	}
+}
+
+// TestAdmissionControl pins the controller's contract: non-blocking,
+// capacity-bounded, never starving an op pricier than the capacity.
+func TestAdmissionControl(t *testing.T) {
+	a := newAdmission(10)
+	if !a.admit(8) {
+		t.Fatal("first admit within capacity refused")
+	}
+	if a.admit(4) {
+		t.Fatal("admit past capacity accepted")
+	}
+	if a.sheds() != 1 {
+		t.Fatalf("sheds = %d, want 1", a.sheds())
+	}
+	if !a.admit(2) {
+		t.Fatal("admit filling exactly to capacity refused")
+	}
+	a.release(8)
+	a.release(2)
+
+	// An op pricier than the whole capacity still runs when idle.
+	if !a.admit(16) {
+		t.Fatal("over-capacity op refused on an idle controller")
+	}
+	if a.admit(1) {
+		t.Fatal("admit alongside an over-capacity op accepted")
+	}
+	a.release(16)
+	if !a.admit(1) {
+		t.Fatal("admit after release refused")
+	}
+	a.release(1)
+
+	// Disabled controller admits everything.
+	var off *admission
+	if !off.admit(1 << 30) {
+		t.Fatal("disabled controller refused")
+	}
+	off.release(1 << 30)
+}

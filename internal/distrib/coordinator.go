@@ -1,0 +1,911 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"consensus/internal/andxor"
+	"consensus/internal/engine"
+)
+
+// Defaults applied by New when the corresponding Options field is zero.
+const (
+	// DefaultReplication is the replica fan-out: every registered tree
+	// lives on this many workers (clamped to the cluster size).
+	DefaultReplication = 2
+	// DefaultAttemptTimeout bounds each individual RPC attempt; the
+	// request's own context bounds the whole routed operation.
+	DefaultAttemptTimeout = 2 * time.Second
+	// DefaultRetries is the number of extra attempts after the first.
+	DefaultRetries = 2
+	// DefaultHedgeDelay is how long a read waits on its first attempt
+	// before launching a duplicate on the next replica.
+	DefaultHedgeDelay = 250 * time.Millisecond
+	// DefaultAdmissionCapacity is the cost-unit budget of in-flight work
+	// (see the cost classes in admission.go).
+	DefaultAdmissionCapacity = 256
+	// DefaultProbeInterval is the health-probe period.
+	DefaultProbeInterval = time.Second
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the initial cluster: worker base URLs
+	// ("http://host:port").  At least one is required; more can join at
+	// runtime (Join, or the /cluster/join admin endpoint).
+	Workers []string
+	// Replication is the replica fan-out per tree; 0 selects
+	// DefaultReplication.  Clamped to the cluster size.
+	Replication int
+	// VNodes is the virtual-node count per worker on the placement ring;
+	// 0 selects the package default.
+	VNodes int
+	// AttemptTimeout bounds each RPC attempt; 0 selects
+	// DefaultAttemptTimeout.
+	AttemptTimeout time.Duration
+	// Retries is the number of extra routed attempts after the first;
+	// 0 selects DefaultRetries, negative disables retries.
+	Retries int
+	// HedgeDelay is the tail-hedging trigger for reads: after this long
+	// without an answer, a duplicate attempt is launched on the next
+	// replica and the first answer wins.  0 selects DefaultHedgeDelay,
+	// negative disables hedging.
+	HedgeDelay time.Duration
+	// AdmissionCapacity is the cost-unit budget of concurrently admitted
+	// work; 0 selects DefaultAdmissionCapacity, negative disables
+	// admission control.
+	AdmissionCapacity int
+	// ProbeInterval is the background health-probe period; 0 selects
+	// DefaultProbeInterval, negative disables the background loop
+	// (ProbeOnce still works, which is what tests use).
+	ProbeInterval time.Duration
+	// Client optionally overrides the HTTP client used for worker RPCs.
+	Client *http.Client
+}
+
+// Coordinator shards an engine.Service across worker processes: it owns
+// consistent-hash placement of registered trees (replica fan-out >= 2),
+// keeps an authoritative snapshot of every tree for worker
+// join/recover/rebalance, and routes queries and mutations over the
+// internal RPC boundary with per-attempt timeouts, bounded retries on
+// retryable codes, tail-hedged reads, and cost-priced admission control.
+//
+// Coordinator implements engine.Service, so engine.NewHandler serves the
+// exact same HTTP/JSON surface over a cluster that it serves over a
+// single-process Engine — responses are byte-identical.
+type Coordinator struct {
+	wc             wireClient
+	replication    int
+	vnodes         int
+	attemptTimeout time.Duration
+	retries        int
+	hedgeDelay     time.Duration
+	adm            *admission
+
+	mu      sync.RWMutex
+	members map[string]*member
+	ring    *ring
+	epoch   uint64 // placement epoch: bumped on every membership change
+	shards  map[string]*shard
+
+	rr atomic.Uint64 // read rotation counter (replica load spreading)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+var (
+	_ engine.Core    = (*Coordinator)(nil)
+	_ engine.Compute = (*Coordinator)(nil)
+	_ engine.Service = (*Coordinator)(nil)
+)
+
+// member is one worker's routing state.  alive is advisory: dead members
+// are deprioritized and skipped for new attempts, never removed from the
+// placement ring (transient death must not reshuffle placements).
+type member struct {
+	addr  string
+	alive atomic.Bool
+}
+
+// shard is one registered tree's cluster state.  rw gives the tree the
+// same read/write discipline a single-process treeEntry has: reads hold
+// the read lock across routing, mutations hold the write lock across the
+// whole replica fan-out plus snapshot refresh, so a routed query never
+// observes a half-applied mutation.
+type shard struct {
+	rw       sync.RWMutex
+	name     string
+	replicas []string // placement order; [0] is the primary
+	epoch    uint64   // mutations applied under this registration
+	keys     int
+	leaves   int
+
+	// snapMu guards snapshot separately from rw: hedged attempts that
+	// lose the race may still consult the snapshot (worker-restore path)
+	// after the winning read returned and released rw.
+	snapMu   sync.Mutex
+	snapshot []byte // authoritative serialized tree, refreshed after every mutation
+}
+
+func (s *shard) getSnapshot() []byte {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshot
+}
+
+func (s *shard) setSnapshot(b []byte) {
+	s.snapMu.Lock()
+	s.snapshot = b
+	s.snapMu.Unlock()
+}
+
+// New builds a coordinator over the given initial workers.  Workers are
+// assumed alive until a probe or an RPC says otherwise.
+func New(opts Options) (*Coordinator, error) {
+	addrs, err := normalizeAddrs(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("distrib: a coordinator needs at least one worker")
+	}
+	replication := opts.Replication
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	attemptTimeout := opts.AttemptTimeout
+	if attemptTimeout <= 0 {
+		attemptTimeout = DefaultAttemptTimeout
+	}
+	retries := opts.Retries
+	switch {
+	case retries == 0:
+		retries = DefaultRetries
+	case retries < 0:
+		retries = 0
+	}
+	hedge := opts.HedgeDelay
+	switch {
+	case hedge == 0:
+		hedge = DefaultHedgeDelay
+	case hedge < 0:
+		hedge = 0 // disabled
+	}
+	capacity := opts.AdmissionCapacity
+	switch {
+	case capacity == 0:
+		capacity = DefaultAdmissionCapacity
+	case capacity < 0:
+		capacity = 0 // disabled
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	c := &Coordinator{
+		wc:             wireClient{hc: hc},
+		replication:    replication,
+		vnodes:         opts.VNodes,
+		attemptTimeout: attemptTimeout,
+		retries:        retries,
+		hedgeDelay:     hedge,
+		adm:            newAdmission(capacity),
+		members:        make(map[string]*member, len(addrs)),
+		shards:         make(map[string]*shard),
+		stop:           make(chan struct{}),
+	}
+	for _, addr := range addrs {
+		m := &member{addr: addr}
+		m.alive.Store(true)
+		c.members[addr] = m
+	}
+	c.ring = buildRing(addrs, c.vnodes)
+
+	probe := opts.ProbeInterval
+	if probe == 0 {
+		probe = DefaultProbeInterval
+	}
+	if probe > 0 {
+		c.wg.Add(1)
+		go c.probeLoop(probe)
+	}
+	return c, nil
+}
+
+// Close stops the background health prober.  It does not touch the
+// workers.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+func normalizeAddrs(addrs []string) ([]string, error) {
+	seen := make(map[string]bool, len(addrs))
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		n, err := normalizeAddr(a)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+func normalizeAddr(a string) (string, error) {
+	a = strings.TrimRight(strings.TrimSpace(a), "/")
+	u, err := url.Parse(a)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("distrib: worker address %q is not an http(s) base URL", a)
+	}
+	return a, nil
+}
+
+// attemptCtx derives the per-attempt deadline from the caller's context.
+func (c *Coordinator) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, c.attemptTimeout)
+}
+
+// failResponse mirrors the engine's errorResponse shape so coordinator
+// failures are wire-compatible with single-process ones.
+func failResponse(req engine.Request, code engine.Code, format string, args ...any) engine.Response {
+	return engine.Response{Tree: req.Tree, Op: req.Op, Error: fmt.Sprintf(format, args...), Code: code}
+}
+
+// errResponse converts a typed RPC error into a Response failure.
+func errResponse(req engine.Request, err error) engine.Response {
+	return engine.Response{Tree: req.Tree, Op: req.Op, Error: err.Error(), Code: engine.CodeOf(err)}
+}
+
+// ---------------------------------------------------------------------------
+// engine.Core: registry
+
+// Register serializes the tree, places it on the ring, and pushes the
+// snapshot to every replica.  At least one replica must accept it.
+// Re-registering a name replaces the tree everywhere, like the
+// single-process engine.
+func (c *Coordinator) Register(name string, t *andxor.Tree) error {
+	if name == "" {
+		return errors.New("engine: tree name must not be empty")
+	}
+	if t == nil {
+		return errors.New("engine: tree must not be nil")
+	}
+	snapshot, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("distrib: serializing tree %q: %w", name, err)
+	}
+
+	c.mu.Lock()
+	sh, ok := c.shards[name]
+	if !ok {
+		sh = &shard{name: name}
+		c.shards[name] = sh
+	}
+	replicas := c.ring.replicas(name, c.replication)
+	c.mu.Unlock()
+
+	sh.rw.Lock()
+	defer sh.rw.Unlock()
+	sh.replicas = replicas
+	sh.epoch = 0
+	sh.keys = len(t.Keys())
+	sh.leaves = t.NumLeaves()
+	sh.setSnapshot(snapshot)
+
+	pushed := 0
+	var lastErr error
+	for _, addr := range replicas {
+		if err := c.pushSnapshot(context.Background(), addr, sh); err != nil {
+			lastErr = err
+			continue
+		}
+		pushed++
+	}
+	if pushed == 0 {
+		c.mu.Lock()
+		if c.shards[name] == sh {
+			delete(c.shards, name)
+		}
+		c.mu.Unlock()
+		if lastErr == nil {
+			lastErr = errors.New("no replicas")
+		}
+		return fmt.Errorf("distrib: registering %q: no replica accepted the tree: %w", name, lastErr)
+	}
+	return nil
+}
+
+// pushSnapshot installs the shard's authoritative snapshot on one worker
+// (with the per-attempt timeout), marking the worker dead on transport
+// failure.
+func (c *Coordinator) pushSnapshot(ctx context.Context, addr string, sh *shard) error {
+	actx, cancel := c.attemptCtx(ctx)
+	defer cancel()
+	err := c.wc.putTree(actx, addr, sh.name, sh.getSnapshot())
+	c.noteOutcome(addr, err)
+	return err
+}
+
+// Unregister removes the tree from the placement table and best-effort
+// from every replica, reporting whether it was registered.
+func (c *Coordinator) Unregister(name string) bool {
+	c.mu.Lock()
+	sh, ok := c.shards[name]
+	if ok {
+		delete(c.shards, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sh.rw.Lock()
+	defer sh.rw.Unlock()
+	for _, addr := range sh.replicas {
+		actx, cancel := c.attemptCtx(context.Background())
+		err := c.wc.deleteTree(actx, addr, name)
+		cancel()
+		c.noteOutcome(addr, err)
+	}
+	return true
+}
+
+// Tree reconstructs the tree from the coordinator's authoritative
+// snapshot — no worker round trip.
+func (c *Coordinator) Tree(name string) (*andxor.Tree, bool) {
+	c.mu.RLock()
+	sh, ok := c.shards[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	sh.rw.RLock()
+	snap := sh.getSnapshot()
+	sh.rw.RUnlock()
+	t, err := andxor.UnmarshalTree(snap)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// Trees lists the registered tree names, sorted.
+func (c *Coordinator) Trees() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.shards))
+	for name := range c.shards {
+		out = append(out, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Stats aggregates the cluster: Trees counts registered shards, the
+// cache counters sum over reachable workers (best-effort, bounded by the
+// attempt timeout each).
+func (c *Coordinator) Stats() engine.Stats {
+	c.mu.RLock()
+	trees := len(c.shards)
+	addrs := make([]string, 0, len(c.members))
+	for addr, m := range c.members {
+		if m.alive.Load() {
+			addrs = append(addrs, addr)
+		}
+	}
+	c.mu.RUnlock()
+	s := engine.Stats{Trees: trees}
+	for _, addr := range addrs {
+		actx, cancel := c.attemptCtx(context.Background())
+		ws, err := c.wc.stats(actx, addr)
+		cancel()
+		if err != nil {
+			continue
+		}
+		s.CacheEntries += ws.CacheEntries
+		s.Computes += ws.Computes
+		s.Hits += ws.Hits
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// engine.Compute: routed dispatch
+
+// Query routes with a background context.
+func (c *Coordinator) Query(req engine.Request) engine.Response {
+	return c.QueryContext(context.Background(), req)
+}
+
+// QueryContext routes one request: admission control first, then the
+// write path (mutations fan out to every replica, serialized per tree)
+// or the read path (per-attempt timeouts, bounded retries on retryable
+// codes, one tail-hedged duplicate).
+func (c *Coordinator) QueryContext(ctx context.Context, req engine.Request) engine.Response {
+	cost := opCost(req.Op)
+	if !c.adm.admit(cost) {
+		return failResponse(req, engine.CodeOverloaded,
+			"distrib: admission control shed the request (op %s, cost %d); retry with backoff", req.Op, cost)
+	}
+	defer c.adm.release(cost)
+
+	if req.Op == engine.OpSPJEval {
+		// SPJ carries its query and tables inline: stateless, any worker.
+		return c.readAnywhere(ctx, req)
+	}
+	c.mu.RLock()
+	sh, ok := c.shards[req.Tree]
+	c.mu.RUnlock()
+	if !ok {
+		// Match the single-process error byte-for-byte; a tree the
+		// cluster never saw answers exactly like one the engine never saw.
+		return failResponse(req, engine.CodeUnknownTree, "engine: unknown tree %q", req.Tree)
+	}
+	if req.Op == engine.OpMutate || req.Op == engine.OpCondition {
+		return c.write(ctx, req, sh)
+	}
+	return c.read(ctx, req, sh)
+}
+
+// Do routes a batch with a background context.
+func (c *Coordinator) Do(reqs []engine.Request) []engine.Response {
+	return c.DoContext(context.Background(), reqs)
+}
+
+// DoContext routes every request of a batch concurrently, preserving
+// order.  Admission control prices each request individually.
+func (c *Coordinator) DoContext(ctx context.Context, reqs []engine.Request) []engine.Response {
+	out := make([]engine.Response, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = c.QueryContext(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// read routes a tree-scoped read: replicas are tried in rotated order
+// (alive first), each attempt gets its own timeout, failures with
+// retryable codes move to the next replica up to the retry budget, and
+// one hedged duplicate launches if the first attempt is slow.  The read
+// lock spans the whole routing, so the answer and the stamped epoch
+// belong to one consistent shard state.
+func (c *Coordinator) read(ctx context.Context, req engine.Request, sh *shard) engine.Response {
+	sh.rw.RLock()
+	defer sh.rw.RUnlock()
+	order := c.routeOrder(sh.replicas)
+	resp := c.hedged(ctx, req, order, sh)
+	if resp.Error == "" {
+		// The coordinator is the epoch authority: workers restart at
+		// epoch 0 after a snapshot restore, but the shard's count of
+		// mutations since Register matches what a single process reports.
+		resp.Epoch = sh.epoch
+	}
+	return resp
+}
+
+// readAnywhere routes a stateless request to any worker.
+func (c *Coordinator) readAnywhere(ctx context.Context, req engine.Request) engine.Response {
+	c.mu.RLock()
+	addrs := make([]string, 0, len(c.members))
+	for addr := range c.members {
+		addrs = append(addrs, addr)
+	}
+	c.mu.RUnlock()
+	if len(addrs) == 0 {
+		return failResponse(req, engine.CodeUnavailable, "distrib: no workers")
+	}
+	sort.Strings(addrs)
+	return c.hedged(ctx, req, c.routeOrder(addrs), nil)
+}
+
+// routeOrder rotates the replica list by the read counter (spreading
+// load across replicas) and moves known-dead workers to the back.
+func (c *Coordinator) routeOrder(replicas []string) []string {
+	if len(replicas) == 0 {
+		return nil
+	}
+	shift := int(c.rr.Add(1)) % len(replicas)
+	if shift < 0 {
+		shift += len(replicas)
+	}
+	rotated := make([]string, 0, len(replicas))
+	rotated = append(rotated, replicas[shift:]...)
+	rotated = append(rotated, replicas[:shift]...)
+	alive := make([]string, 0, len(rotated))
+	var dead []string
+	c.mu.RLock()
+	for _, addr := range rotated {
+		if m, ok := c.members[addr]; ok && !m.alive.Load() {
+			dead = append(dead, addr)
+		} else {
+			alive = append(alive, addr)
+		}
+	}
+	c.mu.RUnlock()
+	return append(alive, dead...)
+}
+
+// hedged runs the read attempt loop: at most retries+1 attempts cycling
+// through order, one extra hedged duplicate after hedgeDelay, first
+// conclusive answer (success or non-retryable failure) wins.
+func (c *Coordinator) hedged(ctx context.Context, req engine.Request, order []string, sh *shard) engine.Response {
+	maxAttempts := c.retries + 1
+	results := make(chan engine.Response, maxAttempts+1)
+	next := 0
+	inflight := 0
+	launch := func() {
+		addr := order[next%len(order)]
+		next++
+		inflight++
+		go func() { results <- c.attempt(ctx, addr, req, sh) }()
+	}
+	launch()
+
+	var hedge <-chan time.Time
+	if c.hedgeDelay > 0 && maxAttempts > 1 && len(order) > 1 {
+		t := time.NewTimer(c.hedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var last engine.Response
+	haveLast := false
+	for {
+		select {
+		case r := <-results:
+			inflight--
+			if r.Error == "" || !r.Code.Retryable() {
+				return r
+			}
+			last, haveLast = r, true
+			if next < maxAttempts {
+				launch()
+			} else if inflight == 0 {
+				return last
+			}
+		case <-hedge:
+			hedge = nil
+			if next < maxAttempts {
+				launch()
+			}
+		case <-ctx.Done():
+			if haveLast {
+				return last
+			}
+			return failResponse(req, engine.CodeOf(ctx.Err()), "engine: %v", ctx.Err())
+		}
+	}
+}
+
+// attempt runs one RPC attempt against one worker under the per-attempt
+// timeout.  A worker that answers unknown_tree for a tree the
+// coordinator owns has lost its registry (crash, restart): the attempt
+// restores the shard from the authoritative snapshot and re-asks once.
+func (c *Coordinator) attempt(ctx context.Context, addr string, req engine.Request, sh *shard) engine.Response {
+	actx, cancel := c.attemptCtx(ctx)
+	defer cancel()
+	resp, err := c.wc.query(actx, addr, req)
+	c.noteOutcome(addr, err)
+	if err != nil {
+		return errResponse(req, err)
+	}
+	if resp.Code == engine.CodeUnknownTree && sh != nil {
+		if perr := c.wc.putTree(actx, addr, sh.name, sh.getSnapshot()); perr == nil {
+			if r2, err2 := c.wc.query(actx, addr, req); err2 == nil {
+				return r2
+			} else {
+				c.noteOutcome(addr, err2)
+				return errResponse(req, err2)
+			}
+		}
+	}
+	return resp
+}
+
+// write routes a mutation: the write lock serializes mutations per tree
+// (matching the single-process treeEntry discipline), the mutation fans
+// out to every replica in placement order, and on success the
+// authoritative snapshot is refreshed from the first replica that
+// applied it, so a later restore is bit-identical to the mutated state.
+// Replicas that cannot be reached within the retry budget are marked
+// dead; the refreshed snapshot re-seeds them on rejoin.
+func (c *Coordinator) write(ctx context.Context, req engine.Request, sh *shard) engine.Response {
+	sh.rw.Lock()
+	defer sh.rw.Unlock()
+
+	var first *engine.Response
+	var lastFail engine.Response
+	haveFail := false
+	var applied []string
+	for _, addr := range sh.replicas {
+		resp, ok := c.writeReplica(ctx, addr, req, sh)
+		if !ok {
+			lastFail, haveFail = resp, true
+			continue
+		}
+		if first == nil {
+			r := resp
+			first = &r
+		}
+		applied = append(applied, addr)
+	}
+	if first == nil {
+		if !haveFail {
+			return failResponse(req, engine.CodeUnavailable, "distrib: tree %q has no replicas", req.Tree)
+		}
+		return lastFail
+	}
+	if first.Error == "" {
+		sh.epoch++
+		first.Epoch = sh.epoch
+		for _, addr := range applied {
+			actx, cancel := c.attemptCtx(ctx)
+			snap, err := c.wc.getTree(actx, addr, sh.name)
+			cancel()
+			c.noteOutcome(addr, err)
+			if err == nil {
+				sh.setSnapshot(snap)
+				break
+			}
+		}
+	}
+	return *first
+}
+
+// writeReplica applies the mutation on one replica with bounded retries
+// on retryable codes; a worker that lost the tree is restored from the
+// snapshot first.  ok=false means the replica never produced a verdict
+// (transport-level failure): the worker is left marked dead and will be
+// re-seeded from the refreshed snapshot when it rejoins.
+func (c *Coordinator) writeReplica(ctx context.Context, addr string, req engine.Request, sh *shard) (engine.Response, bool) {
+	var last engine.Response
+	for attemptN := 0; attemptN <= c.retries; attemptN++ {
+		actx, cancel := c.attemptCtx(ctx)
+		resp, err := c.wc.query(actx, addr, req)
+		if err == nil && resp.Code == engine.CodeUnknownTree {
+			// Restore-and-reapply: the worker restarted without the shard.
+			if perr := c.wc.putTree(actx, addr, sh.name, sh.getSnapshot()); perr == nil {
+				resp, err = c.wc.query(actx, addr, req)
+			}
+		}
+		cancel()
+		c.noteOutcome(addr, err)
+		if err != nil {
+			last = errResponse(req, err)
+		} else {
+			last = resp
+		}
+		if last.Error == "" || !last.Code.Retryable() {
+			return last, err == nil
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return last, false
+}
+
+// noteOutcome tracks worker liveness from RPC outcomes: transport-level
+// unreachability marks the worker dead (the health prober revives it);
+// any successful exchange marks it alive.
+func (c *Coordinator) noteOutcome(addr string, err error) {
+	c.mu.RLock()
+	m := c.members[addr]
+	c.mu.RUnlock()
+	if m == nil {
+		return
+	}
+	if err == nil {
+		m.alive.Store(true)
+		return
+	}
+	if engine.CodeOf(err) == engine.CodeUnavailable {
+		m.alive.Store(false)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Membership: join, leave, probing, rebalance
+
+// MemberInfo is one worker's externally visible state.
+type MemberInfo struct {
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+}
+
+// Members lists the cluster, sorted by address.
+func (c *Coordinator) Members() []MemberInfo {
+	c.mu.RLock()
+	out := make([]MemberInfo, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, MemberInfo{Addr: m.addr, Alive: m.alive.Load()})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// PlacementEpoch reports the membership generation: it bumps on every
+// join and leave, never on transient worker death.
+func (c *Coordinator) PlacementEpoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
+// Join adds a worker to the ring and rebalances: shards whose replica
+// set now includes the worker get the authoritative snapshot pushed,
+// shards that moved away get deleted from their old holders.
+func (c *Coordinator) Join(ctx context.Context, addr string) error {
+	n, err := normalizeAddr(addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if _, ok := c.members[n]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("distrib: worker %s is already a member", n)
+	}
+	m := &member{addr: n}
+	m.alive.Store(true)
+	c.members[n] = m
+	c.rebuildRingLocked()
+	c.mu.Unlock()
+	c.rebalance(ctx)
+	return nil
+}
+
+// Leave removes a worker from the ring and rebalances its shards onto
+// the remaining workers.  The last worker cannot leave.
+func (c *Coordinator) Leave(ctx context.Context, addr string) error {
+	n, err := normalizeAddr(addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if _, ok := c.members[n]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("distrib: worker %s is not a member", n)
+	}
+	if len(c.members) == 1 {
+		c.mu.Unlock()
+		return errors.New("distrib: cannot remove the last worker")
+	}
+	delete(c.members, n)
+	c.rebuildRingLocked()
+	c.mu.Unlock()
+	c.rebalance(ctx)
+	return nil
+}
+
+func (c *Coordinator) rebuildRingLocked() {
+	addrs := make([]string, 0, len(c.members))
+	for addr := range c.members {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	c.ring = buildRing(addrs, c.vnodes)
+	c.epoch++
+}
+
+// rebalance recomputes every shard's replica set against the current
+// ring, pushing snapshots to new holders and deleting from dropped ones.
+func (c *Coordinator) rebalance(ctx context.Context) {
+	c.mu.RLock()
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	ring := c.ring
+	c.mu.RUnlock()
+
+	for _, sh := range shards {
+		want := ring.replicas(sh.name, c.replication)
+		sh.rw.Lock()
+		old := sh.replicas
+		sh.replicas = want
+		wantSet := make(map[string]bool, len(want))
+		for _, a := range want {
+			wantSet[a] = true
+		}
+		oldSet := make(map[string]bool, len(old))
+		for _, a := range old {
+			oldSet[a] = true
+		}
+		for _, a := range want {
+			if !oldSet[a] {
+				_ = c.pushSnapshot(ctx, a, sh)
+			}
+		}
+		for _, a := range old {
+			if !wantSet[a] {
+				actx, cancel := c.attemptCtx(ctx)
+				err := c.wc.deleteTree(actx, a, sh.name)
+				cancel()
+				c.noteOutcome(a, err)
+			}
+		}
+		sh.rw.Unlock()
+	}
+}
+
+// ProbeOnce health-probes every member once.  A worker transitioning
+// dead -> alive gets every shard it should hold re-pushed from the
+// authoritative snapshots (restore-on-rejoin).
+func (c *Coordinator) ProbeOnce(ctx context.Context) {
+	c.mu.RLock()
+	members := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, m)
+	}
+	c.mu.RUnlock()
+	for _, m := range members {
+		actx, cancel := c.attemptCtx(ctx)
+		err := c.wc.health(actx, m.addr)
+		cancel()
+		if err != nil {
+			m.alive.Store(false)
+			continue
+		}
+		if !m.alive.Swap(true) {
+			c.restoreWorker(ctx, m.addr)
+		}
+	}
+}
+
+// restoreWorker re-pushes every shard placed on the worker, bringing a
+// rejoined (possibly state-less) worker back to the authoritative state.
+func (c *Coordinator) restoreWorker(ctx context.Context, addr string) {
+	c.mu.RLock()
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	c.mu.RUnlock()
+	for _, sh := range shards {
+		sh.rw.RLock()
+		holds := false
+		for _, a := range sh.replicas {
+			if a == addr {
+				holds = true
+				break
+			}
+		}
+		if holds {
+			_ = c.pushSnapshot(ctx, addr, sh)
+		}
+		sh.rw.RUnlock()
+	}
+}
+
+func (c *Coordinator) probeLoop(interval time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.ProbeOnce(context.Background())
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzClusterAdmin throws malformed payloads at the cluster membership
+// admin endpoints.  The invariants: the handler never panics, always
+// answers JSON, malformed or rejected bodies are 400s carrying the
+// {"error","code":"bad_request"} shape, and a successful join/leave
+// reports the new placement epoch.
+func FuzzClusterAdmin(f *testing.F) {
+	seeds := []string{
+		`{"addr":"http://127.0.0.2:9"}`,
+		`{"addr":"https://worker.example:8081/"}`,
+		`{}`,
+		`{"addr":""}`,
+		`{"addr":123}`,
+		`{"addr":"ftp://nope"}`,
+		`{"addr":"http://"}`,
+		`{"addr":"not a url"}`,
+		`not json at all`,
+		`[]`,
+		`null`,
+		`{"addr":"http://127.0.0.2:9","extra":` + strings.Repeat("[", 64) + strings.Repeat("]", 64) + `}`,
+		`{"addr":"` + strings.Repeat("x", 8<<10) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add("/cluster/join", s)
+		f.Add("/cluster/leave", s)
+	}
+
+	f.Fuzz(func(t *testing.T, path, body string) {
+		if path != "/cluster/join" && path != "/cluster/leave" {
+			path = "/cluster/join"
+		}
+		// A fresh coordinator per input: joins must not leak across runs.
+		// The seed worker is never contacted — membership changes only
+		// rebalance shards, and no shard is registered.
+		c, err := New(Options{Workers: []string{"http://127.0.0.1:1"}, ProbeInterval: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		h := c.Handler()
+
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s %q: status %d, want 200 or 400", path, body, rec.Code)
+		}
+		raw := bytes.TrimSpace(rec.Body.Bytes())
+		var decoded map[string]any
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("%s %q: non-JSON answer %q: %v", path, body, raw, err)
+		}
+		if rec.Code == http.StatusBadRequest {
+			if decoded["code"] != "bad_request" || decoded["error"] == "" {
+				t.Fatalf("%s %q: 400 body %q lacks the error shape", path, body, raw)
+			}
+			return
+		}
+		if _, ok := decoded["placement_epoch"]; !ok {
+			t.Fatalf("%s %q: accepted body answered without placement_epoch: %q", path, body, raw)
+		}
+		// The members listing must stay consistent after any accepted change.
+		mreq := httptest.NewRequest(http.MethodGet, "/cluster/members", nil)
+		mrec := httptest.NewRecorder()
+		h.ServeHTTP(mrec, mreq)
+		if mrec.Code != http.StatusOK {
+			t.Fatalf("members listing broke after %s %q: status %d", path, body, mrec.Code)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,104 @@ func docTableOps(t *testing.T, path string) []string {
 		t.Fatalf("no op table found in %s; did the doc.go table format change?", path)
 	}
 	return ops
+}
+
+// docCodeRows extracts (code, http, retryable) triples from the error
+// code table in the root package documentation.  Rows are doc lines of
+// the form "//\t<code>  <http>  <yes|no>  <meaning>"; continuation lines
+// are indented past the tab and carry no code.
+func docCodeRows(t *testing.T, path string) [][3]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+
+	var rows [][3]string
+	inTable := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		body, ok := strings.CutPrefix(sc.Text(), "//\t")
+		if !ok {
+			if inTable {
+				break
+			}
+			continue
+		}
+		fields := strings.Fields(body)
+		if len(fields) == 0 || strings.HasPrefix(body, " ") {
+			continue // continuation line
+		}
+		switch {
+		case fields[0] == "code" && len(fields) > 1 && fields[1] == "http":
+			inTable = true // header row
+			continue
+		case strings.HasPrefix(fields[0], "--"):
+			continue // separator row
+		}
+		if !inTable {
+			continue // a different table (the op table, usage blocks)
+		}
+		if len(fields) < 3 {
+			t.Fatalf("code table row %q has fewer than 3 columns", body)
+		}
+		rows = append(rows, [3]string{fields[0], fields[1], fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan %s: %v", path, err)
+	}
+	if !inTable || len(rows) == 0 {
+		t.Fatalf("no error-code table found in %s; did the doc.go table format change?", path)
+	}
+	return rows
+}
+
+// TestDocCodeTableMatchesEngine fails when the error-code table in the
+// root doc.go and the engine's code set drift apart in either direction
+// — a code added without a documented row, a documented row naming a
+// code the engine no longer emits, or a row whose HTTP status or
+// retryability contradicts the implementation.
+func TestDocCodeTableMatchesEngine(t *testing.T) {
+	rows := docCodeRows(t, "../../doc.go")
+
+	codes := Codes()
+	if len(rows) != len(codes) {
+		var documented []string
+		for _, r := range rows {
+			documented = append(documented, r[0])
+		}
+		t.Errorf("doc.go code table documents %d codes %v, engine emits %d %v",
+			len(rows), documented, len(codes), codes)
+	}
+	docSet := make(map[string][3]string, len(rows))
+	for _, r := range rows {
+		if _, dup := docSet[r[0]]; dup {
+			t.Errorf("doc.go code table lists %q twice", r[0])
+		}
+		docSet[r[0]] = r
+	}
+	for _, c := range codes {
+		r, ok := docSet[string(c)]
+		if !ok {
+			t.Errorf("engine code %q missing from the doc.go code table", c)
+			continue
+		}
+		delete(docSet, string(c))
+		if want := strconv.Itoa(c.HTTPStatus()); r[1] != want {
+			t.Errorf("doc.go documents code %q with HTTP %s, engine maps it to %s", c, r[1], want)
+		}
+		wantRetry := "no"
+		if c.Retryable() {
+			wantRetry = "yes"
+		}
+		if r[2] != wantRetry {
+			t.Errorf("doc.go documents code %q retryable=%s, engine says %s", c, r[2], wantRetry)
+		}
+	}
+	for code := range docSet {
+		t.Errorf("doc.go code table row %q has no matching engine code", code)
+	}
 }
 
 // TestDocOpTableMatchesEngine fails when the op table in the root doc.go

@@ -315,7 +315,7 @@ func (e *Engine) QueryContext(ctx context.Context, req Request) Response {
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
-		return Response{Tree: req.Tree, Op: req.Op, Error: fmt.Sprintf("engine: %v", ctx.Err())}
+		return errorResponse(req, errf(CodeOf(ctx.Err()), "engine: %v", ctx.Err()))
 	}
 	defer func() { <-e.sem }()
 	return e.exec(ctx, req)
@@ -367,7 +367,7 @@ feed:
 	if err := ctx.Err(); err != nil {
 		for i := range out {
 			if out[i].Op == "" && out[i].Error == "" && out[i].Tree == "" {
-				out[i] = Response{Tree: reqs[i].Tree, Op: reqs[i].Op, Error: fmt.Sprintf("engine: %v", err)}
+				out[i] = errorResponse(reqs[i], errf(CodeOf(err), "engine: %v", err))
 			}
 		}
 	}
@@ -378,14 +378,15 @@ feed:
 func (e *Engine) exec(ctx context.Context, req Request) Response {
 	resp := Response{Tree: req.Tree, Op: req.Op}
 	if err := req.validate(); err != nil {
-		resp.Error = err.Error()
-		return resp
+		// Structural invalidity is always the client's bug, whatever shape
+		// the underlying message takes.
+		return errorResponse(req, errf(CodeBadRequest, "%s", err.Error()))
 	}
 	if req.Op == OpSPJEval {
 		// The query and database travel with the request; no registered
 		// tree (or generation-namespaced cache entry) is involved.
 		if err := e.dispatchSPJ(ctx, &resp, req); err != nil {
-			resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+			resp = errorResponse(req, err)
 		}
 		return resp
 	}
@@ -393,14 +394,13 @@ func (e *Engine) exec(ctx context.Context, req Request) Response {
 	te, ok := e.trees[req.Tree]
 	e.mu.RUnlock()
 	if !ok {
-		resp.Error = fmt.Sprintf("engine: unknown tree %q", req.Tree)
-		return resp
+		return errorResponse(req, errf(CodeUnknownTree, "engine: unknown tree %q", req.Tree))
 	}
 	if req.Op == OpMutate || req.Op == OpCondition {
 		// Mutations take the entry's write lock inside; they must not hold
 		// the read lock here.
 		if err := e.mutate(&resp, te, req); err != nil {
-			resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+			resp = errorResponse(req, err)
 		}
 	} else {
 		// The read lock spans the whole dispatch so a concurrent mutation
@@ -412,8 +412,8 @@ func (e *Engine) exec(ctx context.Context, req Request) Response {
 		te.rw.RUnlock()
 		if err != nil {
 			// Drop any partially populated answer fields: an error response
-			// carries the error alone.
-			resp = Response{Tree: req.Tree, Op: req.Op, Error: err.Error()}
+			// carries the error (and its code) alone.
+			resp = errorResponse(req, err)
 		}
 	}
 	if te.retired.Load() {
@@ -458,7 +458,7 @@ func (e *Engine) dispatch(ctx context.Context, resp *Response, te *treeEntry, re
 			if dist == nil {
 				// Surface a key typo instead of fabricating a
 				// probability-zero answer for a tuple that does not exist.
-				return fmt.Errorf("engine: tree %q has no tuple key %q", req.Tree, key)
+				return errf(CodeUnknownKey, "engine: tree %q has no tuple key %q", req.Tree, key)
 			}
 			if len(dist) > k {
 				dist = dist[:k]
@@ -548,7 +548,7 @@ func (e *Engine) dispatch(ctx context.Context, resp *Response, te *treeEntry, re
 		for _, key := range keys {
 			p, ok := all[key]
 			if !ok {
-				return fmt.Errorf("engine: tree %q has no tuple key %q", req.Tree, key)
+				return errf(CodeUnknownKey, "engine: tree %q has no tuple key %q", req.Tree, key)
 			}
 			resp.Probs[key] = p
 		}

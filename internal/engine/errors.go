@@ -1,0 +1,143 @@
+package engine
+
+// Typed error codes.  Every failed request carries a Code in
+// Response.Code alongside the human-readable Error string, so callers —
+// the HTTP handler, the distributed coordinator, client SDKs — branch on
+// a stable enum instead of string-matching error messages.  The
+// coordinator's retry policy is driven entirely by Code.Retryable: a
+// failure on one replica is retried elsewhere only when the code marks
+// the failure as transient rather than a property of the request.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code classifies a request failure.  The zero value (empty string)
+// means "no failure": successful responses carry no code.
+type Code string
+
+const (
+	// CodeBadRequest: the request is structurally invalid (unknown op or
+	// mode, out-of-range k/epsilon/delta, malformed payload).  The HTTP
+	// handler rejects these with status 400 before dispatch.
+	CodeBadRequest Code = "bad_request"
+	// CodeUnknownTree: the named tree is not registered.
+	CodeUnknownTree Code = "unknown_tree"
+	// CodeUnknownKey: the tree exists but has no tuple with a requested
+	// key.
+	CodeUnknownKey Code = "unknown_key"
+	// CodeRetiredEpoch: the operation raced a re-registration or removal
+	// of its tree and was refused rather than silently dropped; the state
+	// it targeted is gone.  Re-issue against the current registration.
+	CodeRetiredEpoch Code = "retired_epoch"
+	// CodeOverloaded: admission control shed the request instead of
+	// queueing it; the service is at capacity.  Retryable (elsewhere, or
+	// later with backoff).
+	CodeOverloaded Code = "overloaded"
+	// CodeTimeout: the request's deadline expired before an answer was
+	// produced.  Retryable.
+	CodeTimeout Code = "timeout"
+	// CodeCanceled: the request's context was canceled (client gone).
+	CodeCanceled Code = "canceled"
+	// CodeUnavailable: a transport-level failure reaching the serving
+	// node (connection refused/reset, node marked dead).  Produced by the
+	// distributed tier, never by a single-process engine.  Retryable.
+	CodeUnavailable Code = "unavailable"
+	// CodeFailed: the computation itself refused or failed for a reason
+	// that retrying will not fix (enumeration caps, infeasible budgets,
+	// semantic errors in the payload against this tree).
+	CodeFailed Code = "failed"
+)
+
+// allCodes lists every code the engine can attach to a response, in the
+// order doc.go's code table documents them.  Exposed through Codes for
+// doc-drift checking.
+var allCodes = []Code{
+	CodeBadRequest, CodeUnknownTree, CodeUnknownKey, CodeRetiredEpoch,
+	CodeOverloaded, CodeTimeout, CodeCanceled, CodeUnavailable, CodeFailed,
+}
+
+// Codes returns every error code the engine can emit.  The doc-drift
+// test pins the package documentation's code table to this registry.
+func Codes() []Code {
+	return append([]Code(nil), allCodes...)
+}
+
+// Retryable reports whether a failure with this code is transient: the
+// identical request may succeed on another replica or a later attempt.
+// The coordinator retries and hedges only on retryable codes.
+func (c Code) Retryable() bool {
+	switch c {
+	case CodeOverloaded, CodeTimeout, CodeUnavailable:
+		return true
+	}
+	return false
+}
+
+// HTTPStatus maps the code to the HTTP status class the handler and the
+// internal RPC boundary use for transport-level rejections.  Semantic
+// failures embedded in a 200 query response keep the code in the body.
+func (c Code) HTTPStatus() int {
+	switch c {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownTree, CodeUnknownKey:
+		return http.StatusNotFound
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return 499 // client closed request (the de-facto nginx status)
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case CodeRetiredEpoch:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error is a failure with a typed code.  Msg is the full human-readable
+// message (including any "engine:" prefix convention the call site
+// follows).
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// errf builds a coded error.
+func errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the code of an error: a typed *Error carries its own,
+// context expiry maps to timeout/canceled, and anything else defaults to
+// CodeFailed (a deterministic, non-retryable computation failure).
+func CodeOf(err error) Code {
+	if err == nil {
+		return ""
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CodeTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return CodeCanceled
+	}
+	return CodeFailed
+}
+
+// errorResponse builds the canonical failure response for a request: the
+// error message plus its typed code, all answer fields empty.
+func errorResponse(req Request, err error) Response {
+	return Response{Tree: req.Tree, Op: req.Op, Error: err.Error(), Code: CodeOf(err)}
+}

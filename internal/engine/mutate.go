@@ -92,7 +92,7 @@ func (e *Engine) mutate(resp *Response, te *treeEntry, req Request) error {
 	if te.retired.Load() {
 		// The entry lost a race with Register/Unregister; applying the
 		// mutation here would silently drop it on the floor.
-		return fmt.Errorf("engine: tree %q was replaced or removed concurrently; re-issue the mutation", req.Tree)
+		return errf(CodeRetiredEpoch, "engine: tree %q was replaced or removed concurrently; re-issue the mutation", req.Tree)
 	}
 	if !te.owned {
 		// Clone-on-first-mutate: the registered tree belongs to the caller
@@ -108,7 +108,19 @@ func (e *Engine) mutate(resp *Response, te *treeEntry, req Request) error {
 	// Bring the compiled kernel up to date.  A resident program takes the
 	// delta path (weight patch or recompile); an absent one stays absent
 	// and compiles lazily against the mutated tree on the next query.
-	method := MethodRecompiled
+	// The reported method is a pure function of the deltas — weight-only
+	// batches are "patched", structural ones "recompiled" — never of
+	// kernel residency, so identical mutations answer identically
+	// whatever queries happened to warm the kernel first (the distributed
+	// tier relies on this: replicas with different read histories must
+	// return byte-identical mutation responses).
+	method := MethodPatched
+	for _, d := range ds {
+		if d.Structural {
+			method = MethodRecompiled
+			break
+		}
+	}
 	patched := false
 	var changed []int32
 	te.progMu.Lock()
@@ -116,9 +128,6 @@ func (e *Engine) mutate(resp *Response, te *treeEntry, req Request) error {
 	if prog != nil {
 		prog, patched, changed = prog.ApplyAll(te.tree, ds)
 		te.prog = prog
-		if patched {
-			method = MethodPatched
-		}
 	}
 	te.progMu.Unlock()
 

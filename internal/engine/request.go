@@ -322,6 +322,11 @@ type Response struct {
 	Tree  string `json:"tree"`
 	Op    Op     `json:"op"`
 	Error string `json:"error,omitempty"`
+	// Code classifies the failure when Error is set (see the Code
+	// constants); empty on success.  Clients and the distributed
+	// coordinator branch on it instead of string-matching Error, and only
+	// codes marked retryable are retried on another replica.
+	Code Code `json:"code,omitempty"`
 
 	// TopK is the consensus top-k answer (best first).
 	TopK []string `json:"topk,omitempty"`

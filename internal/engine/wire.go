@@ -1,0 +1,173 @@
+package engine
+
+// Wire schema versioning.  The flat Request struct remains the canonical
+// in-process form (and the form Request marshals to, which is what the
+// coordinator's internal RPC sends), but the JSON decoder accepts two
+// request shapes:
+//
+//   - the legacy flat form, every per-family knob a top-level field
+//     ("k", "metric", "group_by", ...), which decodes exactly as it
+//     always has; and
+//   - the versioned v1 envelope ({"v": 1, ...}), in which the
+//     per-family knobs arrive in typed sub-structs mirroring the ones
+//     SPJ/Mutation/Evidence always had: "topk": {"k", "metric"},
+//     "rank": {"k", "keys"}, "aggregate": {"group_by", "k"},
+//     "ranking": {"method"}, "clustering": {"restarts", "seed"},
+//     "membership": {"keys"}.
+//
+// Sub-struct fields overwrite their flat counterparts, so a v1 client
+// states each knob exactly once in the group named after its family.
+// Sub-structs require "v": 1 — under the legacy form they are rejected,
+// keeping the two schemas distinguishable on the wire — and unknown
+// versions are rejected so a future v2 cannot be silently misparsed.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// WireV1 is the current versioned wire-envelope number, the value of the
+// envelope's "v" field.
+const WireV1 = 1
+
+// TopKSpec is the v1 envelope's typed payload for the top-k ops
+// (OpTopKMean, OpTopKMedian).
+type TopKSpec struct {
+	// K is the rank cutoff.
+	K int `json:"k"`
+	// Metric selects the top-k distance for OpTopKMean; empty means
+	// "symdiff".
+	Metric string `json:"metric,omitempty"`
+}
+
+// RankSpec is the v1 envelope's typed payload for OpRankDist.
+type RankSpec struct {
+	// K is the rank cutoff.
+	K int `json:"k"`
+	// Keys optionally restricts the output to the given tuple keys.
+	Keys []string `json:"keys,omitempty"`
+}
+
+// AggregateSpec is the v1 envelope's typed payload for the aggregate ops
+// (OpAggregateMean, OpAggregateMedian).
+type AggregateSpec struct {
+	// GroupBy selects the matrix source: GroupByRank (also the meaning of
+	// "") or GroupByLabel.
+	GroupBy string `json:"group_by,omitempty"`
+	// K is the optional rank cutoff of the rank-derived matrix.
+	K int `json:"k,omitempty"`
+}
+
+// RankingSpec is the v1 envelope's typed payload for OpRankingConsensus.
+type RankingSpec struct {
+	// Method selects the aggregation rule: MethodFootrule (also the
+	// meaning of ""), MethodKemeny or MethodBorda.
+	Method string `json:"method,omitempty"`
+}
+
+// ClusteringSpec is the v1 envelope's typed payload for OpClusteringMean.
+type ClusteringSpec struct {
+	// Restarts is the CC-Pivot restart count; zero selects
+	// DefaultRestarts.
+	Restarts int `json:"restarts,omitempty"`
+	// Seed selects the pivot RNG stream; zero means the fixed default.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// MembershipSpec is the v1 envelope's typed payload for OpMembership.
+type MembershipSpec struct {
+	// Keys optionally restricts the output to the given tuple keys.
+	Keys []string `json:"keys,omitempty"`
+}
+
+// plainRequest strips Request of its methods so the wire decoder can
+// reuse its field set without recursing into UnmarshalJSON.
+type plainRequest Request
+
+// wireRequest is the union of both accepted request shapes: the embedded
+// flat fields (the legacy form) plus the envelope version and the typed
+// v1 sub-structs.
+type wireRequest struct {
+	plainRequest
+	V          int             `json:"v,omitempty"`
+	TopK       *TopKSpec       `json:"topk,omitempty"`
+	Rank       *RankSpec       `json:"rank,omitempty"`
+	Aggregate  *AggregateSpec  `json:"aggregate,omitempty"`
+	Ranking    *RankingSpec    `json:"ranking,omitempty"`
+	Clustering *ClusteringSpec `json:"clustering,omitempty"`
+	Membership *MembershipSpec `json:"membership,omitempty"`
+}
+
+// specs reports which v1 sub-structs the payload set, by wire name.
+func (w *wireRequest) specs() []string {
+	var out []string
+	if w.TopK != nil {
+		out = append(out, "topk")
+	}
+	if w.Rank != nil {
+		out = append(out, "rank")
+	}
+	if w.Aggregate != nil {
+		out = append(out, "aggregate")
+	}
+	if w.Ranking != nil {
+		out = append(out, "ranking")
+	}
+	if w.Clustering != nil {
+		out = append(out, "clustering")
+	}
+	if w.Membership != nil {
+		out = append(out, "membership")
+	}
+	return out
+}
+
+// UnmarshalJSON decodes either request shape.  Legacy flat payloads
+// (no "v" field) decode bit-for-bit as before; v1 envelopes additionally
+// fold their typed sub-structs onto the flat fields.  Version and
+// sub-struct misuse is a decode error, so it surfaces as a 400 at the
+// HTTP boundary like any other malformed payload.
+func (r *Request) UnmarshalJSON(data []byte) error {
+	var w wireRequest
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	specs := w.specs()
+	switch {
+	case w.V == 0:
+		if len(specs) > 0 {
+			return fmt.Errorf(`engine: request group %q requires the versioned envelope; set "v": %d`, specs[0], WireV1)
+		}
+	case w.V == WireV1:
+	default:
+		return fmt.Errorf("engine: unsupported request envelope version %d (latest is %d)", w.V, WireV1)
+	}
+	if w.TopK != nil {
+		w.K = w.TopK.K
+		w.Metric = w.TopK.Metric
+	}
+	if w.Rank != nil {
+		w.K = w.Rank.K
+		w.Keys = w.Rank.Keys
+	}
+	if w.Aggregate != nil {
+		w.GroupBy = w.Aggregate.GroupBy
+		if w.Aggregate.K != 0 {
+			w.K = w.Aggregate.K
+		}
+	}
+	if w.Ranking != nil {
+		w.Method = w.Ranking.Method
+	}
+	if w.Clustering != nil {
+		w.Restarts = w.Clustering.Restarts
+		if w.Clustering.Seed != 0 {
+			w.Seed = w.Clustering.Seed
+		}
+	}
+	if w.Membership != nil {
+		w.Keys = w.Membership.Keys
+	}
+	*r = Request(w.plainRequest)
+	return nil
+}

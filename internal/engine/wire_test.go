@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"consensus/internal/workload"
+)
+
+// legacyPayloads is a representative sample of the flat (pre-envelope)
+// wire form, one per family knob.
+var legacyPayloads = []string{
+	`{"tree":"db","op":"topk-mean","k":3,"metric":"footrule"}`,
+	`{"tree":"db","op":"topk-median","k":2}`,
+	`{"tree":"db","op":"rank-dist","k":4,"keys":["t1","t2"]}`,
+	`{"tree":"db","op":"aggregate-mean","group_by":"rank","k":2}`,
+	`{"tree":"db","op":"aggregate-median","group_by":"label"}`,
+	`{"tree":"db","op":"ranking-consensus","method":"borda"}`,
+	`{"tree":"db","op":"clustering-mean","restarts":7,"seed":3}`,
+	`{"tree":"db","op":"membership","keys":["t1"]}`,
+	`{"tree":"db","op":"size-dist","mode":"auto","epsilon":0.1,"delta":0.01}`,
+	`{"tree":"db","op":"mutate","mutation":{"kind":"set-prob","key":"t1","score":1,"prob":0.5}}`,
+	`{"op":"spj-eval","spj":{"query":[{"relation":"R","args":[{"var":"x"}]}],"tables":{"R":[{"vals":["a"],"prob":0.5}]}}}`,
+}
+
+// TestLegacyFlatDecodeUnchanged pins back-compat: the flat legacy JSON
+// form must decode through the versioned decoder exactly as it decodes
+// through the plain struct fields (which is bit-for-bit the pre-envelope
+// decoder).
+func TestLegacyFlatDecodeUnchanged(t *testing.T) {
+	for _, payload := range legacyPayloads {
+		var got Request
+		if err := json.Unmarshal([]byte(payload), &got); err != nil {
+			t.Fatalf("decode %s: %v", payload, err)
+		}
+		var plain plainRequest
+		if err := json.Unmarshal([]byte(payload), &plain); err != nil {
+			t.Fatalf("plain decode %s: %v", payload, err)
+		}
+		if want := Request(plain); !reflect.DeepEqual(got, want) {
+			t.Errorf("payload %s:\n versioned decoder: %+v\n legacy decoder:    %+v", payload, got, want)
+		}
+	}
+}
+
+// TestV1EnvelopeEquivalence pins the envelope semantics: a v1 payload
+// with typed sub-structs decodes to the same Request as its flat legacy
+// equivalent.
+func TestV1EnvelopeEquivalence(t *testing.T) {
+	for _, tc := range []struct{ v1, legacy string }{
+		{`{"v":1,"tree":"db","op":"topk-mean","topk":{"k":3,"metric":"footrule"}}`,
+			`{"tree":"db","op":"topk-mean","k":3,"metric":"footrule"}`},
+		{`{"v":1,"tree":"db","op":"topk-median","topk":{"k":2}}`,
+			`{"tree":"db","op":"topk-median","k":2}`},
+		{`{"v":1,"tree":"db","op":"rank-dist","rank":{"k":4,"keys":["t1","t2"]}}`,
+			`{"tree":"db","op":"rank-dist","k":4,"keys":["t1","t2"]}`},
+		{`{"v":1,"tree":"db","op":"aggregate-mean","aggregate":{"group_by":"rank","k":2}}`,
+			`{"tree":"db","op":"aggregate-mean","group_by":"rank","k":2}`},
+		{`{"v":1,"tree":"db","op":"ranking-consensus","ranking":{"method":"borda"}}`,
+			`{"tree":"db","op":"ranking-consensus","method":"borda"}`},
+		{`{"v":1,"tree":"db","op":"clustering-mean","clustering":{"restarts":7,"seed":3}}`,
+			`{"tree":"db","op":"clustering-mean","restarts":7,"seed":3}`},
+		{`{"v":1,"tree":"db","op":"membership","membership":{"keys":["t1"]}}`,
+			`{"tree":"db","op":"membership","keys":["t1"]}`},
+		// Cross-family knobs (mode/budget) stay flat in the envelope.
+		{`{"v":1,"tree":"db","op":"rank-dist","rank":{"k":2},"mode":"auto","epsilon":0.1}`,
+			`{"tree":"db","op":"rank-dist","k":2,"mode":"auto","epsilon":0.1}`},
+		// A v1 envelope without sub-structs is the flat form plus "v".
+		{`{"v":1,"tree":"db","op":"size-dist"}`, `{"tree":"db","op":"size-dist"}`},
+	} {
+		var got, want Request
+		if err := json.Unmarshal([]byte(tc.v1), &got); err != nil {
+			t.Fatalf("decode v1 %s: %v", tc.v1, err)
+		}
+		if err := json.Unmarshal([]byte(tc.legacy), &want); err != nil {
+			t.Fatalf("decode legacy %s: %v", tc.legacy, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("v1 %s decoded %+v, legacy equivalent decoded %+v", tc.v1, got, want)
+		}
+	}
+}
+
+// TestWireVersionErrors pins the envelope's misuse handling: sub-structs
+// without "v":1 and unknown versions are decode errors (so the HTTP
+// layer answers 400), with messages naming the offense.
+func TestWireVersionErrors(t *testing.T) {
+	for _, tc := range []struct{ payload, wantSub string }{
+		{`{"tree":"db","op":"topk-mean","topk":{"k":3}}`, `requires the versioned envelope`},
+		{`{"v":2,"tree":"db","op":"size-dist"}`, `unsupported request envelope version 2`},
+		{`{"v":-1,"tree":"db","op":"size-dist"}`, `unsupported request envelope version -1`},
+	} {
+		var r Request
+		err := json.Unmarshal([]byte(tc.payload), &r)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("decode %s: error %v, want substring %q", tc.payload, err, tc.wantSub)
+		}
+	}
+}
+
+// TestHandlerLegacyAndV1Identical pins the full HTTP path: the same
+// query posted in the legacy flat form and in the v1 envelope must
+// produce byte-identical response bodies, and legacy payloads must keep
+// parsing (status 200) exactly as before the envelope existed.
+func TestHandlerLegacyAndV1Identical(t *testing.T) {
+	e := New(Options{})
+	if err := e.Register("db", workload.Independent(rand.New(rand.NewSource(7)), 6)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	for _, tc := range []struct{ legacy, v1 string }{
+		{`{"tree":"db","op":"topk-mean","k":3,"metric":"footrule"}`,
+			`{"v":1,"tree":"db","op":"topk-mean","topk":{"k":3,"metric":"footrule"}}`},
+		{`{"tree":"db","op":"rank-dist","k":2}`,
+			`{"v":1,"tree":"db","op":"rank-dist","rank":{"k":2}}`},
+		{`{"tree":"db","op":"aggregate-mean","k":2}`,
+			`{"v":1,"tree":"db","op":"aggregate-mean","aggregate":{"k":2}}`},
+		{`{"tree":"db","op":"ranking-consensus","method":"footrule"}`,
+			`{"v":1,"tree":"db","op":"ranking-consensus","ranking":{"method":"footrule"}}`},
+	} {
+		legacyStatus, legacyBody := post(tc.legacy)
+		v1Status, v1Body := post(tc.v1)
+		if legacyStatus != 200 || v1Status != 200 {
+			t.Fatalf("statuses %d/%d for %s", legacyStatus, v1Status, tc.legacy)
+		}
+		if !bytes.Equal(legacyBody, v1Body) {
+			t.Errorf("legacy %s and v1 %s answered differently:\n %s\n %s", tc.legacy, tc.v1, legacyBody, v1Body)
+		}
+	}
+
+	// Envelope misuse is a 400 with the bad_request code, like any other
+	// malformed payload.
+	status, body := post(`{"tree":"db","op":"topk-mean","topk":{"k":3}}`)
+	if status != 400 {
+		t.Fatalf("sub-struct without v:1: status %d (%s), want 400", status, body)
+	}
+	var errBody map[string]string
+	if err := json.Unmarshal(body, &errBody); err != nil || errBody["code"] != string(CodeBadRequest) {
+		t.Fatalf("sub-struct without v:1: body %s, want code %q", body, CodeBadRequest)
+	}
+}
