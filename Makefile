@@ -88,17 +88,21 @@ cover:
 		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # Fuzz smoke: short randomized runs of the HTTP request-decoding target
-# (which seeds both the legacy flat form and the v1 envelope) and the
-# coordinator's cluster-admin endpoints, enough to catch
-# decode/validation panics without burning CI time.
+# (which seeds both the legacy flat form and the v1 envelope), the
+# coordinator's cluster-admin endpoints, and the write-ahead-log replay
+# path (committed seeds cover torn tails and corrupted checksums), enough
+# to catch decode/validation/recovery panics without burning CI time.
 fuzz:
 	$(GO) test ./internal/engine -run XXX -fuzz FuzzHandlerQuery -fuzztime 10s
 	$(GO) test ./internal/distrib -run XXX -fuzz FuzzClusterAdmin -fuzztime 10s
+	$(GO) test ./internal/distrib -run XXX -fuzz FuzzWALReplay -fuzztime 10s
 
-# Distributed-tier smoke: one coordinator over three loopback workers
-# cross-checked byte-for-byte against a single-process server on the six
-# consensus query families, then a worker kill mid-read-stream with zero
-# allowed failures (see cmd/clustersmoke).
+# Distributed-tier smoke: one durable coordinator over three loopback
+# workers cross-checked byte-for-byte against a single-process server on
+# the six consensus query families, then a coordinator kill-and-restart
+# from its write-ahead log (recovered responses must stay byte-identical),
+# then a worker kill mid-read-stream with zero allowed failures (see
+# cmd/clustersmoke).
 cluster-smoke:
 	$(GO) run ./cmd/clustersmoke
 

@@ -1,11 +1,14 @@
 // Command clustersmoke is the distributed-tier smoke test CI runs: it
-// boots one coordinator over three loopback workers plus a plain
+// boots one durable coordinator over three loopback workers plus a plain
 // single-process server, registers the same trees on both fronts, and
 // requires byte-identical HTTP response bodies across the six consensus
 // query families of the paper (the E16 cross-check list), a mutation,
-// and the post-mutation re-queries.  It then kills one worker mid-stream
-// and requires a run of mixed reads to finish with zero client-visible
-// failures.  Any divergence or failure exits non-zero.
+// and the post-mutation re-queries.  It then kills the coordinator and
+// restarts it from its write-ahead log, requiring the recovered front to
+// keep answering byte-identically (queries and tree downloads alike);
+// finally it kills one worker mid-stream and requires a run of mixed
+// reads to finish with zero client-visible failures.  Any divergence or
+// failure exits non-zero.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"consensus/internal/distrib"
@@ -62,11 +66,13 @@ func main() {
 }
 
 func run() error {
-	// Three workers: exactly what `consensusctl worker` serves.
+	// Three workers: exactly what `consensusctl worker` serves — an
+	// engine behind a fencing guard, so a superseded coordinator's RPCs
+	// bounce.
 	var workers []*server
 	var addrs []string
 	for i := 0; i < 3; i++ {
-		w, err := start(engine.New(engine.Options{}).Handler())
+		w, err := start(engine.FencedHandler(engine.New(engine.Options{}).Handler(), &engine.Fence{}))
 		if err != nil {
 			return err
 		}
@@ -75,7 +81,15 @@ func run() error {
 		addrs = append(addrs, w.url)
 	}
 
-	coord, err := distrib.New(distrib.Options{Workers: addrs, HedgeDelay: 20 * time.Millisecond})
+	// The coordinator is durable from the start, exactly what
+	// `consensusctl coordinator -data-dir` runs: the restart phase below
+	// reboots it from this directory.
+	dataDir, err := os.MkdirTemp("", "clustersmoke-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+	coord, err := distrib.New(distrib.Options{Workers: addrs, HedgeDelay: 20 * time.Millisecond, DataDir: dataDir})
 	if err != nil {
 		return err
 	}
@@ -122,6 +136,42 @@ func run() error {
 		}
 	}
 	log.Printf("clustersmoke: %d responses byte-identical across cluster and single process", len(queries)+2)
+
+	// Kill the coordinator — process gone, front gone — and restart it
+	// from the write-ahead log alone.  The recovered front must keep
+	// serving the full pre-crash registry byte-identically: the six
+	// families, a rank distribution, and the tree downloads themselves.
+	front.close()
+	coord.Close()
+	coord2, err := distrib.New(distrib.Options{Workers: addrs, HedgeDelay: 20 * time.Millisecond, DataDir: dataDir})
+	if err != nil {
+		return fmt.Errorf("coordinator restart from WAL: %w", err)
+	}
+	defer coord2.Close()
+	front, err = start(coord2.Handler())
+	if err != nil {
+		return err
+	}
+	defer front.close()
+
+	afterRestart := append([]string(nil), sixFamilyQueries...)
+	afterRestart = append(afterRestart, `{"tree":"indep","op":"rank-dist","k":3}`)
+	for i, q := range afterRestart {
+		if err := compare(fmt.Sprintf("post-restart query %d %s", i, opOf(q)), func(base string) ([]byte, error) {
+			return do(http.MethodPost, base+"/v1/query", []byte(q))
+		}, front.url, single.url); err != nil {
+			return err
+		}
+	}
+	for _, name := range []string{"indep", "labeled"} {
+		if err := compare("post-restart GET /v1/trees/"+name, func(base string) ([]byte, error) {
+			return do(http.MethodGet, base+"/v1/trees/"+name, nil)
+		}, front.url, single.url); err != nil {
+			return err
+		}
+	}
+	log.Printf("clustersmoke: %d responses byte-identical after coordinator kill-and-restart from the WAL (fencing epoch %d)",
+		len(afterRestart)+2, coord2.FencingEpoch())
 
 	// Kill one worker, then demand a clean run of mixed reads.
 	workers[1].close()

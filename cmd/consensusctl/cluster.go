@@ -29,6 +29,9 @@ type coordConfig struct {
 	hedge          time.Duration
 	admission      int
 	probe          time.Duration
+
+	dataDir          string        // WAL directory ("" = in-memory only)
+	heartbeatTimeout time.Duration // heartbeat membership (<= 0 = probe mode)
 }
 
 // runCoordinator starts the cluster front: consistent-hash placement of
@@ -43,9 +46,9 @@ func runCoordinator(cfg coordConfig) error {
 			workers = append(workers, w)
 		}
 	}
-	if len(workers) == 0 {
-		return fmt.Errorf("coordinator needs -cluster with at least one worker base URL")
-	}
+	// Zero workers is fine with heartbeat membership (workers announce
+	// themselves) or a data dir (the WAL remembers the fleet); distrib.New
+	// rejects a genuinely member-less probe-mode coordinator.
 	c, err := distrib.New(distrib.Options{
 		Workers:           workers,
 		Replication:       cfg.replication,
@@ -54,11 +57,16 @@ func runCoordinator(cfg coordConfig) error {
 		HedgeDelay:        cfg.hedge,
 		AdmissionCapacity: cfg.admission,
 		ProbeInterval:     cfg.probe,
+		DataDir:           cfg.dataDir,
+		HeartbeatTimeout:  cfg.heartbeatTimeout,
 	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	if cfg.dataDir != "" {
+		log.Printf("consensusctl: durable state in %s (fencing epoch %d)", cfg.dataDir, c.FencingEpoch())
+	}
 	if cfg.db != "" {
 		tree, err := loadTree(cfg.db)
 		if err != nil {
@@ -70,7 +78,7 @@ func runCoordinator(cfg coordConfig) error {
 		log.Printf("registered tree %q (%d tuples, %d alternatives)",
 			cfg.name, len(tree.Keys()), tree.NumLeaves())
 	}
-	log.Printf("consensusctl: coordinating %d workers on %s", len(workers), cfg.addr)
+	log.Printf("consensusctl: coordinating %d workers on %s", len(c.Members()), cfg.addr)
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           c.Handler(),

@@ -42,15 +42,23 @@
 // mutation ops mutate and condition.
 //
 // The worker and coordinator subcommands form the distributed serving
-// tier.  A worker is a plain serving engine (same surface as serve); the
+// tier.  A worker is a plain serving engine (same surface as serve) that
+// sheds load past its own -admission budget and rejects RPCs stamped
+// with a stale coordinator fencing epoch; with -coordinator/-advertise
+// it self-registers by sending periodic /cluster/join heartbeats.  The
 // coordinator shards registered trees across its -cluster workers by
 // consistent hashing with replication (default 2), routes reads with
 // per-attempt timeouts, bounded retries on retryable error codes and
-// tail-hedging, fans mutations out to every replica, sheds load past the
-// -admission cost budget with the "overloaded" error code, and restores
-// crashed-and-rejoined workers from its authoritative tree snapshots.
-// Clients talk to the coordinator exactly as to a single-process server
-// — same endpoints, byte-identical responses — plus the membership admin
+// tail-hedging (preferring the least-loaded replicas), fans mutations
+// out to every replica, sheds load past the -admission cost budget with
+// the "overloaded" error code, and restores crashed-and-rejoined workers
+// from its authoritative tree snapshots.  With -data-dir every
+// registry-changing event is written ahead to a checksummed log, a
+// restart replays it, reconciles against the live workers and fences out
+// the previous incarnation; with -heartbeat-timeout membership is driven
+// by worker heartbeats instead of probing a static list.  Clients talk
+// to the coordinator exactly as to a single-process server — same
+// endpoints, byte-identical responses — plus the membership admin
 // endpoints POST /cluster/join, POST /cluster/leave ({"addr":...}) and
 // GET /cluster/members.
 package main
@@ -92,8 +100,13 @@ func main() {
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "coordinator: per-RPC-attempt timeout (0 = default 2s)")
 	retries := flag.Int("retries", 0, "coordinator: extra routed attempts after the first (0 = default 2, negative disables)")
 	hedge := flag.Duration("hedge", 0, "coordinator: tail-hedging delay for reads (0 = default 250ms, negative disables)")
-	admission := flag.Int("admission", 0, "coordinator: cost-unit admission capacity (0 = default 256, negative disables)")
+	admission := flag.Int("admission", 0, "cost-unit admission capacity (coordinator: 0 = default 256, negative disables; serve/worker: <= 0 disables)")
 	probe := flag.Duration("probe", 0, "coordinator: worker health-probe interval (0 = default 1s, negative disables)")
+	dataDir := flag.String("data-dir", "", "coordinator: directory for the durable write-ahead log; restarts replay it, reconcile against the workers and fence out the previous incarnation (empty = in-memory only)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 0, "coordinator: mark a worker dead after this long without a heartbeat; enables heartbeat membership, where workers self-register via -coordinator (<= 0 = probe the static -cluster list)")
+	coordinator := flag.String("coordinator", "", "worker: coordinator base URL to send periodic /cluster/join heartbeats to (empty = no heartbeats)")
+	advertise := flag.String("advertise", "", "worker: own base URL announced in heartbeats (required with -coordinator)")
+	heartbeat := flag.Duration("heartbeat", 0, "worker: heartbeat interval (0 = default 1s)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -119,7 +132,8 @@ func main() {
 		}
 		if err := runServe(serveConfig{
 			addr: *addr, db: dbPath, name: *name, workers: *workers, cache: *cacheSize,
-			mode: *mode, epsilon: *epsilon, delta: *delta,
+			mode: *mode, epsilon: *epsilon, delta: *delta, admission: *admission,
+			coordinator: *coordinator, advertise: *advertise, heartbeat: *heartbeat,
 		}); err != nil {
 			fail(err)
 		}
@@ -133,6 +147,7 @@ func main() {
 			addr: *addr, cluster: *cluster, db: dbPath, name: *name,
 			replication: *replication, attemptTimeout: *attemptTimeout,
 			retries: *retries, hedge: *hedge, admission: *admission, probe: *probe,
+			dataDir: *dataDir, heartbeatTimeout: *heartbeatTimeout,
 		}); err != nil {
 			fail(err)
 		}
@@ -403,8 +418,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> mutate|condition -batch <file|-> (JSON update array, applied atomically)")
 	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> condition -kind present|absent|choose -key K [-score S]")
 	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N -mode exact|approx|auto -epsilon E -delta D]")
-	fmt.Fprintln(os.Stderr, "       consensusctl worker -addr <host:port> [same flags as serve]")
-	fmt.Fprintln(os.Stderr, "       consensusctl coordinator -addr <host:port> -cluster <url,url,...> [-replication N -attempt-timeout D -retries N -hedge D -admission N -probe D -db <file> -name <tree>]")
+	fmt.Fprintln(os.Stderr, "       consensusctl worker -addr <host:port> [same flags as serve, plus -admission N -coordinator <url> -advertise <url> -heartbeat D]")
+	fmt.Fprintln(os.Stderr, "       consensusctl coordinator -addr <host:port> -cluster <url,url,...> [-replication N -attempt-timeout D -retries N -hedge D -admission N -probe D -data-dir <dir> -heartbeat-timeout D -db <file> -name <tree>]")
 	os.Exit(2)
 }
 

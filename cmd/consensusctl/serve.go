@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -19,6 +21,11 @@ type serveConfig struct {
 	mode    string  // default evaluation mode for requests without one
 	epsilon float64 // default error budget half-width for approx/auto
 	delta   float64 // default error budget failure probability
+
+	admission   int           // engine admission capacity (<= 0 disables)
+	coordinator string        // coordinator base URL to heartbeat to ("" = none)
+	advertise   string        // own base URL announced in heartbeats
+	heartbeat   time.Duration // heartbeat interval (0 = default 1s)
 }
 
 // runServe starts the HTTP/JSON consensus-serving engine.  It blocks until
@@ -35,12 +42,16 @@ func runServe(cfg serveConfig) error {
 	if cfg.delta < 0 || cfg.delta >= 1 {
 		return fmt.Errorf("-delta must lie in [0, 1), got %v", cfg.delta)
 	}
+	if cfg.coordinator != "" && cfg.advertise == "" {
+		return fmt.Errorf("-coordinator needs -advertise (the base URL this worker is reachable at)")
+	}
 	eng := consensus.NewEngine(consensus.EngineOptions{
-		Workers:        cfg.workers,
-		CacheEntries:   cfg.cache,
-		DefaultMode:    cfg.mode,
-		DefaultEpsilon: cfg.epsilon,
-		DefaultDelta:   cfg.delta,
+		Workers:           cfg.workers,
+		CacheEntries:      cfg.cache,
+		DefaultMode:       cfg.mode,
+		DefaultEpsilon:    cfg.epsilon,
+		DefaultDelta:      cfg.delta,
+		AdmissionCapacity: cfg.admission,
 	})
 	if cfg.db != "" {
 		tree, err := loadTree(cfg.db)
@@ -53,10 +64,21 @@ func runServe(cfg serveConfig) error {
 		log.Printf("registered tree %q (%d tuples, %d alternatives)",
 			cfg.name, len(tree.Keys()), tree.NumLeaves())
 	}
+	if cfg.coordinator != "" {
+		interval := cfg.heartbeat
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go heartbeatLoop(cfg.coordinator, cfg.advertise, interval)
+		log.Printf("consensusctl: heartbeating %s to %s every %v", cfg.advertise, cfg.coordinator, interval)
+	}
 	log.Printf("consensusctl: serving consensus queries on %s", cfg.addr)
 	srv := &http.Server{
-		Addr:    cfg.addr,
-		Handler: eng.Handler(),
+		Addr: cfg.addr,
+		// The fence guard rejects RPCs from a superseded coordinator;
+		// unstamped requests (plain clients, single-process use) pass
+		// untouched.
+		Handler: consensus.NewFencedHandler(eng.Handler(), &consensus.Fence{}),
 		// Shed slow-loris clients and idle keep-alives; the read timeout
 		// still leaves ample room for a maxTreeBytes upload.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -65,4 +87,46 @@ func runServe(cfg serveConfig) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	return srv.ListenAndServe()
+}
+
+// heartbeatLoop announces this worker to the coordinator's heartbeat
+// membership by POSTing /cluster/join every interval.  Joins are
+// idempotent on the coordinator, so steady-state beats are cheap; a
+// beat after a coordinator-side death verdict restores the worker's
+// shards.  Failures are logged only on state changes to keep a
+// partitioned coordinator from flooding the log.
+func heartbeatLoop(coordinator, advertise string, interval time.Duration) {
+	body := fmt.Sprintf(`{"addr":%q}`, advertise)
+	url := coordinator + "/cluster/join"
+	client := &http.Client{Timeout: interval}
+	healthy := true
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for ; ; <-tick.C {
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader([]byte(body)))
+		if err != nil {
+			cancel()
+			log.Printf("consensusctl: heartbeat: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		ok := err == nil && resp.StatusCode < 300
+		if resp != nil {
+			resp.Body.Close()
+		}
+		cancel()
+		if ok && !healthy {
+			log.Printf("consensusctl: heartbeat to %s restored", coordinator)
+		}
+		if !ok && healthy {
+			if err != nil {
+				log.Printf("consensusctl: heartbeat to %s failed: %v", coordinator, err)
+			} else {
+				log.Printf("consensusctl: heartbeat to %s rejected: %s", coordinator, resp.Status)
+			}
+		}
+		healthy = ok
+	}
 }

@@ -266,6 +266,9 @@
 //	unavailable    503   yes        worker unreachable or answer undecodable
 //	                                (cluster transport failure)
 //	failed         500   no         deterministic computation failure
+//	fenced         409   no         request stamped with a stale coordinator
+//	                                fencing epoch; the sender was superseded
+//	                                by a restart and must stand down
 //
 // # Distributed serving
 //
@@ -292,13 +295,43 @@
 // request by the cost classes of the op table — primitives 1, poly-time
 // families 4, mutations 8, NP-hard families 16 — and sheds work past the
 // -admission capacity with "overloaded" instead of queueing behind
-// wedged computations.  Workers that crash and come back empty are
-// restored from the authoritative snapshots, either by the health prober
-// (-probe) or lazily on first touch; a restored shard is bit-identical
-// to the pre-crash state, applied mutations included.  Membership is
-// administered at runtime via POST /cluster/join and POST /cluster/leave
-// ({"addr":"http://host:port"}) and inspected via GET /cluster/members;
-// joins and leaves rebalance shard placements before answering.
+// wedged computations; workers price their own load the same way
+// (`consensusctl worker -admission`), shedding "overloaded" onto their
+// replicas instead of queueing.  Workers that crash and come back empty
+// are restored from the authoritative snapshots, either by the health
+// prober (-probe) or lazily on first touch; a restored shard is
+// bit-identical to the pre-crash state, applied mutations included.
+// Reads route to the replica with the fewest in-flight
+// coordinator-issued requests (load-aware selection), with the tail
+// hedge on top.  Membership is administered at runtime via POST
+// /cluster/join and POST /cluster/leave ({"addr":"http://host:port"})
+// and inspected via GET /cluster/members; joins and leaves rebalance
+// shard placements before answering.
+//
+// # Durable cluster state
+//
+// `consensusctl coordinator -data-dir /var/lib/consensus` makes the
+// registry durable: every registry-changing event (register/unregister,
+// the authoritative snapshot refresh after each acknowledged mutation,
+// membership changes) is written ahead to a length-prefixed,
+// CRC-checksummed log and fsynced before the change is acknowledged,
+// with periodic checkpoint compaction.  A restarted coordinator replays
+// the log, then reconciles against the live fleet — polling each
+// worker's /v1/trees, adopting worker-held trees the log never saw and
+// re-pushing authoritative snapshots where workers lag — and serves the
+// full pre-crash registry byte-identical to an uninterrupted single
+// process.  Each start bumps a persisted fencing epoch stamped on every
+// worker RPC; workers remember the highest epoch seen and reject older
+// stamps with the "fenced" code, so a superseded coordinator (or a
+// second copy started by accident) cannot corrupt any shard.
+//
+// With -heartbeat-timeout the coordinator switches to heartbeat
+// membership: workers self-register on boot and keep beating via POST
+// /cluster/join (`consensusctl worker -coordinator http://host:8080
+// -advertise http://self:8081 -heartbeat 2s`), join/leave become
+// idempotent heartbeats for existing members, and the health prober
+// marks a member dead once a beat is overdue instead of HTTP-probing a
+// static -cluster list — fleets grow without hand-joining.
 //
 // See examples/ for runnable end-to-end programs, README.md for the
 // install/serve quickstart and docs/ARCHITECTURE.md for the request

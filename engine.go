@@ -63,6 +63,10 @@ type (
 	// EngineCompute together.  NewEngineHandler serves any EngineService
 	// over HTTP/JSON with identical wire behavior.
 	EngineService = engine.Service
+	// Fence tracks the highest coordinator fencing epoch a worker has
+	// observed (monotonic max); NewFencedHandler enforces it so a
+	// superseded coordinator cannot mutate the worker's shards.
+	Fence = engine.Fence
 )
 
 // NewEngine builds an engine; the zero EngineOptions selects GOMAXPROCS
@@ -73,6 +77,20 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 // EngineService implementation — Engine.Handler is this applied to the
 // single-process engine.
 func NewEngineHandler(s EngineService) http.Handler { return engine.NewHandler(s) }
+
+// NewFencedHandler guards a worker's HTTP surface with a fencing check:
+// requests stamped (via the FencingHeader header) with an epoch below
+// the highest one f has seen are rejected with CodeFenced, unstamped
+// requests pass untouched.  Wrap a worker's engine handler with this so
+// a restarted coordinator's bumped epoch immediately invalidates its
+// predecessor.
+func NewFencedHandler(inner http.Handler, f *Fence) http.Handler {
+	return engine.FencedHandler(inner, f)
+}
+
+// FencingHeader is the HTTP request header carrying a coordinator's
+// fencing epoch on worker RPCs.
+const FencingHeader = engine.FencingHeader
 
 // ErrorCodes returns every error code the engine can emit, in the order
 // the package documentation's error-code table lists them.
@@ -89,6 +107,7 @@ const (
 	CodeCanceled     = engine.CodeCanceled
 	CodeUnavailable  = engine.CodeUnavailable
 	CodeFailed       = engine.CodeFailed
+	CodeFenced       = engine.CodeFenced
 )
 
 // Request operations served by the engine, covering every consensus query

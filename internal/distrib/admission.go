@@ -1,109 +1,21 @@
 package distrib
 
-import (
-	"sync"
+import "consensus/internal/engine"
 
-	"consensus/internal/engine"
-)
+// Admission control lives in internal/engine since workers grew their
+// own backpressure (engine.Options.AdmissionCapacity): the coordinator
+// and every worker price requests with the same engine.OpCost classes,
+// so a cluster's admission budget means the same thing at both layers.
+// The aliases below keep the coordinator reading naturally.
+type admission = engine.Admission
 
-// Admission cost classes.  The coordinator prices each request by the
-// cost class doc.go's op table assigns its op — the paper's complexity
-// results, quantized to four weights — and sheds load the moment the
-// priced in-flight work would exceed the configured capacity, instead of
-// queueing unboundedly in front of slow NP-hard computations.
 const (
-	// costPrimitive: the Section 3.3 generating-function primitives
-	// (rank-dist, size-dist, membership, world-prob).  One compiled
-	// kernel sweep, or a cache hit.
-	costPrimitive = 1
-	// costFamily: the poly-time consensus family ops (top-k, consensus
-	// worlds, aggregate-mean, SPJ safe plans).  A handful of sweeps plus
-	// a cheap final step.
-	costFamily = 4
-	// costMutation: mutations and evidence conditioning.  Serialized per
-	// tree, patch or recompile the kernel, and repair caches.
-	costMutation = 8
-	// costHard: the NP-hard family ops (ranking-consensus,
-	// clustering-mean, aggregate-median): exact search on small
-	// instances, approximation loops otherwise.
-	costHard = 16
+	costPrimitive = engine.CostPrimitive
+	costFamily    = engine.CostFamily
+	costMutation  = engine.CostMutation
+	costHard      = engine.CostHard
 )
 
-// opCost prices a request op with its admission cost class.
-func opCost(op engine.Op) int {
-	switch op {
-	case engine.OpRankDist, engine.OpSizeDist, engine.OpMembership, engine.OpWorldProb:
-		return costPrimitive
-	case engine.OpMutate, engine.OpCondition:
-		return costMutation
-	case engine.OpRankingConsensus, engine.OpClusteringMean, engine.OpAggregateMedian:
-		return costHard
-	default:
-		return costFamily
-	}
-}
+func newAdmission(capacity int) *admission { return engine.NewAdmission(capacity) }
 
-// admission is a non-blocking cost-weighted admission controller: admit
-// either reserves the request's cost units immediately or refuses, never
-// queues.  A request pricier than the whole capacity is still admitted
-// when the controller is idle, so no op class can be starved forever.
-type admission struct {
-	mu       sync.Mutex
-	capacity int
-	inflight int
-	shed     uint64
-}
-
-func newAdmission(capacity int) *admission {
-	if capacity <= 0 {
-		return nil // disabled: nil receiver admits everything
-	}
-	return &admission{capacity: capacity}
-}
-
-// admit reserves cost units, reporting false (a shed) when the reserve
-// would push in-flight work past capacity.  The caller must release the
-// same cost exactly once after an admit that returned true.
-func (a *admission) admit(cost int) bool {
-	if a == nil {
-		return true
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.inflight > 0 && a.inflight+cost > a.capacity {
-		a.shed++
-		return false
-	}
-	a.inflight += cost
-	return true
-}
-
-// release returns cost units reserved by a successful admit.
-func (a *admission) release(cost int) {
-	if a == nil {
-		return
-	}
-	a.mu.Lock()
-	a.inflight -= cost
-	a.mu.Unlock()
-}
-
-// inFlight reports the currently reserved cost units.
-func (a *admission) inFlight() int {
-	if a == nil {
-		return 0
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.inflight
-}
-
-// sheds reports how many requests have been refused so far.
-func (a *admission) sheds() uint64 {
-	if a == nil {
-		return 0
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.shed
-}
+func opCost(op engine.Op) int { return engine.OpCost(op) }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 
 	"consensus/internal/engine"
 )
@@ -17,8 +19,27 @@ import (
 // branches on Code.Retryable without inspecting transports: connection
 // failures are CodeUnavailable, deadline expiry is CodeTimeout, and
 // non-2xx statuses carry the code the worker put in the error body.
+//
+// When the coordinator runs with a fencing epoch (durable mode), every
+// request it issues is stamped with engine.FencingHeader: workers learn
+// the newest epoch from any request that touches them and reject
+// anything stamped older, so a superseded coordinator cannot mutate (or
+// read) a shard.
 type wireClient struct {
-	hc *http.Client
+	hc    *http.Client
+	fence *atomic.Uint64 // this coordinator's fencing epoch; nil or 0 = unfenced
+}
+
+// stamp attaches the coordinator's fencing epoch to an outgoing worker
+// request.  Unfenced coordinators (no data dir) send nothing, keeping
+// the wire traffic of a non-durable cluster byte-identical to PR 8's.
+func (w *wireClient) stamp(req *http.Request) {
+	if w.fence == nil {
+		return
+	}
+	if e := w.fence.Load(); e > 0 {
+		req.Header.Set(engine.FencingHeader, strconv.FormatUint(e, 10))
+	}
 }
 
 // query posts one request to the worker's /v1/query and decodes the
@@ -80,6 +101,27 @@ func (w *wireClient) health(ctx context.Context, base string) error {
 	return err
 }
 
+// listTrees fetches the worker's registered tree names (the
+// reconciliation poll).
+func (w *wireClient) listTrees(ctx context.Context, base string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/trees", nil)
+	if err != nil {
+		return nil, &engine.Error{Code: engine.CodeBadRequest, Msg: err.Error()}
+	}
+	data, err := w.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var listing struct {
+		Trees []string `json:"trees"`
+	}
+	if err := json.Unmarshal(data, &listing); err != nil {
+		return nil, &engine.Error{Code: engine.CodeUnavailable,
+			Msg: fmt.Sprintf("distrib: worker %s answered undecodable listing: %v", base, err)}
+	}
+	return listing.Trees, nil
+}
+
 // stats fetches the worker's engine statistics.
 func (w *wireClient) stats(ctx context.Context, base string) (engine.Stats, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
@@ -109,6 +151,7 @@ func (w *wireClient) post(ctx context.Context, url string, body []byte) ([]byte,
 // do runs the request and returns the body of a 2xx answer, or a typed
 // error classifying the failure.
 func (w *wireClient) do(req *http.Request) ([]byte, error) {
+	w.stamp(req)
 	resp, err := w.hc.Do(req)
 	if err != nil {
 		code := engine.CodeUnavailable

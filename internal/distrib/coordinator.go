@@ -70,6 +70,21 @@ type Options struct {
 	ProbeInterval time.Duration
 	// Client optionally overrides the HTTP client used for worker RPCs.
 	Client *http.Client
+
+	// DataDir enables durability: registry-changing events (register/
+	// unregister, post-mutation snapshot refreshes, membership changes)
+	// are written ahead to a checksummed log in this directory, startup
+	// replays the log and reconciles against the live workers, and every
+	// start bumps a persisted fencing epoch stamped on all worker RPCs so
+	// a superseded coordinator cannot corrupt shards.  Empty disables
+	// durability (PR 8 behavior: the registry lives in memory only).
+	DataDir string
+	// HeartbeatTimeout switches membership to heartbeat mode: workers
+	// self-register by POSTing /cluster/join periodically, and the health
+	// prober marks a member dead once this long passes without a beat
+	// instead of HTTP-probing a static list.  <= 0 keeps probe mode.
+	// With heartbeat mode the coordinator may start with zero workers.
+	HeartbeatTimeout time.Duration
 }
 
 // Coordinator shards an engine.Service across worker processes: it owns
@@ -91,13 +106,20 @@ type Coordinator struct {
 	hedgeDelay     time.Duration
 	adm            *admission
 
+	// wal is the write-ahead log (nil without Options.DataDir); fence is
+	// this coordinator's fencing epoch, stamped by the wire client on
+	// every worker RPC when > 0.
+	wal              *wal
+	fence            atomic.Uint64
+	heartbeatTimeout time.Duration
+
 	mu      sync.RWMutex
 	members map[string]*member
 	ring    *ring
 	epoch   uint64 // placement epoch: bumped on every membership change
 	shards  map[string]*shard
 
-	rr atomic.Uint64 // read rotation counter (replica load spreading)
+	rr atomic.Uint64 // read rotation tie-breaker (equal-load replica spreading)
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -112,10 +134,15 @@ var (
 
 // member is one worker's routing state.  alive is advisory: dead members
 // are deprioritized and skipped for new attempts, never removed from the
-// placement ring (transient death must not reshuffle placements).
+// placement ring (transient death must not reshuffle placements).  load
+// counts coordinator-issued read attempts currently in flight on the
+// worker (load-aware replica selection); lastBeat is the Unix-nano time
+// of the worker's latest heartbeat (heartbeat membership mode).
 type member struct {
-	addr  string
-	alive atomic.Bool
+	addr     string
+	alive    atomic.Bool
+	load     atomic.Int64
+	lastBeat atomic.Int64
 }
 
 // shard is one registered tree's cluster state.  rw gives the tree the
@@ -131,11 +158,15 @@ type shard struct {
 	keys     int
 	leaves   int
 
-	// snapMu guards snapshot separately from rw: hedged attempts that
-	// lose the race may still consult the snapshot (worker-restore path)
-	// after the winning read returned and released rw.
-	snapMu   sync.Mutex
-	snapshot []byte // authoritative serialized tree, refreshed after every mutation
+	// snapMu guards snapshot (and the mutation epoch it corresponds to)
+	// separately from rw: hedged attempts that lose the race may still
+	// consult the snapshot (worker-restore path) after the winning read
+	// returned and released rw, and WAL compaction captures a consistent
+	// (tree, epoch) pair without taking rw — taking rw there would
+	// deadlock against a mutation holding rw while appending to the log.
+	snapMu    sync.Mutex
+	snapshot  []byte // authoritative serialized tree, refreshed after every mutation
+	snapEpoch uint64 // the mutation epoch snapshot corresponds to
 }
 
 func (s *shard) getSnapshot() []byte {
@@ -144,21 +175,34 @@ func (s *shard) getSnapshot() []byte {
 	return s.snapshot
 }
 
-func (s *shard) setSnapshot(b []byte) {
+// snapshotState returns the authoritative snapshot together with the
+// mutation epoch it was taken at, as one consistent pair.
+func (s *shard) snapshotState() ([]byte, uint64) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshot, s.snapEpoch
+}
+
+func (s *shard) setSnapshot(b []byte, epoch uint64) {
 	s.snapMu.Lock()
 	s.snapshot = b
+	s.snapEpoch = epoch
 	s.snapMu.Unlock()
 }
 
 // New builds a coordinator over the given initial workers.  Workers are
 // assumed alive until a probe or an RPC says otherwise.
+//
+// With Options.DataDir set, New first recovers: it bumps and persists
+// the fencing epoch, replays the write-ahead log into the registry,
+// unions the recovered membership with Options.Workers, and reconciles
+// against the live fleet (adopting worker-held trees the log never saw,
+// then re-pushing authoritative snapshots where workers lag) before any
+// request is served.
 func New(opts Options) (*Coordinator, error) {
 	addrs, err := normalizeAddrs(opts.Workers)
 	if err != nil {
 		return nil, err
-	}
-	if len(addrs) == 0 {
-		return nil, errors.New("distrib: a coordinator needs at least one worker")
 	}
 	replication := opts.Replication
 	if replication <= 0 {
@@ -194,23 +238,63 @@ func New(opts Options) (*Coordinator, error) {
 		hc = &http.Client{}
 	}
 	c := &Coordinator{
-		wc:             wireClient{hc: hc},
-		replication:    replication,
-		vnodes:         opts.VNodes,
-		attemptTimeout: attemptTimeout,
-		retries:        retries,
-		hedgeDelay:     hedge,
-		adm:            newAdmission(capacity),
-		members:        make(map[string]*member, len(addrs)),
-		shards:         make(map[string]*shard),
-		stop:           make(chan struct{}),
+		wc:               wireClient{hc: hc},
+		replication:      replication,
+		vnodes:           opts.VNodes,
+		attemptTimeout:   attemptTimeout,
+		retries:          retries,
+		hedgeDelay:       hedge,
+		adm:              newAdmission(capacity),
+		heartbeatTimeout: opts.HeartbeatTimeout,
+		members:          make(map[string]*member, len(addrs)),
+		shards:           make(map[string]*shard),
+		stop:             make(chan struct{}),
+	}
+	c.wc.fence = &c.fence
+
+	// Durable mode: recover state and bump the fencing epoch before
+	// anything is served or any worker is touched, so every RPC this
+	// incarnation issues already carries the new epoch.
+	st := newDurableState()
+	if opts.DataDir != "" {
+		w, recovered, err := openWAL(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		c.wal = w
+		st = recovered
+		c.fence.Store(st.FencingEpoch + 1)
+		if err := w.append(walRecord{Kind: recFence, Epoch: c.fence.Load()}); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+
+	// Membership is the union of the recovered log and the -cluster flag;
+	// flag workers the log has not seen yet are logged as joins.
+	now := time.Now().UnixNano()
+	for _, addr := range st.sortedMembers() {
+		c.addMemberLocked(addr, now)
 	}
 	for _, addr := range addrs {
-		m := &member{addr: addr}
-		m.alive.Store(true)
-		c.members[addr] = m
+		if _, ok := c.members[addr]; ok {
+			continue
+		}
+		c.addMemberLocked(addr, now)
+		if err := c.wal.append(walRecord{Kind: recJoin, Addr: addr}); err != nil {
+			c.wal.close()
+			return nil, err
+		}
 	}
-	c.ring = buildRing(addrs, c.vnodes)
+	if len(c.members) == 0 && opts.HeartbeatTimeout <= 0 {
+		c.wal.close()
+		return nil, errors.New("distrib: a coordinator needs at least one worker (or heartbeat membership)")
+	}
+	c.ring = buildRing(c.memberAddrs(), c.vnodes)
+	c.restoreShards(st)
+	if c.wal != nil {
+		c.reconcile(context.Background())
+	}
 
 	probe := opts.ProbeInterval
 	if probe == 0 {
@@ -223,12 +307,37 @@ func New(opts Options) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close stops the background health prober.  It does not touch the
-// workers.
+// addMemberLocked inserts a member assumed alive.  Only safe during New
+// (single-threaded) or under c.mu.
+func (c *Coordinator) addMemberLocked(addr string, nowNanos int64) {
+	m := &member{addr: addr}
+	m.alive.Store(true)
+	m.lastBeat.Store(nowNanos)
+	c.members[addr] = m
+}
+
+// memberAddrs returns the member addresses, sorted.  Only safe during
+// New or under c.mu.
+func (c *Coordinator) memberAddrs() []string {
+	addrs := make([]string, 0, len(c.members))
+	for addr := range c.members {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// Close stops the background health prober and closes the write-ahead
+// log.  It does not touch the workers.
 func (c *Coordinator) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
+	c.wal.close()
 }
+
+// FencingEpoch reports this coordinator's fencing epoch (0 when running
+// without a data directory: fencing disabled).
+func (c *Coordinator) FencingEpoch() uint64 { return c.fence.Load() }
 
 func normalizeAddrs(addrs []string) ([]string, error) {
 	seen := make(map[string]bool, len(addrs))
@@ -305,7 +414,7 @@ func (c *Coordinator) Register(name string, t *andxor.Tree) error {
 	sh.epoch = 0
 	sh.keys = len(t.Keys())
 	sh.leaves = t.NumLeaves()
-	sh.setSnapshot(snapshot)
+	sh.setSnapshot(snapshot, 0)
 
 	pushed := 0
 	var lastErr error
@@ -317,17 +426,30 @@ func (c *Coordinator) Register(name string, t *andxor.Tree) error {
 		pushed++
 	}
 	if pushed == 0 {
-		c.mu.Lock()
-		if c.shards[name] == sh {
-			delete(c.shards, name)
-		}
-		c.mu.Unlock()
+		c.dropShard(name, sh)
 		if lastErr == nil {
 			lastErr = errors.New("no replicas")
 		}
 		return fmt.Errorf("distrib: registering %q: no replica accepted the tree: %w", name, lastErr)
 	}
+	// Log the registration before acknowledging it; a registration the
+	// log cannot hold is refused rather than silently volatile.
+	if err := c.wal.append(walRecord{Kind: recRegister, Name: name, Tree: snapshot}); err != nil {
+		c.dropShard(name, sh)
+		return err
+	}
+	c.maybeCompact()
 	return nil
+}
+
+// dropShard removes a shard installed by an in-progress Register that
+// failed past the point of insertion.
+func (c *Coordinator) dropShard(name string, sh *shard) {
+	c.mu.Lock()
+	if c.shards[name] == sh {
+		delete(c.shards, name)
+	}
+	c.mu.Unlock()
 }
 
 // pushSnapshot installs the shard's authoritative snapshot on one worker
@@ -361,6 +483,10 @@ func (c *Coordinator) Unregister(name string) bool {
 		cancel()
 		c.noteOutcome(addr, err)
 	}
+	// Best-effort: a failed append means a restart may resurrect the
+	// name, which reconciliation then re-pushes — annoying, not unsafe.
+	_ = c.wal.append(walRecord{Kind: recUnregister, Name: name})
+	c.maybeCompact()
 	return true
 }
 
@@ -437,11 +563,11 @@ func (c *Coordinator) Query(req engine.Request) engine.Response {
 // codes, one tail-hedged duplicate).
 func (c *Coordinator) QueryContext(ctx context.Context, req engine.Request) engine.Response {
 	cost := opCost(req.Op)
-	if !c.adm.admit(cost) {
+	if !c.adm.Admit(cost) {
 		return failResponse(req, engine.CodeOverloaded,
 			"distrib: admission control shed the request (op %s, cost %d); retry with backoff", req.Op, cost)
 	}
-	defer c.adm.release(cost)
+	defer c.adm.Release(cost)
 
 	if req.Op == engine.OpSPJEval {
 		// SPJ carries its query and tables inline: stateless, any worker.
@@ -517,8 +643,10 @@ func (c *Coordinator) readAnywhere(ctx context.Context, req engine.Request) engi
 	return c.hedged(ctx, req, c.routeOrder(addrs), nil)
 }
 
-// routeOrder rotates the replica list by the read counter (spreading
-// load across replicas) and moves known-dead workers to the back.
+// routeOrder orders replicas for a read: alive before dead, then by
+// in-flight coordinator-issued load ascending (least-loaded first), with
+// the rotation counter breaking ties so equally idle replicas still
+// share traffic instead of the sort always picking the same address.
 func (c *Coordinator) routeOrder(replicas []string) []string {
 	if len(replicas) == 0 {
 		return nil
@@ -530,18 +658,33 @@ func (c *Coordinator) routeOrder(replicas []string) []string {
 	rotated := make([]string, 0, len(replicas))
 	rotated = append(rotated, replicas[shift:]...)
 	rotated = append(rotated, replicas[:shift]...)
-	alive := make([]string, 0, len(rotated))
-	var dead []string
+	type cand struct {
+		addr string
+		dead bool
+		load int64
+	}
+	cands := make([]cand, 0, len(rotated))
 	c.mu.RLock()
 	for _, addr := range rotated {
-		if m, ok := c.members[addr]; ok && !m.alive.Load() {
-			dead = append(dead, addr)
-		} else {
-			alive = append(alive, addr)
+		cd := cand{addr: addr}
+		if m, ok := c.members[addr]; ok {
+			cd.dead = !m.alive.Load()
+			cd.load = m.load.Load()
 		}
+		cands = append(cands, cd)
 	}
 	c.mu.RUnlock()
-	return append(alive, dead...)
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].dead != cands[j].dead {
+			return !cands[i].dead
+		}
+		return cands[i].load < cands[j].load
+	})
+	out := make([]string, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.addr
+	}
+	return out
 }
 
 // hedged runs the read attempt loop: at most retries+1 attempts cycling
@@ -600,6 +743,10 @@ func (c *Coordinator) hedged(ctx context.Context, req engine.Request, order []st
 // coordinator owns has lost its registry (crash, restart): the attempt
 // restores the shard from the authoritative snapshot and re-asks once.
 func (c *Coordinator) attempt(ctx context.Context, addr string, req engine.Request, sh *shard) engine.Response {
+	if m := c.memberOf(addr); m != nil {
+		m.load.Add(1)
+		defer m.load.Add(-1)
+	}
 	actx, cancel := c.attemptCtx(ctx)
 	defer cancel()
 	resp, err := c.wc.query(actx, addr, req)
@@ -662,12 +809,53 @@ func (c *Coordinator) write(ctx context.Context, req engine.Request, sh *shard) 
 			cancel()
 			c.noteOutcome(addr, err)
 			if err == nil {
-				sh.setSnapshot(snap)
+				sh.setSnapshot(snap, sh.epoch)
 				break
 			}
 		}
+		// Write-ahead discipline: the refreshed snapshot is logged before
+		// the mutation is acknowledged, so a coordinator restart replays
+		// exactly the acknowledged history.  An append failure refuses the
+		// ack — the disk, not the worker fleet, is the durability bound.
+		if c.wal != nil {
+			snap, snapEpoch := sh.snapshotState()
+			if err := c.wal.append(walRecord{Kind: recSnapshot, Name: sh.name, Epoch: snapEpoch, Tree: snap}); err != nil {
+				return failResponse(req, engine.CodeUnavailable, "distrib: mutation applied but not durable: %v", err)
+			}
+			c.maybeCompact()
+		}
 	}
 	return *first
+}
+
+// maybeCompact folds the log into a fresh checkpoint once it has grown
+// past the compaction threshold.
+func (c *Coordinator) maybeCompact() {
+	if c.wal == nil || !c.wal.shouldCompact() {
+		return
+	}
+	_ = c.wal.compact(c.buildDurableState)
+}
+
+// buildDurableState captures the full registry as a checkpoint: fencing
+// epoch, membership, and every shard's consistent (tree, epoch) snapshot
+// pair.  Runs under wal.mu (from compact) and must therefore never take
+// a shard's rw lock — mutations hold rw while appending to the log.
+func (c *Coordinator) buildDurableState() durableState {
+	st := newDurableState()
+	st.FencingEpoch = c.fence.Load()
+	c.mu.RLock()
+	st.Members = c.memberAddrs()
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	c.mu.RUnlock()
+	for _, sh := range shards {
+		snap, epoch := sh.snapshotState()
+		st.Shards[sh.name] = durableShard{Epoch: epoch, Tree: snap}
+	}
+	return st
 }
 
 // writeReplica applies the mutation on one replica with bounded retries
@@ -707,9 +895,7 @@ func (c *Coordinator) writeReplica(ctx context.Context, addr string, req engine.
 // unreachability marks the worker dead (the health prober revives it);
 // any successful exchange marks it alive.
 func (c *Coordinator) noteOutcome(addr string, err error) {
-	c.mu.RLock()
-	m := c.members[addr]
-	c.mu.RUnlock()
+	m := c.memberOf(addr)
 	if m == nil {
 		return
 	}
@@ -720,6 +906,13 @@ func (c *Coordinator) noteOutcome(addr string, err error) {
 	if engine.CodeOf(err) == engine.CodeUnavailable {
 		m.alive.Store(false)
 	}
+}
+
+// memberOf looks up a member by address.
+func (c *Coordinator) memberOf(addr string) *member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.members[addr]
 }
 
 // ---------------------------------------------------------------------------
@@ -754,22 +947,38 @@ func (c *Coordinator) PlacementEpoch() uint64 {
 // Join adds a worker to the ring and rebalances: shards whose replica
 // set now includes the worker get the authoritative snapshot pushed,
 // shards that moved away get deleted from their old holders.
+//
+// Join is idempotent, which makes it double as the heartbeat endpoint:
+// a worker that is already a member just refreshes its heartbeat
+// timestamp (and, if it was marked dead, gets its shards restored) — no
+// ring rebuild, no placement-epoch bump, no WAL record.
 func (c *Coordinator) Join(ctx context.Context, addr string) error {
 	n, err := normalizeAddr(addr)
 	if err != nil {
 		return err
 	}
+	now := time.Now().UnixNano()
 	c.mu.Lock()
-	if _, ok := c.members[n]; ok {
+	if m, ok := c.members[n]; ok {
 		c.mu.Unlock()
-		return fmt.Errorf("distrib: worker %s is already a member", n)
+		m.lastBeat.Store(now)
+		if !m.alive.Swap(true) {
+			c.restoreWorker(ctx, n)
+		}
+		return nil
 	}
-	m := &member{addr: n}
-	m.alive.Store(true)
-	c.members[n] = m
+	c.addMemberLocked(n, now)
 	c.rebuildRingLocked()
 	c.mu.Unlock()
+	if err := c.wal.append(walRecord{Kind: recJoin, Addr: n}); err != nil {
+		c.mu.Lock()
+		delete(c.members, n)
+		c.rebuildRingLocked()
+		c.mu.Unlock()
+		return err
+	}
 	c.rebalance(ctx)
+	c.maybeCompact()
 	return nil
 }
 
@@ -789,10 +998,19 @@ func (c *Coordinator) Leave(ctx context.Context, addr string) error {
 		c.mu.Unlock()
 		return errors.New("distrib: cannot remove the last worker")
 	}
+	m := c.members[n]
 	delete(c.members, n)
 	c.rebuildRingLocked()
 	c.mu.Unlock()
+	if err := c.wal.append(walRecord{Kind: recLeave, Addr: n}); err != nil {
+		c.mu.Lock()
+		c.members[n] = m
+		c.rebuildRingLocked()
+		c.mu.Unlock()
+		return err
+	}
 	c.rebalance(ctx)
+	c.maybeCompact()
 	return nil
 }
 
@@ -847,9 +1065,13 @@ func (c *Coordinator) rebalance(ctx context.Context) {
 	}
 }
 
-// ProbeOnce health-probes every member once.  A worker transitioning
-// dead -> alive gets every shard it should hold re-pushed from the
-// authoritative snapshots (restore-on-rejoin).
+// ProbeOnce drives one liveness pass.  In heartbeat mode (Options.
+// HeartbeatTimeout > 0) it marks members dead once a heartbeat is
+// overdue — dead -> alive transitions happen on the heartbeat itself
+// (Join), which restores the worker's shards.  In probe mode it
+// HTTP-probes every member; a worker transitioning dead -> alive gets
+// every shard it should hold re-pushed from the authoritative snapshots
+// (restore-on-rejoin).
 func (c *Coordinator) ProbeOnce(ctx context.Context) {
 	c.mu.RLock()
 	members := make([]*member, 0, len(c.members))
@@ -857,6 +1079,15 @@ func (c *Coordinator) ProbeOnce(ctx context.Context) {
 		members = append(members, m)
 	}
 	c.mu.RUnlock()
+	if c.heartbeatTimeout > 0 {
+		cutoff := time.Now().Add(-c.heartbeatTimeout).UnixNano()
+		for _, m := range members {
+			if m.lastBeat.Load() < cutoff {
+				m.alive.Store(false)
+			}
+		}
+		return
+	}
 	for _, m := range members {
 		actx, cancel := c.attemptCtx(ctx)
 		err := c.wc.health(actx, m.addr)

@@ -15,13 +15,15 @@ import (
 	"consensus/internal/workload"
 )
 
-// startWorkers boots n plain single-process engine servers — the worker
-// role is nothing more than engine.NewHandler over an Engine.
+// startWorkers boots n single-process engine servers — the worker role
+// is nothing more than engine.NewHandler over an Engine, wrapped with
+// the fencing check exactly as `consensusctl worker` wraps it (unstamped
+// requests pass untouched, so non-durable tests never notice).
 func startWorkers(t *testing.T, n int) []*httptest.Server {
 	t.Helper()
 	out := make([]*httptest.Server, n)
 	for i := range out {
-		srv := httptest.NewServer(engine.New(engine.Options{}).Handler())
+		srv := httptest.NewServer(engine.FencedHandler(engine.New(engine.Options{}).Handler(), &engine.Fence{}))
 		t.Cleanup(srv.Close)
 		out[i] = srv
 	}

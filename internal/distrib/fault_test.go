@@ -234,7 +234,7 @@ func TestAdmissionShedsUnderOverload(t *testing.T) {
 	// probing — a probe that wins the admission race would become the
 	// wedge itself.
 	deadline := time.Now().Add(time.Second)
-	for c.adm.inFlight() == 0 {
+	for c.adm.InFlight() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("wedged query never reserved the admission budget")
 		}

@@ -1,0 +1,398 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"consensus/internal/andxor"
+	"consensus/internal/engine"
+	"consensus/internal/workload"
+)
+
+// TestCoordinatorRestartFromWAL is the tentpole acceptance check for
+// durability: a coordinator killed and restarted from its data directory
+// serves the full pre-crash registry — registrations, applied mutations,
+// listings, downloads — byte-identical to an uninterrupted
+// single-process engine fed the same history.
+func TestCoordinatorRestartFromWAL(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	indep, err := json.Marshal(workload.Independent(rng, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := json.Marshal(workload.Labeled(rng, 7, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := httptest.NewServer(engine.New(engine.Options{}).Handler())
+	defer single.Close()
+	workers := startWorkers(t, 3)
+	dir := t.TempDir()
+
+	// First incarnation: register, mutate, serve.
+	c1 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	front1 := httptest.NewServer(c1.Handler())
+	hc := front1.Client()
+	for _, reg := range []struct {
+		name string
+		body []byte
+	}{{"indep", indep}, {"labeled", labeled}} {
+		s1, b1 := put(t, hc, single.URL+"/v1/trees/"+reg.name, reg.body)
+		s2, b2 := put(t, hc, front1.URL+"/v1/trees/"+reg.name, reg.body)
+		if s1 != 200 || s2 != 200 || !bytes.Equal(b1, b2) {
+			t.Fatalf("register %s: (%d) %s vs (%d) %s", reg.name, s1, b1, s2, b2)
+		}
+	}
+	mutation := `{"tree":"indep","op":"condition","evidence":{"kind":"absent","key":"t3"}}`
+	s1, b1 := post(t, hc, single.URL+"/v1/query", mutation)
+	s2, b2 := post(t, hc, front1.URL+"/v1/query", mutation)
+	if s1 != s2 || !bytes.Equal(b1, b2) {
+		t.Fatalf("pre-crash mutation diverged: (%d) %s vs (%d) %s", s1, b1, s2, b2)
+	}
+
+	// Kill the coordinator.  The workers keep running; the data dir is
+	// all the next incarnation gets.
+	front1.Close()
+	c1.Close()
+
+	c2 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	front2 := httptest.NewServer(c2.Handler())
+	defer front2.Close()
+	if c2.FencingEpoch() <= c1.FencingEpoch() {
+		t.Fatalf("restart did not bump the fencing epoch: %d -> %d", c1.FencingEpoch(), c2.FencingEpoch())
+	}
+
+	both := func(path, body, label string) {
+		t.Helper()
+		var s1, s2 int
+		var b1, b2 []byte
+		if body == "" {
+			s1, b1 = get(t, hc, single.URL+path)
+			s2, b2 = get(t, hc, front2.URL+path)
+		} else {
+			s1, b1 = post(t, hc, single.URL+path, body)
+			s2, b2 = post(t, hc, front2.URL+path, body)
+		}
+		if s1 != s2 || !bytes.Equal(b1, b2) {
+			t.Errorf("%s after restart: single (%d) %s vs recovered (%d) %s", label, s1, b1, s2, b2)
+		}
+	}
+	for _, req := range sixFamilyRequests {
+		both("/v1/query", req, req)
+	}
+	both("/v1/query", `{"tree":"indep","op":"rank-dist","k":2}`, "post-mutation rank-dist")
+	both("/v1/trees", "", "tree listing")
+	both("/v1/trees/indep", "", "indep download (mutated)")
+	both("/v1/trees/labeled", "", "labeled download")
+	both("/v1/batch", `{"requests":[{"tree":"indep","op":"size-dist"},{"tree":"labeled","op":"membership"},{"tree":"ghost","op":"size-dist"}]}`, "batch")
+
+	// Life goes on: a mutation after recovery reports the same epoch the
+	// uninterrupted single process reports (the WAL preserved the count).
+	both("/v1/query", `{"tree":"indep","op":"condition","evidence":{"kind":"absent","key":"t5"}}`, "post-restart mutation")
+	both("/v1/query", `{"tree":"indep","op":"topk-mean","k":3}`, "post-restart topk")
+}
+
+// TestCoordinatorKillMidMutationFanout pins the reconciliation rollback:
+// a coordinator that dies after a mutation reached one replica but
+// before the fan-out completed (and before the WAL acknowledged it)
+// restarts into the last acknowledged state — the half-applied replica
+// is rolled back, and the cluster answers byte-identical to a
+// single-process engine that never saw the unacknowledged mutation.
+func TestCoordinatorKillMidMutationFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tree, err := json.Marshal(workload.Independent(rng, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(engine.New(engine.Options{}).Handler())
+	defer single.Close()
+	workers := startWorkers(t, 3)
+	dir := t.TempDir()
+
+	c1 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	hc := single.Client()
+	s1, _ := put(t, hc, single.URL+"/v1/trees/db", tree)
+	if s1 != 200 {
+		t.Fatal("single-process registration failed")
+	}
+	if err := c1.Register("db", mustTree(t, tree)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn fan-out: apply the mutation directly on ONE
+	// replica worker, exactly the state a coordinator crash between the
+	// first replica ack and the WAL append leaves behind.
+	var holder *httptest.Server
+	for _, w := range workers {
+		status, _ := get(t, w.Client(), w.URL+"/v1/trees/db")
+		if status == 200 {
+			holder = w
+			break
+		}
+	}
+	if holder == nil {
+		t.Fatal("no worker holds the shard")
+	}
+	status, body := post(t, holder.Client(), holder.URL+"/v1/query",
+		`{"tree":"db","op":"condition","evidence":{"kind":"absent","key":"t2"}}`)
+	if status != 200 || !strings.Contains(string(body), `"epoch":1`) {
+		t.Fatalf("direct worker mutation failed: (%d) %s", status, body)
+	}
+	c1.Close() // crash: the mutation was never acknowledged, never logged
+
+	c2 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	front := httptest.NewServer(c2.Handler())
+	defer front.Close()
+
+	// Every query — including ones that would land on the half-mutated
+	// replica — answers like the single process that never mutated.
+	for _, req := range []string{
+		`{"tree":"db","op":"topk-mean","k":3}`,
+		`{"tree":"db","op":"rank-dist","k":2}`,
+		`{"tree":"db","op":"membership"}`,
+	} {
+		sS, bS := post(t, hc, single.URL+"/v1/query", req)
+		// Ask enough times to cycle through every replica.
+		for i := 0; i < 6; i++ {
+			sC, bC := post(t, hc, front.URL+"/v1/query", req)
+			if sS != sC || !bytes.Equal(bS, bC) {
+				t.Fatalf("%s: recovered cluster diverged on ask %d:\n single:  %s\n cluster: %s", req, i, bS, bC)
+			}
+		}
+	}
+	// The half-applied replica itself was rolled back to the
+	// authoritative snapshot.
+	_, held := get(t, holder.Client(), holder.URL+"/v1/trees/db")
+	_, want := get(t, hc, single.URL+"/v1/trees/db")
+	if !bytes.Equal(held, want) {
+		t.Fatalf("half-mutated replica was not rolled back:\n held: %s\n want: %s", held, want)
+	}
+}
+
+// TestStaleCoordinatorFenced pins the fencing acceptance criterion: once
+// a successor coordinator has started from the same data directory, the
+// predecessor's writes are rejected by every worker with the typed
+// "fenced" code and cannot mutate any shard.
+func TestStaleCoordinatorFenced(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	workers := startWorkers(t, 3)
+	dir := t.TempDir()
+
+	c1 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	if err := c1.Register("db", workload.Independent(rng, 8)); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string][]byte)
+	for _, w := range workers {
+		_, body := get(t, w.Client(), w.URL+"/v1/trees/db")
+		before[w.URL] = body
+	}
+
+	// The operator accident: a second coordinator starts from the same
+	// data dir while the first is still running.  Its startup fence +
+	// reconciliation teaches every worker the higher epoch.
+	c2 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	if c2.FencingEpoch() != c1.FencingEpoch()+1 {
+		t.Fatalf("successor fencing epoch %d, want %d", c2.FencingEpoch(), c1.FencingEpoch()+1)
+	}
+
+	// The stale coordinator's mutation must be refused...
+	resp := c1.Query(engine.Request{Tree: "db", Op: engine.OpCondition,
+		Evidence: &engine.EvidenceRequest{Kind: "absent", Key: "t1"}})
+	if resp.Code != engine.CodeFenced {
+		t.Fatalf("stale coordinator's write answered code %q (%s), want fenced", resp.Code, resp.Error)
+	}
+	if resp.Code.Retryable() {
+		t.Fatal("fenced must not be retryable: the stale coordinator must stand down, not try another replica")
+	}
+	// ...and no worker shard may have changed.
+	for _, w := range workers {
+		_, body := get(t, w.Client(), w.URL+"/v1/trees/db")
+		if !bytes.Equal(body, before[w.URL]) {
+			t.Fatalf("stale coordinator mutated worker %s", w.URL)
+		}
+	}
+	// Stale reads are refused too: a fenced-out coordinator serves
+	// nothing stamped.
+	if r := c1.Query(engine.Request{Tree: "db", Op: engine.OpSizeDist}); r.Code != engine.CodeFenced {
+		t.Fatalf("stale coordinator's read answered code %q, want fenced", r.Code)
+	}
+	// The successor works.
+	if r := c2.Query(engine.Request{Tree: "db", Op: engine.OpCondition,
+		Evidence: &engine.EvidenceRequest{Kind: "absent", Key: "t1"}}); !r.Ok() {
+		t.Fatalf("successor's write failed: %s (%s)", r.Error, r.Code)
+	}
+}
+
+// TestColdStartAdoption pins the other reconciliation direction: a
+// coordinator starting with an empty data directory against a fleet
+// already holding trees adopts them — they list, serve, and are durable
+// from then on.
+func TestColdStartAdoption(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	workers := startWorkers(t, 3)
+
+	// Seed the fleet through a memory-only coordinator, then lose it.
+	c0 := newTestCoordinator(t, workers, Options{})
+	if err := c0.Register("adopted", workload.Independent(rng, 8)); err != nil {
+		t.Fatal(err)
+	}
+	wantResp := c0.Query(engine.Request{Tree: "adopted", Op: engine.OpTopKMean, K: 3})
+	if !wantResp.Ok() {
+		t.Fatal(wantResp.Error)
+	}
+	c0.Close()
+
+	dir := t.TempDir()
+	c1 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	trees := c1.Trees()
+	if len(trees) != 1 || trees[0] != "adopted" {
+		t.Fatalf("cold start adopted %v, want [adopted]", trees)
+	}
+	got := c1.Query(engine.Request{Tree: "adopted", Op: engine.OpTopKMean, K: 3})
+	if !got.Ok() || !equalJSON(t, wantResp, got) {
+		t.Fatalf("adopted tree answers differently: %+v vs %+v", wantResp, got)
+	}
+	c1.Close()
+
+	// Adoption was logged: a second restart still has the tree, even if
+	// every worker were wiped in between (the WAL is now authoritative).
+	c2 := newTestCoordinator(t, workers, Options{DataDir: dir})
+	if trees := c2.Trees(); len(trees) != 1 || trees[0] != "adopted" {
+		t.Fatalf("adoption was not durable: %v", trees)
+	}
+}
+
+// TestHeartbeatMembership pins heartbeat mode: workers self-register via
+// Join, a missed heartbeat marks them dead, and a returning beat revives
+// and restores them.
+func TestHeartbeatMembership(t *testing.T) {
+	workers := startWorkers(t, 2)
+	c, err := New(Options{
+		HeartbeatTimeout: 50 * time.Millisecond,
+		ProbeInterval:    -1, // the test drives ProbeOnce explicitly
+	})
+	if err != nil {
+		t.Fatalf("heartbeat coordinator must start with zero workers: %v", err)
+	}
+	t.Cleanup(c.Close)
+
+	// Boot-time self-registration.
+	for _, w := range workers {
+		if err := c.Join(context.Background(), w.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(c.Members()); got != 2 {
+		t.Fatalf("%d members after self-registration, want 2", got)
+	}
+	rng := rand.New(rand.NewSource(39))
+	if err := c.Register("db", workload.Independent(rng, 6)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A repeated join is a heartbeat: idempotent, no placement bump.
+	epoch := c.PlacementEpoch()
+	if err := c.Join(context.Background(), workers[0].URL); err != nil {
+		t.Fatalf("heartbeat join errored: %v", err)
+	}
+	if c.PlacementEpoch() != epoch {
+		t.Fatal("heartbeat join bumped the placement epoch")
+	}
+
+	// Silence marks members dead; the prober never dials anyone.
+	time.Sleep(80 * time.Millisecond)
+	c.ProbeOnce(context.Background())
+	for _, m := range c.Members() {
+		if m.Alive {
+			t.Fatalf("member %s still alive after missed heartbeats", m.Addr)
+		}
+	}
+
+	// A returning beat revives (and would restore a wiped worker).
+	if err := c.Join(context.Background(), workers[0].URL); err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeOnce(context.Background())
+	alive := 0
+	for _, m := range c.Members() {
+		if m.Alive {
+			alive++
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("%d members alive after one heartbeat returned, want 1", alive)
+	}
+	// The shard still serves through the revived worker.
+	if resp := c.Query(engine.Request{Tree: "db", Op: engine.OpSizeDist}); !resp.Ok() {
+		t.Fatalf("query after heartbeat revival failed: %s (%s)", resp.Error, resp.Code)
+	}
+}
+
+// TestLoadAwareRouteOrder pins load-aware replica selection: alive
+// replicas sort before dead ones, least in-flight load first, and the
+// rotation still spreads ties.
+func TestLoadAwareRouteOrder(t *testing.T) {
+	workers := startWorkers(t, 3)
+	c := newTestCoordinator(t, workers, Options{})
+	addrs := addrsOf(workers)
+
+	c.memberOf(addrs[0]).load.Store(5)
+	c.memberOf(addrs[1]).load.Store(0)
+	c.memberOf(addrs[2]).load.Store(2)
+	order := c.routeOrder(addrs)
+	if order[0] != addrs[1] || order[1] != addrs[2] || order[2] != addrs[0] {
+		t.Fatalf("routeOrder = %v, want least-loaded first [%s %s %s]", order, addrs[1], addrs[2], addrs[0])
+	}
+
+	// Dead replicas go last no matter how idle.
+	c.memberOf(addrs[1]).alive.Store(false)
+	order = c.routeOrder(addrs)
+	if order[len(order)-1] != addrs[1] {
+		t.Fatalf("routeOrder = %v, want dead replica %s last", order, addrs[1])
+	}
+	c.memberOf(addrs[1]).alive.Store(true)
+
+	// Equal loads: the rotation must not always lead with one address.
+	for _, a := range addrs {
+		c.memberOf(a).load.Store(0)
+	}
+	leads := make(map[string]bool)
+	for i := 0; i < 12; i++ {
+		leads[c.routeOrder(addrs)[0]] = true
+	}
+	if len(leads) < 2 {
+		t.Fatalf("rotation stopped spreading equal-load replicas: leads %v", leads)
+	}
+}
+
+// mustTree parses serialized tree JSON.
+func mustTree(t *testing.T, data []byte) *andxor.Tree {
+	t.Helper()
+	tr, err := andxor.UnmarshalTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// equalJSON compares two responses through their JSON encoding.
+func equalJSON(t *testing.T, a, b engine.Response) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Equal(ja, jb)
+}

@@ -1,0 +1,314 @@
+package distrib
+
+// Write-ahead log.  A coordinator started with a data directory records
+// every registry-changing event — tree register/unregister, the snapshot
+// refresh after each acknowledged mutation, membership joins/leaves, and
+// fencing-epoch bumps — as length-prefixed, CRC-checksummed records
+// appended (and fsynced) to wal.log before the change is acknowledged.
+// A checkpoint file (checkpoint.json, written atomically via
+// tmp+rename) periodically compacts the log: the checkpoint holds the
+// full durable state, the log holds only what happened since, and
+// replaying checkpoint-then-log reconstructs the registry exactly.
+//
+// The record framing is deliberately dumb:
+//
+//	[4 bytes LE payload length][4 bytes LE IEEE CRC-32 of payload][payload]
+//
+// with a JSON walRecord as payload.  Replay stops at the first record
+// whose frame is short, oversized or fails its checksum — a torn tail
+// from a crash mid-append loses at most the unacknowledged suffix, and
+// the open path truncates the file back to the last valid record so the
+// log never accretes garbage.  FuzzWALReplay pins that no byte string
+// can panic the replayer.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// crc32IEEE is the record checksum (IEEE CRC-32, the encoding/gzip
+// polynomial — ubiquitous and plenty for torn-tail detection).
+func crc32IEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// WAL record kinds, in the order a fresh log typically sees them.
+const (
+	recFence      = "fence"      // Epoch: new coordinator fencing epoch
+	recJoin       = "join"       // Addr: worker added to the membership
+	recLeave      = "leave"      // Addr: worker removed
+	recRegister   = "register"   // Name, Tree: tree registered (epoch resets to 0)
+	recSnapshot   = "snapshot"   // Name, Epoch, Tree: post-mutation authoritative snapshot
+	recUnregister = "unregister" // Name: tree unregistered
+)
+
+// walRecord is one durable registry event.
+type walRecord struct {
+	Kind  string          `json:"kind"`
+	Addr  string          `json:"addr,omitempty"`
+	Name  string          `json:"name,omitempty"`
+	Epoch uint64          `json:"epoch,omitempty"`
+	Tree  json.RawMessage `json:"tree,omitempty"`
+}
+
+// durableShard is one tree's durable state: the authoritative serialized
+// tree and the mutation epoch it corresponds to.
+type durableShard struct {
+	Epoch uint64          `json:"epoch"`
+	Tree  json.RawMessage `json:"tree"`
+}
+
+// durableState is everything a coordinator restart needs: the highest
+// fencing epoch ever persisted, the membership, and every shard's
+// authoritative snapshot.  It is both the checkpoint file's schema and
+// the result of replaying the log.
+type durableState struct {
+	FencingEpoch uint64                  `json:"fencing_epoch"`
+	Members      []string                `json:"members"`
+	Shards       map[string]durableShard `json:"shards"`
+}
+
+func newDurableState() durableState {
+	return durableState{Shards: make(map[string]durableShard)}
+}
+
+// apply folds one replayed record into the state.  Unknown kinds are
+// ignored (forward compatibility: an older binary replaying a newer log
+// skips what it does not understand rather than refusing to start).
+func (st *durableState) apply(rec walRecord) {
+	switch rec.Kind {
+	case recFence:
+		if rec.Epoch > st.FencingEpoch {
+			st.FencingEpoch = rec.Epoch
+		}
+	case recJoin:
+		for _, a := range st.Members {
+			if a == rec.Addr {
+				return
+			}
+		}
+		st.Members = append(st.Members, rec.Addr)
+	case recLeave:
+		for i, a := range st.Members {
+			if a == rec.Addr {
+				st.Members = append(st.Members[:i], st.Members[i+1:]...)
+				return
+			}
+		}
+	case recRegister:
+		st.Shards[rec.Name] = durableShard{Epoch: 0, Tree: rec.Tree}
+	case recSnapshot:
+		st.Shards[rec.Name] = durableShard{Epoch: rec.Epoch, Tree: rec.Tree}
+	case recUnregister:
+		delete(st.Shards, rec.Name)
+	}
+}
+
+const (
+	walLogName        = "wal.log"
+	walCheckpointName = "checkpoint.json"
+
+	// walHeaderBytes frames each record: payload length + CRC-32.
+	walHeaderBytes = 8
+	// maxWALRecordBytes caps one record's payload; the largest legitimate
+	// record is a snapshot of a maximally sized tree (the HTTP surface
+	// caps registrations at 64 MiB), so anything bigger is corruption.
+	maxWALRecordBytes = 80 << 20
+	// defaultCompactBytes triggers checkpoint compaction once the log
+	// grows past this size.
+	defaultCompactBytes = 16 << 20
+)
+
+// encodeRecord frames a payload for the log.
+func encodeRecord(payload []byte) []byte {
+	out := make([]byte, walHeaderBytes+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32IEEE(payload))
+	copy(out[walHeaderBytes:], payload)
+	return out
+}
+
+// replayRecords decodes the valid prefix of a log image: the decoded
+// records plus the byte offset the valid prefix ends at.  It never
+// fails — a short, oversized or checksum-failing frame simply ends the
+// replay there (a crash mid-append leaves exactly such a tail).
+func replayRecords(data []byte) (recs []walRecord, valid int) {
+	off := 0
+	for {
+		if len(data)-off < walHeaderBytes {
+			return recs, off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxWALRecordBytes || len(data)-off-walHeaderBytes < n {
+			return recs, off
+		}
+		payload := data[off+walHeaderBytes : off+walHeaderBytes+n]
+		if crc32IEEE(payload) != sum {
+			return recs, off
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += walHeaderBytes + n
+	}
+}
+
+// wal is the open log of one data directory.  All appends and the
+// compaction hold mu, so a checkpoint never loses a concurrent append.
+type wal struct {
+	mu           sync.Mutex
+	dir          string
+	f            *os.File
+	size         int64
+	compactBytes int64
+}
+
+// openWAL opens (creating if needed) the data directory, loads the
+// checkpoint, replays the log's valid prefix on top of it, truncates any
+// torn tail, and returns the log positioned for appending plus the
+// recovered state.
+func openWAL(dir string) (*wal, durableState, error) {
+	st := newDurableState()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, st, fmt.Errorf("distrib: creating data dir: %w", err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, walCheckpointName)); err == nil {
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, st, fmt.Errorf("distrib: corrupt checkpoint %s: %w", walCheckpointName, err)
+		}
+		if st.Shards == nil {
+			st.Shards = make(map[string]durableShard)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, st, fmt.Errorf("distrib: reading checkpoint: %w", err)
+	}
+
+	logPath := filepath.Join(dir, walLogName)
+	data, err := os.ReadFile(logPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, st, fmt.Errorf("distrib: reading %s: %w", walLogName, err)
+	}
+	recs, valid := replayRecords(data)
+	for _, rec := range recs {
+		st.apply(rec)
+	}
+
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, st, fmt.Errorf("distrib: opening %s: %w", walLogName, err)
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, st, fmt.Errorf("distrib: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, st, fmt.Errorf("distrib: seeking log end: %w", err)
+	}
+	return &wal{dir: dir, f: f, size: int64(valid), compactBytes: defaultCompactBytes}, st, nil
+}
+
+func (w *wal) close() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = w.f.Close()
+}
+
+// append marshals, frames, writes and fsyncs one record.  The record is
+// durable when append returns; callers append before acknowledging the
+// change the record describes.
+func (w *wal) append(rec walRecord) error {
+	if w == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding WAL record: %w", err)
+	}
+	frame := encodeRecord(payload)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("distrib: appending WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("distrib: syncing WAL: %w", err)
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// shouldCompact reports whether the log has outgrown the compaction
+// threshold.
+func (w *wal) shouldCompact() bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size > w.compactBytes
+}
+
+// compact writes the state build produces as the new checkpoint
+// (atomically, via tmp+rename) and resets the log.  build runs under the
+// log mutex, so no append can land between the state capture and the log
+// reset — a record appended after compact returns is correctly "newer
+// than the checkpoint".
+func (w *wal) compact(build func() durableState) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := build()
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding checkpoint: %w", err)
+	}
+	tmp := filepath.Join(w.dir, walCheckpointName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("distrib: creating checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, walCheckpointName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("distrib: installing checkpoint: %w", err)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("distrib: resetting log: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("distrib: rewinding log: %w", err)
+	}
+	w.size = 0
+	return nil
+}
+
+// sortedMembers returns the state's member list sorted (checkpoints and
+// tests want a deterministic order).
+func (st *durableState) sortedMembers() []string {
+	out := append([]string(nil), st.Members...)
+	sort.Strings(out)
+	return out
+}

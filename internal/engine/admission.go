@@ -1,0 +1,109 @@
+package engine
+
+import "sync"
+
+// Admission cost classes.  Both the engine (worker-side backpressure)
+// and the distributed coordinator price each request by the cost class
+// doc.go's op table assigns its op — the paper's complexity results,
+// quantized to four weights — and shed load the moment the priced
+// in-flight work would exceed the configured capacity, instead of
+// queueing unboundedly in front of slow NP-hard computations.
+const (
+	// CostPrimitive: the Section 3.3 generating-function primitives
+	// (rank-dist, size-dist, membership, world-prob).  One compiled
+	// kernel sweep, or a cache hit.
+	CostPrimitive = 1
+	// CostFamily: the poly-time consensus family ops (top-k, consensus
+	// worlds, aggregate-mean, SPJ safe plans).  A handful of sweeps plus
+	// a cheap final step.
+	CostFamily = 4
+	// CostMutation: mutations and evidence conditioning.  Serialized per
+	// tree, patch or recompile the kernel, and repair caches.
+	CostMutation = 8
+	// CostHard: the NP-hard family ops (ranking-consensus,
+	// clustering-mean, aggregate-median): exact search on small
+	// instances, approximation loops otherwise.
+	CostHard = 16
+)
+
+// OpCost prices a request op with its admission cost class.
+func OpCost(op Op) int {
+	switch op {
+	case OpRankDist, OpSizeDist, OpMembership, OpWorldProb:
+		return CostPrimitive
+	case OpMutate, OpCondition:
+		return CostMutation
+	case OpRankingConsensus, OpClusteringMean, OpAggregateMedian:
+		return CostHard
+	default:
+		return CostFamily
+	}
+}
+
+// Admission is a non-blocking cost-weighted admission controller: Admit
+// either reserves the request's cost units immediately or refuses, never
+// queues.  A request pricier than the whole capacity is still admitted
+// when the controller is idle, so no op class can be starved forever.
+type Admission struct {
+	mu       sync.Mutex
+	capacity int
+	inflight int
+	shed     uint64
+}
+
+// NewAdmission builds a controller with the given capacity in cost
+// units.  A capacity <= 0 returns nil: the nil controller admits
+// everything (backpressure disabled).
+func NewAdmission(capacity int) *Admission {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Admission{capacity: capacity}
+}
+
+// Admit reserves cost units, reporting false (a shed) when the reserve
+// would push in-flight work past capacity.  The caller must Release the
+// same cost exactly once after an Admit that returned true.
+func (a *Admission) Admit(cost int) bool {
+	if a == nil {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight > 0 && a.inflight+cost > a.capacity {
+		a.shed++
+		return false
+	}
+	a.inflight += cost
+	return true
+}
+
+// Release returns cost units reserved by a successful Admit.
+func (a *Admission) Release(cost int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.inflight -= cost
+	a.mu.Unlock()
+}
+
+// InFlight reports the currently reserved cost units.
+func (a *Admission) InFlight() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Sheds reports how many requests have been refused so far.
+func (a *Admission) Sheds() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shed
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"consensus/internal/workload"
+)
+
+// TestOpCostClasses pins the pricing to doc.go's complexity column: the
+// generating-function primitives are cheapest, the NP-hard families
+// dearest, and every engine op has a class.
+func TestOpCostClasses(t *testing.T) {
+	want := map[Op]int{
+		OpRankDist:           CostPrimitive,
+		OpSizeDist:           CostPrimitive,
+		OpMembership:         CostPrimitive,
+		OpWorldProb:          CostPrimitive,
+		OpTopKMean:           CostFamily,
+		OpTopKMedian:         CostFamily,
+		OpMeanWorld:          CostFamily,
+		OpMedianWorld:        CostFamily,
+		OpMeanWorldJaccard:   CostFamily,
+		OpMedianWorldJaccard: CostFamily,
+		OpAggregateMean:      CostFamily,
+		OpSPJEval:            CostFamily,
+		OpRankingConsensus:   CostHard,
+		OpClusteringMean:     CostHard,
+		OpAggregateMedian:    CostHard,
+		OpMutate:             CostMutation,
+		OpCondition:          CostMutation,
+	}
+	for _, op := range Ops() {
+		w, ok := want[op]
+		if !ok {
+			t.Errorf("op %s has no pinned cost class; classify it", op)
+			continue
+		}
+		if got := OpCost(op); got != w {
+			t.Errorf("OpCost(%s) = %d, want %d", op, got, w)
+		}
+	}
+}
+
+// TestAdmissionControl pins the controller's contract: non-blocking,
+// capacity-bounded, never starving an op pricier than the capacity.
+func TestAdmissionControl(t *testing.T) {
+	a := NewAdmission(10)
+	if !a.Admit(8) {
+		t.Fatal("first admit within capacity refused")
+	}
+	if a.Admit(4) {
+		t.Fatal("admit past capacity accepted")
+	}
+	if a.Sheds() != 1 {
+		t.Fatalf("sheds = %d, want 1", a.Sheds())
+	}
+	if !a.Admit(2) {
+		t.Fatal("admit filling exactly to capacity refused")
+	}
+	a.Release(8)
+	a.Release(2)
+
+	// An op pricier than the whole capacity still runs when idle.
+	if !a.Admit(16) {
+		t.Fatal("over-capacity op refused on an idle controller")
+	}
+	if a.Admit(1) {
+		t.Fatal("admit alongside an over-capacity op accepted")
+	}
+	a.Release(16)
+	if !a.Admit(1) {
+		t.Fatal("admit after release refused")
+	}
+	a.Release(1)
+
+	// Disabled controller admits everything.
+	var off *Admission
+	if !off.Admit(1 << 30) {
+		t.Fatal("disabled controller refused")
+	}
+	off.Release(1 << 30)
+}
+
+// TestEngineBackpressure pins worker-side shedding: with an admission
+// capacity and the pool wedged by in-flight work, excess requests come
+// back overloaded (retryable) instead of queueing, and capacity frees up
+// once the in-flight work finishes.
+func TestEngineBackpressure(t *testing.T) {
+	e := New(Options{Workers: 1, AdmissionCapacity: CostFamily})
+	seedTestTree(t, e, "db")
+
+	// Wedge the budget: a family op holds the whole capacity via a slow
+	// query running on the single pool worker.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.adm.Admit(CostFamily) // stand in for a long-running family op
+		close(started)
+		<-release
+		e.adm.Release(CostFamily)
+	}()
+	<-started
+
+	resp := e.Query(Request{Tree: "db", Op: OpTopKMean, K: 1})
+	if resp.Code != CodeOverloaded {
+		t.Fatalf("wedged engine answered %q (code %q), want overloaded", resp.Error, resp.Code)
+	}
+	if !resp.Code.Retryable() {
+		t.Fatal("overloaded must be retryable so the coordinator moves to a replica")
+	}
+	close(release)
+	wg.Wait()
+
+	resp = e.Query(Request{Tree: "db", Op: OpTopKMean, K: 1})
+	if !resp.Ok() {
+		t.Fatalf("post-release query failed: %s (%s)", resp.Error, resp.Code)
+	}
+
+	// Disabled backpressure (capacity 0) admits bursts far past any
+	// budget.
+	e2 := New(Options{AdmissionCapacity: 0})
+	seedTestTree(t, e2, "db")
+	for i := 0; i < 50; i++ {
+		if resp := e2.Query(Request{Tree: "db", Op: OpRankDist, K: 1}); !resp.Ok() {
+			t.Fatalf("unthrottled engine shed request %d: %s", i, resp.Error)
+		}
+	}
+}
+
+// seedTestTree registers a small independent tree.
+func seedTestTree(t *testing.T, e *Engine, name string) {
+	t.Helper()
+	if err := e.Register(name, workload.Independent(rand.New(rand.NewSource(21)), 6)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -64,6 +64,14 @@ type Options struct {
 	// to approx.DefaultEpsilon / approx.DefaultDelta.
 	DefaultEpsilon float64
 	DefaultDelta   float64
+
+	// AdmissionCapacity enables worker-side backpressure: requests are
+	// priced by OpCost and shed with CodeOverloaded the moment the priced
+	// in-flight work would exceed this capacity, instead of queueing in
+	// front of the worker pool.  <= 0 disables shedding (requests queue
+	// on the pool as before).  The distributed coordinator treats
+	// overloaded as retryable, so a hot worker sheds onto its replicas.
+	AdmissionCapacity int
 }
 
 // Engine is a concurrent consensus-query service over named trees.  All
@@ -75,6 +83,7 @@ type Engine struct {
 
 	cache       *cache
 	sem         chan struct{}
+	adm         *Admission
 	rankWorkers int
 
 	defaultMode    string
@@ -183,6 +192,7 @@ func New(opts Options) *Engine {
 		nextGen:        1,
 		cache:          newCache(capEntries),
 		sem:            make(chan struct{}, workers),
+		adm:            NewAdmission(opts.AdmissionCapacity),
 		rankWorkers:    rankWorkers,
 		defaultMode:    opts.DefaultMode,
 		defaultEpsilon: opts.DefaultEpsilon,
@@ -312,6 +322,16 @@ func (e *Engine) Query(req Request) Response {
 // not interrupt an exact computation already running, but the Monte-Carlo
 // backend checks the context between sampling batches and stops promptly.
 func (e *Engine) QueryContext(ctx context.Context, req Request) Response {
+	// Backpressure first: shed before queueing on the pool, so a hot
+	// worker answers "overloaded" promptly instead of growing a queue of
+	// work it cannot start.
+	cost := OpCost(req.Op)
+	if !e.adm.Admit(cost) {
+		return errorResponse(req, errf(CodeOverloaded,
+			"engine: overloaded, shedding %s (in-flight cost %d of %d)",
+			req.Op, e.adm.InFlight(), e.adm.capacity))
+	}
+	defer e.adm.Release(cost)
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():

@@ -50,6 +50,11 @@ const (
 	// that retrying will not fix (enumeration caps, infeasible budgets,
 	// semantic errors in the payload against this tree).
 	CodeFailed Code = "failed"
+	// CodeFenced: the request carried a fencing epoch lower than the
+	// highest this worker has observed — it came from a stale coordinator
+	// that has since been superseded by a restart.  Not retryable: the
+	// sender must stand down, not try another replica.
+	CodeFenced Code = "fenced"
 )
 
 // allCodes lists every code the engine can attach to a response, in the
@@ -58,6 +63,7 @@ const (
 var allCodes = []Code{
 	CodeBadRequest, CodeUnknownTree, CodeUnknownKey, CodeRetiredEpoch,
 	CodeOverloaded, CodeTimeout, CodeCanceled, CodeUnavailable, CodeFailed,
+	CodeFenced,
 }
 
 // Codes returns every error code the engine can emit.  The doc-drift
@@ -94,7 +100,7 @@ func (c Code) HTTPStatus() int {
 		return 499 // client closed request (the de-facto nginx status)
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
-	case CodeRetiredEpoch:
+	case CodeRetiredEpoch, CodeFenced:
 		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError

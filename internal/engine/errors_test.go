@@ -131,6 +131,7 @@ func TestCodeHTTPStatuses(t *testing.T) {
 		{CodeTimeout, http.StatusGatewayTimeout},
 		{CodeUnavailable, http.StatusServiceUnavailable},
 		{CodeRetiredEpoch, http.StatusConflict},
+		{CodeFenced, http.StatusConflict},
 		{CodeFailed, http.StatusInternalServerError},
 	} {
 		if got := tc.code.HTTPStatus(); got != tc.want {

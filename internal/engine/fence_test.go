@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFenceObserve pins the monotonic-max contract: equal and higher
+// epochs pass (and raise the bar), lower epochs are rejected forever.
+func TestFenceObserve(t *testing.T) {
+	var f Fence
+	if !f.Observe(0) {
+		t.Fatal("epoch 0 on a fresh fence rejected")
+	}
+	if !f.Observe(3) {
+		t.Fatal("first real epoch rejected")
+	}
+	if !f.Observe(3) {
+		t.Fatal("equal epoch rejected; the current coordinator must keep working")
+	}
+	if f.Observe(2) {
+		t.Fatal("stale epoch accepted")
+	}
+	if !f.Observe(7) || f.Epoch() != 7 {
+		t.Fatalf("higher epoch not adopted: epoch = %d, want 7", f.Epoch())
+	}
+	if f.Observe(3) {
+		t.Fatal("previously valid epoch accepted after a higher one was seen")
+	}
+
+	// Concurrent observers converge on the max.
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(e uint64) {
+			defer wg.Done()
+			f.Observe(e)
+		}(uint64(i))
+	}
+	wg.Wait()
+	if f.Epoch() != 31 {
+		t.Fatalf("concurrent observes: epoch = %d, want 31", f.Epoch())
+	}
+}
+
+// TestFencedHandler pins the worker-side enforcement: unstamped requests
+// pass untouched, current and newer epochs pass (teaching the worker the
+// newer epoch), stale epochs get a 409 with code "fenced", and garbage
+// stamps get a 400 — all without the inner handler ever seeing the
+// rejected request.
+func TestFencedHandler(t *testing.T) {
+	var f Fence
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(FencedHandler(inner, &f))
+	defer srv.Close()
+
+	do := func(stamp string) (int, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stamp != "" {
+			req.Header.Set(FencingHeader, stamp)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if status, body := do(""); status != 200 || string(body) != "ok" {
+		t.Fatalf("unstamped request: status %d body %q, want 200 ok", status, body)
+	}
+	if status, _ := do("2"); status != 200 {
+		t.Fatalf("first stamped request: status %d, want 200", status)
+	}
+	if f.Epoch() != 2 {
+		t.Fatalf("worker did not learn the stamped epoch: %d, want 2", f.Epoch())
+	}
+	if status, _ := do("2"); status != 200 {
+		t.Fatalf("equal-epoch request: status %d, want 200", status)
+	}
+	status, body := do("1")
+	if status != http.StatusConflict {
+		t.Fatalf("stale request: status %d, want 409 (%s)", status, body)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(body, &errBody); err != nil {
+		t.Fatalf("stale rejection body is not JSON: %q", body)
+	}
+	if Code(errBody.Code) != CodeFenced || !strings.Contains(errBody.Error, "stale") {
+		t.Fatalf("stale rejection body = %+v, want code %q", errBody, CodeFenced)
+	}
+	if status, _ := do("5"); status != 200 || f.Epoch() != 5 {
+		t.Fatalf("newer epoch not adopted (status %d, epoch %d)", status, f.Epoch())
+	}
+	if status, _ := do("not-a-number"); status != http.StatusBadRequest {
+		t.Fatalf("malformed stamp: status %d, want 400", status)
+	}
+	// A malformed stamp must not move the bar.
+	if f.Epoch() != 5 {
+		t.Fatalf("malformed stamp changed the epoch: %d, want 5", f.Epoch())
+	}
+}
