@@ -5,10 +5,16 @@
 // query families of the paper (the E16 cross-check list), a mutation,
 // and the post-mutation re-queries.  It then kills the coordinator and
 // restarts it from its write-ahead log, requiring the recovered front to
-// keep answering byte-identically (queries and tree downloads alike);
-// finally it kills one worker mid-stream and requires a run of mixed
-// reads to finish with zero client-visible failures.  Any divergence or
-// failure exits non-zero.
+// keep answering byte-identically (queries and tree downloads alike).
+// Next a hot standby tails the recovered coordinator's WAL over the
+// wire; the primary's front is partitioned away and the standby must
+// notice the stale leadership lease, bump the fencing epoch and take
+// over serving — six families, a mutation, and the tree downloads all
+// byte-identical, with no operator action — while the partitioned
+// ex-primary is fenced by the workers and demotes itself.  Finally it
+// kills one worker mid-stream and requires a run of mixed reads against
+// the new leader to finish with zero client-visible failures.  Any
+// divergence or failure exits non-zero.
 package main
 
 import (
@@ -143,7 +149,12 @@ func run() error {
 	// families, a rank distribution, and the tree downloads themselves.
 	front.close()
 	coord.Close()
-	coord2, err := distrib.New(distrib.Options{Workers: addrs, HedgeDelay: 20 * time.Millisecond, DataDir: dataDir})
+	// The short lease interval feeds the failover phase below: the hot
+	// standby watches these renewals through the shipped log.
+	coord2, err := distrib.New(distrib.Options{
+		Workers: addrs, HedgeDelay: 20 * time.Millisecond, DataDir: dataDir,
+		LeaseInterval: 50 * time.Millisecond,
+	})
 	if err != nil {
 		return fmt.Errorf("coordinator restart from WAL: %w", err)
 	}
@@ -172,6 +183,85 @@ func run() error {
 	}
 	log.Printf("clustersmoke: %d responses byte-identical after coordinator kill-and-restart from the WAL (fencing epoch %d)",
 		len(afterRestart)+2, coord2.FencingEpoch())
+
+	// Hot-standby failover: a second coordinator node tails coord2's WAL
+	// over GET /cluster/wal into its own data dir — exactly what
+	// `consensusctl coordinator -standby -primary <url>` runs.
+	standbyDir, err := os.MkdirTemp("", "clustersmoke-standby-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(standbyDir)
+	node, err := distrib.StartNode(distrib.NodeOptions{
+		Standby: true,
+		Peer:    front.url,
+		Coordinator: distrib.Options{
+			Workers: addrs, HedgeDelay: 20 * time.Millisecond,
+			DataDir: standbyDir, LeaseInterval: 50 * time.Millisecond,
+		},
+		PollInterval: 25 * time.Millisecond,
+		LeaseTimeout: 400 * time.Millisecond,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	nodeFront, err := start(node.Handler())
+	if err != nil {
+		return err
+	}
+	defer nodeFront.close()
+	if err := waitStatus(nodeFront.url, func(st distrib.StatusInfo) bool { return st.Synced }); err != nil {
+		return fmt.Errorf("standby never caught up with the primary's WAL: %w", err)
+	}
+
+	// Partition the primary away: its front goes dark, taking the lease
+	// stream with it.  Nobody touches anything from here on — the
+	// standby must promote itself.
+	epochBefore := coord2.FencingEpoch()
+	front.close()
+	if err := waitStatus(nodeFront.url, func(st distrib.StatusInfo) bool { return st.Role == "leading" }); err != nil {
+		return fmt.Errorf("standby never took over leadership: %w", err)
+	}
+	if got := node.Coordinator().FencingEpoch(); got <= epochBefore {
+		return fmt.Errorf("takeover kept fencing epoch %d (ex-primary had %d); the old incarnation is not fenced out", got, epochBefore)
+	}
+
+	failover := append([]string(nil), sixFamilyQueries...)
+	failover = append(failover, `{"tree":"indep","op":"condition","evidence":{"kind":"present","key":"t5"}}`)
+	failover = append(failover, sixFamilyQueries...)
+	for i, q := range failover {
+		if err := compare(fmt.Sprintf("post-failover query %d %s", i, opOf(q)), func(base string) ([]byte, error) {
+			return do(http.MethodPost, base+"/v1/query", []byte(q))
+		}, nodeFront.url, single.url); err != nil {
+			return err
+		}
+	}
+	for _, name := range []string{"indep", "labeled"} {
+		if err := compare("post-failover GET /v1/trees/"+name, func(base string) ([]byte, error) {
+			return do(http.MethodGet, base+"/v1/trees/"+name, nil)
+		}, nodeFront.url, single.url); err != nil {
+			return err
+		}
+	}
+
+	// The partitioned ex-primary must be locked out on first contact:
+	// its next write carries the stale epoch, every replica answers
+	// "fenced", and it demotes itself rather than dual-serving.
+	resp := coord2.Query(engine.Request{
+		Tree: "indep", Op: engine.OpCondition,
+		Evidence: &engine.EvidenceRequest{Kind: "absent", Key: "t6"},
+	})
+	if resp.Code != engine.CodeFenced {
+		return fmt.Errorf("ex-primary write after failover answered code %q, want %q", resp.Code, engine.CodeFenced)
+	}
+	if !coord2.IsDemoted() {
+		return fmt.Errorf("ex-primary saw %q yet did not demote", engine.CodeFenced)
+	}
+	log.Printf("clustersmoke: %d responses byte-identical after zero-operator standby takeover (fencing epoch %d -> %d); ex-primary fenced and demoted",
+		len(failover)+2, epochBefore, node.Coordinator().FencingEpoch())
+	front = nodeFront
 
 	// Kill one worker, then demand a clean run of mixed reads.
 	workers[1].close()
@@ -227,6 +317,23 @@ func do(method, url string, body []byte) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	return io.ReadAll(resp.Body)
+}
+
+// waitStatus polls base's /cluster/status until cond holds on the
+// decoded StatusInfo.
+func waitStatus(base string, cond func(distrib.StatusInfo) bool) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		body, err := do(http.MethodGet, base+"/cluster/status", nil)
+		if err == nil {
+			var st distrib.StatusInfo
+			if json.Unmarshal(body, &st) == nil && cond(st) {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("condition not reached within 15s")
 }
 
 // opOf extracts the op field for progress labels.

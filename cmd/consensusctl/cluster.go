@@ -32,13 +32,23 @@ type coordConfig struct {
 
 	dataDir          string        // WAL directory ("" = in-memory only)
 	heartbeatTimeout time.Duration // heartbeat membership (<= 0 = probe mode)
+
+	standby       bool          // start following -primary instead of leading
+	primary       string        // peer coordinator base URL ("" = none)
+	advertise     string        // own base URL recorded in leadership leases
+	leaseInterval time.Duration // lease renewal cadence (0 = default 1s)
+	leaseTimeout  time.Duration // standby takeover threshold (0 = default 3s)
+	walRetain     int           // sealed segments kept past compaction
 }
 
 // runCoordinator starts the cluster front: consistent-hash placement of
 // registered trees over the workers, routed reads with per-attempt
 // timeouts/retries/hedging, replicated writes, cost-priced admission
-// control, and the /cluster/* membership admin endpoints.  It blocks
-// until the listener fails.
+// control, and the /cluster/* membership admin endpoints.  With
+// -standby or -primary it runs as a supervised HA node instead —
+// following the peer's WAL until its lease lapses, then taking over —
+// and the handler switches role transparently underneath the listener.
+// It blocks until the listener fails.
 func runCoordinator(cfg coordConfig) error {
 	var workers []string
 	for _, w := range strings.Split(cfg.cluster, ",") {
@@ -46,10 +56,7 @@ func runCoordinator(cfg coordConfig) error {
 			workers = append(workers, w)
 		}
 	}
-	// Zero workers is fine with heartbeat membership (workers announce
-	// themselves) or a data dir (the WAL remembers the fleet); distrib.New
-	// rejects a genuinely member-less probe-mode coordinator.
-	c, err := distrib.New(distrib.Options{
+	opts := distrib.Options{
 		Workers:           workers,
 		Replication:       cfg.replication,
 		AttemptTimeout:    cfg.attemptTimeout,
@@ -59,7 +66,48 @@ func runCoordinator(cfg coordConfig) error {
 		ProbeInterval:     cfg.probe,
 		DataDir:           cfg.dataDir,
 		HeartbeatTimeout:  cfg.heartbeatTimeout,
-	})
+		Advertise:         cfg.advertise,
+		LeaseInterval:     cfg.leaseInterval,
+		WALRetain:         cfg.walRetain,
+	}
+
+	if cfg.standby || cfg.primary != "" {
+		// HA node: the handler behind the listener swaps between the
+		// follower's read-only surface and a full coordinator as
+		// leadership moves.  A preloaded -db makes no sense here — which
+		// node leads is decided at runtime, and a follower cannot
+		// register trees — so require registration via the API instead.
+		if cfg.db != "" {
+			return fmt.Errorf("-db cannot be combined with -standby/-primary; register trees via PUT /v1/trees/{name} once a leader is up")
+		}
+		node, err := distrib.StartNode(distrib.NodeOptions{
+			Standby:      cfg.standby,
+			Peer:         cfg.primary,
+			Coordinator:  opts,
+			LeaseTimeout: cfg.leaseTimeout,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		log.Printf("consensusctl: coordinator node %s on %s (peer %s, data dir %s)",
+			node.Role(), cfg.addr, cfg.primary, cfg.dataDir)
+		srv := &http.Server{
+			Addr:              cfg.addr,
+			Handler:           node.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       2 * time.Minute,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		return srv.ListenAndServe()
+	}
+
+	// Zero workers is fine with heartbeat membership (workers announce
+	// themselves) or a data dir (the WAL remembers the fleet); distrib.New
+	// rejects a genuinely member-less probe-mode coordinator.
+	c, err := distrib.New(opts)
 	if err != nil {
 		return err
 	}

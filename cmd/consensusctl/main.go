@@ -18,6 +18,7 @@
 //	consensusctl serve -addr :8080 [-db db.json -name default]
 //	consensusctl worker -addr :8081
 //	consensusctl coordinator -addr :8080 -cluster http://h1:8081,http://h2:8081,http://h3:8081
+//	consensusctl coordinator -addr :8081 -standby -primary http://h0:8080 -data-dir /var/lib/consensus-b
 //
 // With -db - the tree is read from stdin.  The mutate and condition
 // subcommands apply one in-place update (set-prob, insert, delete) or
@@ -53,14 +54,24 @@
 // out to every replica, sheds load past the -admission cost budget with
 // the "overloaded" error code, and restores crashed-and-rejoined workers
 // from its authoritative tree snapshots.  With -data-dir every
-// registry-changing event is written ahead to a checksummed log, a
-// restart replays it, reconciles against the live workers and fences out
-// the previous incarnation; with -heartbeat-timeout membership is driven
-// by worker heartbeats instead of probing a static list.  Clients talk
-// to the coordinator exactly as to a single-process server — same
-// endpoints, byte-identical responses — plus the membership admin
-// endpoints POST /cluster/join, POST /cluster/leave ({"addr":...}) and
-// GET /cluster/members.
+// registry-changing event is written ahead to a checksummed log of
+// rotating segments (-wal-retain bounds how many sealed segments
+// outlive compaction), a restart replays it, reconciles against the
+// live workers and fences out the previous incarnation; with
+// -heartbeat-timeout membership is driven by worker heartbeats instead
+// of probing a static list (-coordinator accepts a comma-separated
+// list, so workers keep beating to a standby as well).  A durable
+// coordinator renews a leadership lease in its log every
+// -lease-interval; a second coordinator started with -standby -primary
+// <url> tails the primary's log over GET /cluster/wal into its own
+// -data-dir and, once the lease has been stale for -lease-timeout,
+// bumps the fencing epoch and takes over serving with no operator
+// action — the old primary, if it resurfaces, is fenced by the workers
+// and demotes itself back to a follower.  Clients talk to the
+// coordinator exactly as to a single-process server — same endpoints,
+// byte-identical responses — plus the admin endpoints POST
+// /cluster/join, POST /cluster/leave ({"addr":...}), GET
+// /cluster/members, GET /cluster/status and GET /cluster/wal.
 package main
 
 import (
@@ -104,9 +115,14 @@ func main() {
 	probe := flag.Duration("probe", 0, "coordinator: worker health-probe interval (0 = default 1s, negative disables)")
 	dataDir := flag.String("data-dir", "", "coordinator: directory for the durable write-ahead log; restarts replay it, reconcile against the workers and fence out the previous incarnation (empty = in-memory only)")
 	heartbeatTimeout := flag.Duration("heartbeat-timeout", 0, "coordinator: mark a worker dead after this long without a heartbeat; enables heartbeat membership, where workers self-register via -coordinator (<= 0 = probe the static -cluster list)")
-	coordinator := flag.String("coordinator", "", "worker: coordinator base URL to send periodic /cluster/join heartbeats to (empty = no heartbeats)")
-	advertise := flag.String("advertise", "", "worker: own base URL announced in heartbeats (required with -coordinator)")
+	coordinator := flag.String("coordinator", "", "worker: comma-separated coordinator base URLs to send periodic /cluster/join heartbeats to (empty = no heartbeats; list primary and standby so failover keeps membership alive)")
+	advertise := flag.String("advertise", "", "worker: own base URL announced in heartbeats (required with -coordinator); coordinator: own base URL recorded in leadership leases")
 	heartbeat := flag.Duration("heartbeat", 0, "worker: heartbeat interval (0 = default 1s)")
+	standby := flag.Bool("standby", false, "coordinator: start as a hot standby following -primary instead of leading")
+	primary := flag.String("primary", "", "coordinator: peer coordinator base URL; with -standby the leader to follow, without it the peer consulted at boot (and fallen back to after demotion)")
+	leaseInterval := flag.Duration("lease-interval", 0, "coordinator: leadership lease renewal interval written to the WAL (0 = default 1s, negative disables)")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "coordinator: standby takes over after the primary's lease has been stale this long (0 = default 3s)")
+	walRetain := flag.Int("wal-retain", 0, "coordinator: sealed WAL segments kept past compaction for standby catch-up (0 = default 2, negative keeps none)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -148,6 +164,9 @@ func main() {
 			replication: *replication, attemptTimeout: *attemptTimeout,
 			retries: *retries, hedge: *hedge, admission: *admission, probe: *probe,
 			dataDir: *dataDir, heartbeatTimeout: *heartbeatTimeout,
+			standby: *standby, primary: *primary, advertise: *advertise,
+			leaseInterval: *leaseInterval, leaseTimeout: *leaseTimeout,
+			walRetain: *walRetain,
 		}); err != nil {
 			fail(err)
 		}
@@ -419,7 +438,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       consensusctl -db <file|-> condition -kind present|absent|choose -key K [-score S]")
 	fmt.Fprintln(os.Stderr, "       consensusctl serve -addr <host:port> [-db <file> -name <tree> -workers N -cache N -mode exact|approx|auto -epsilon E -delta D]")
 	fmt.Fprintln(os.Stderr, "       consensusctl worker -addr <host:port> [same flags as serve, plus -admission N -coordinator <url> -advertise <url> -heartbeat D]")
-	fmt.Fprintln(os.Stderr, "       consensusctl coordinator -addr <host:port> -cluster <url,url,...> [-replication N -attempt-timeout D -retries N -hedge D -admission N -probe D -data-dir <dir> -heartbeat-timeout D -db <file> -name <tree>]")
+	fmt.Fprintln(os.Stderr, "       consensusctl coordinator -addr <host:port> -cluster <url,url,...> [-replication N -attempt-timeout D -retries N -hedge D -admission N -probe D -data-dir <dir> -heartbeat-timeout D -wal-retain N -lease-interval D -advertise <url> -db <file> -name <tree>]")
+	fmt.Fprintln(os.Stderr, "       consensusctl coordinator -addr <host:port> -standby -primary <url> -data-dir <dir> [-lease-timeout D ...]")
 	os.Exit(2)
 }
 

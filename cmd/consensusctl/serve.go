@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	consensus "consensus"
@@ -69,8 +70,17 @@ func runServe(cfg serveConfig) error {
 		if interval <= 0 {
 			interval = time.Second
 		}
-		go heartbeatLoop(cfg.coordinator, cfg.advertise, interval)
-		log.Printf("consensusctl: heartbeating %s to %s every %v", cfg.advertise, cfg.coordinator, interval)
+		// -coordinator takes a comma-separated list so a worker can beat
+		// to the primary and its hot standby at once; the follower learns
+		// liveness from the shipped WAL, and after a failover the new
+		// leader's heartbeat membership is already warm.
+		for _, co := range strings.Split(cfg.coordinator, ",") {
+			if co = strings.TrimSpace(co); co == "" {
+				continue
+			}
+			go heartbeatLoop(co, cfg.advertise, interval)
+			log.Printf("consensusctl: heartbeating %s to %s every %v", cfg.advertise, co, interval)
+		}
 	}
 	log.Printf("consensusctl: serving consensus queries on %s", cfg.addr)
 	srv := &http.Server{

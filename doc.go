@@ -314,8 +314,10 @@
 // registry durable: every registry-changing event (register/unregister,
 // the authoritative snapshot refresh after each acknowledged mutation,
 // membership changes) is written ahead to a length-prefixed,
-// CRC-checksummed log and fsynced before the change is acknowledged,
-// with periodic checkpoint compaction.  A restarted coordinator replays
+// CRC-checksummed log of rotating segments and fsynced before the
+// change is acknowledged, with periodic checkpoint compaction (sealed
+// segments a checkpoint fully covers are pruned past -wal-retain).  A
+// restarted coordinator replays
 // the log, then reconciles against the live fleet — polling each
 // worker's /v1/trees, adopting worker-held trees the log never saw and
 // re-pushing authoritative snapshots where workers lag — and serves the
@@ -331,7 +333,25 @@
 // -advertise http://self:8081 -heartbeat 2s`), join/leave become
 // idempotent heartbeats for existing members, and the health prober
 // marks a member dead once a beat is overdue instead of HTTP-probing a
-// static -cluster list — fleets grow without hand-joining.
+// static -cluster list — fleets grow without hand-joining (-coordinator
+// takes a comma-separated list, so workers beat to the standby too).
+//
+// # High availability
+//
+// A durable coordinator renews a leadership lease in its own log every
+// -lease-interval; a hot standby (`consensusctl coordinator -standby
+// -primary http://host:8080 -data-dir /var/lib/consensus-b`) tails the
+// leader's log verbatim over GET /cluster/wal into its own data dir,
+// applying each batch to a shadow registry while answering only
+// /healthz (role "following") and /cluster/status.  When the shipped
+// lease has been stale for -lease-timeout the standby takes over with
+// no operator action: it replays the shipped history, bumps the
+// persisted fencing epoch past everything in it, reconciles against
+// the live workers and starts serving — byte-identical to the leader
+// it replaced.  The old primary, alive or resurrected, is rejected by
+// every worker with "fenced" on its next stamped RPC and demotes
+// itself back to a follower of the new leader, so at most one
+// coordinator can write at any time.
 //
 // See examples/ for runnable end-to-end programs, README.md for the
 // install/serve quickstart and docs/ARCHITECTURE.md for the request

@@ -19,7 +19,14 @@ const maxAdminBytes = 4 << 10
 //
 //	POST /cluster/join     {"addr": "http://host:port"}  add a worker
 //	POST /cluster/leave    {"addr": "http://host:port"}  remove a worker
-//	GET  /cluster/members  {"placement_epoch", "members": [{addr, alive}]}
+//	GET  /cluster/members  {"placement_epoch", "members":
+//	                        [{addr, alive, load, beat_age_ms}]}
+//	GET  /cluster/status   leadership role, fencing epoch, lease age,
+//	                        and WAL position (StatusInfo)
+//	GET  /cluster/wal      WAL shipping for a hot standby (replicate.go)
+//	GET  /healthz          {"status":"ok","role":"leading"|"demoted"} —
+//	                        a follower answers role "following", so load
+//	                        balancers can tell the two apart
 //
 // Join and leave rebalance shard placements before answering; malformed
 // payloads are 400s with the usual {"error","code"} body.
@@ -74,6 +81,20 @@ func (c *Coordinator) Handler() http.Handler {
 		})
 	})
 
+	mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, c.Status())
+	})
+
+	mux.HandleFunc("GET /cluster/wal", c.serveWAL)
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		role := "leading"
+		if c.IsDemoted() {
+			role = "demoted"
+		}
+		writeAdminJSON(w, map[string]any{"status": "ok", "role": role})
+	})
+
 	return mux
 }
 
@@ -84,10 +105,14 @@ func writeAdminJSON(w http.ResponseWriter, v any) {
 }
 
 func writeAdminError(w http.ResponseWriter, status int, err error) {
+	writeAdminErrorCode(w, status, engine.CodeBadRequest, err)
+}
+
+func writeAdminErrorCode(w http.ResponseWriter, status int, code engine.Code, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{
 		"error": err.Error(),
-		"code":  string(engine.CodeBadRequest),
+		"code":  string(code),
 	})
 }

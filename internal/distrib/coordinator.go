@@ -85,6 +85,20 @@ type Options struct {
 	// instead of HTTP-probing a static list.  <= 0 keeps probe mode.
 	// With heartbeat mode the coordinator may start with zero workers.
 	HeartbeatTimeout time.Duration
+	// LeaseInterval is how often a durable coordinator renews its
+	// leadership lease in the WAL (a standby tailing the log treats a
+	// stale lease as primary death and takes over).  0 selects
+	// DefaultLeaseInterval, negative disables lease renewal.  Ignored
+	// without DataDir — leases only exist in the log.
+	LeaseInterval time.Duration
+	// Advertise is the base URL peers should reach this coordinator at;
+	// it is recorded in lease records so a standby can report (and
+	// redirect to) the current leader.  Optional.
+	Advertise string
+	// WALRetain is how many fully-checkpointed sealed WAL segments
+	// compaction keeps for streaming standbys; 0 selects the package
+	// default (2), negative keeps none.
+	WALRetain int
 }
 
 // Coordinator shards an engine.Service across worker processes: it owns
@@ -112,6 +126,19 @@ type Coordinator struct {
 	wal              *wal
 	fence            atomic.Uint64
 	heartbeatTimeout time.Duration
+
+	// Leadership lease state (durable mode only).  advertise is this
+	// coordinator's own base URL, recorded in lease records; lastLease is
+	// the Unix-nano time of the latest renewal.  demoted flips once a
+	// worker answers `fenced` — proof a higher-epoch coordinator exists —
+	// after which this coordinator must stand down (Demoted() signals the
+	// supervisor; see standby.go).
+	advertise     string
+	leaseInterval time.Duration
+	lastLease     atomic.Int64
+	demoted       atomic.Bool
+	demotedCh     chan struct{}
+	demoteOnce    sync.Once
 
 	mu      sync.RWMutex
 	members map[string]*member
@@ -249,8 +276,20 @@ func New(opts Options) (*Coordinator, error) {
 		members:          make(map[string]*member, len(addrs)),
 		shards:           make(map[string]*shard),
 		stop:             make(chan struct{}),
+		demotedCh:        make(chan struct{}),
 	}
 	c.wc.fence = &c.fence
+	if opts.Advertise != "" {
+		n, err := normalizeAddr(opts.Advertise)
+		if err != nil {
+			return nil, err
+		}
+		c.advertise = n
+	}
+	c.leaseInterval = opts.LeaseInterval
+	if c.leaseInterval == 0 {
+		c.leaseInterval = DefaultLeaseInterval
+	}
 
 	// Durable mode: recover state and bump the fencing epoch before
 	// anything is served or any worker is touched, so every RPC this
@@ -263,10 +302,27 @@ func New(opts Options) (*Coordinator, error) {
 		}
 		c.wal = w
 		st = recovered
+		switch {
+		case opts.WALRetain > 0:
+			w.retain = opts.WALRetain
+		case opts.WALRetain < 0:
+			w.retain = 0
+		}
 		c.fence.Store(st.FencingEpoch + 1)
 		if err := w.append(walRecord{Kind: recFence, Epoch: c.fence.Load()}); err != nil {
 			w.close()
 			return nil, err
+		}
+		// Claim leadership immediately: the first lease record marks this
+		// incarnation as the serving coordinator before any request lands.
+		// Appended directly (not via renewLease) because the registry is
+		// not populated yet and renewLease may compact.
+		if c.leaseInterval > 0 {
+			if err := w.append(walRecord{Kind: recLease, Addr: c.advertise, Epoch: c.fence.Load()}); err != nil {
+				w.close()
+				return nil, err
+			}
+			c.lastLease.Store(time.Now().UnixNano())
 		}
 	}
 
@@ -303,6 +359,10 @@ func New(opts Options) (*Coordinator, error) {
 	if probe > 0 {
 		c.wg.Add(1)
 		go c.probeLoop(probe)
+	}
+	if c.wal != nil && c.leaseInterval > 0 {
+		c.wg.Add(1)
+		go c.leaseLoop()
 	}
 	return c, nil
 }
@@ -903,8 +963,14 @@ func (c *Coordinator) noteOutcome(addr string, err error) {
 		m.alive.Store(true)
 		return
 	}
-	if engine.CodeOf(err) == engine.CodeUnavailable {
+	switch engine.CodeOf(err) {
+	case engine.CodeUnavailable:
 		m.alive.Store(false)
+	case engine.CodeFenced:
+		// The worker saw a higher fencing epoch than ours: a newer
+		// coordinator has taken over.  The worker is fine — this
+		// coordinator is the stale party and must stand down.
+		c.markDemoted()
 	}
 }
 
@@ -918,18 +984,29 @@ func (c *Coordinator) memberOf(addr string) *member {
 // ---------------------------------------------------------------------------
 // Membership: join, leave, probing, rebalance
 
-// MemberInfo is one worker's externally visible state.
+// MemberInfo is one worker's externally visible state: the liveness
+// verdict routing uses, the in-flight read attempts the load-aware
+// replica selection balances on, and how long ago the worker last
+// checked in (heartbeat or successful probe).
 type MemberInfo struct {
-	Addr  string `json:"addr"`
-	Alive bool   `json:"alive"`
+	Addr      string `json:"addr"`
+	Alive     bool   `json:"alive"`
+	Load      int64  `json:"load"`
+	BeatAgeMS int64  `json:"beat_age_ms"`
 }
 
 // Members lists the cluster, sorted by address.
 func (c *Coordinator) Members() []MemberInfo {
+	now := time.Now().UnixNano()
 	c.mu.RLock()
 	out := make([]MemberInfo, 0, len(c.members))
 	for _, m := range c.members {
-		out = append(out, MemberInfo{Addr: m.addr, Alive: m.alive.Load()})
+		out = append(out, MemberInfo{
+			Addr:      m.addr,
+			Alive:     m.alive.Load(),
+			Load:      m.load.Load(),
+			BeatAgeMS: (now - m.lastBeat.Load()) / int64(time.Millisecond),
+		})
 	}
 	c.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })

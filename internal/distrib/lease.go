@@ -1,0 +1,147 @@
+package distrib
+
+// Lease-based leadership.  A durable coordinator periodically appends a
+// lease record — its advertise URL plus its fencing epoch — to the WAL.
+// The record is pure heartbeat: it changes no registry state, but a
+// standby tailing the log (standby.go) sees a fresh lease arrive every
+// interval, and when leases stop arriving for longer than its timeout
+// it concludes the primary is dead, hung, or partitioned, and takes
+// over.  Recording the lease IN the log (rather than on a side channel)
+// makes "the primary is making durable progress" and "the primary looks
+// alive" the same observation: a primary that can no longer fsync its
+// WAL stops renewing by construction, and a standby that cannot reach
+// the primary's log stops seeing renewals — either way the lease
+// expires and exactly the right party acts.
+//
+// The matching stand-down half lives in noteOutcome (coordinator.go): a
+// worker answering `fenced` is proof a higher-epoch coordinator exists,
+// so this one marks itself demoted, stops renewing, and Demoted()
+// signals the supervisor (standby.go's Node) to drop back to following.
+
+import (
+	"time"
+)
+
+// DefaultLeaseInterval is how often the serving coordinator renews its
+// leadership lease in the WAL (Options.LeaseInterval = 0).  A standby's
+// takeover timeout (StandbyOptions.LeaseTimeout) must comfortably
+// exceed it.
+const DefaultLeaseInterval = time.Second
+
+// renewLease appends one lease record and remembers when.  It stops
+// renewing once the coordinator is demoted — a demoted coordinator's
+// log must not look freshly led, or a standby tailing it would wait
+// forever for a lease that no longer means anything.
+func (c *Coordinator) renewLease() error {
+	if c.wal == nil || c.demoted.Load() {
+		return nil
+	}
+	if err := c.wal.append(walRecord{Kind: recLease, Addr: c.advertise, Epoch: c.fence.Load()}); err != nil {
+		return err
+	}
+	c.lastLease.Store(time.Now().UnixNano())
+	c.maybeCompact()
+	return nil
+}
+
+func (c *Coordinator) leaseLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.leaseInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.demotedCh:
+			return
+		case <-t.C:
+			_ = c.renewLease()
+		}
+	}
+}
+
+// markDemoted records that a strictly newer coordinator incarnation
+// exists (observed as a `fenced` worker response).  Idempotent; closes
+// the Demoted channel exactly once.
+func (c *Coordinator) markDemoted() {
+	c.demoteOnce.Do(func() {
+		c.demoted.Store(true)
+		close(c.demotedCh)
+	})
+}
+
+// IsDemoted reports whether this coordinator has observed a successor
+// and must stand down.
+func (c *Coordinator) IsDemoted() bool { return c.demoted.Load() }
+
+// Demoted is closed once the coordinator observes it has been
+// superseded; a supervisor (see Node in standby.go) selects on it to
+// swap the process over to standby mode.
+func (c *Coordinator) Demoted() <-chan struct{} { return c.demotedCh }
+
+// WALStatus is the log's shipping position, surfaced in /cluster/status
+// so a standby (or an operator) can see how far the leader's log
+// reaches and how much of it is checkpointed.
+type WALStatus struct {
+	NextSeq       uint64 `json:"next_seq"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	Segments      int    `json:"segments"`
+}
+
+// StatusInfo is the GET /cluster/status payload, shared by leading
+// coordinators and following standbys.
+type StatusInfo struct {
+	// Role is "leading", "following", or "demoted".
+	Role string `json:"role"`
+	// Advertise is the base URL this process wants peers to use (empty
+	// if not configured).
+	Advertise string `json:"advertise,omitempty"`
+	// Primary is the leader a follower is tailing (followers only).
+	Primary string `json:"primary,omitempty"`
+	// Synced reports whether a follower has caught up to the leader's
+	// log at least once (followers only).
+	Synced bool `json:"synced,omitempty"`
+	// FencingEpoch is the incarnation stamped on worker RPCs (leaders)
+	// or the highest epoch observed in the tailed log (followers).
+	FencingEpoch uint64 `json:"fencing_epoch"`
+	// PlacementEpoch bumps on every membership change (leaders only).
+	PlacementEpoch uint64 `json:"placement_epoch,omitempty"`
+	// Trees is the registered tree count.
+	Trees int `json:"trees"`
+	// Durable reports whether a WAL backs this process.
+	Durable bool `json:"durable"`
+	// LeaseAgeMS is how long ago the leadership lease was last renewed
+	// (leaders) or last observed in the tail (followers); -1 before the
+	// first renewal/observation.
+	LeaseAgeMS int64 `json:"lease_age_ms"`
+	// WAL is the log position (durable processes only).
+	WAL *WALStatus `json:"wal,omitempty"`
+}
+
+// Status reports this coordinator's leadership role and durable-log
+// position.
+func (c *Coordinator) Status() StatusInfo {
+	role := "leading"
+	if c.demoted.Load() {
+		role = "demoted"
+	}
+	info := StatusInfo{
+		Role:           role,
+		Advertise:      c.advertise,
+		FencingEpoch:   c.fence.Load(),
+		PlacementEpoch: c.PlacementEpoch(),
+		Durable:        c.wal != nil,
+		LeaseAgeMS:     -1,
+	}
+	c.mu.RLock()
+	info.Trees = len(c.shards)
+	c.mu.RUnlock()
+	if last := c.lastLease.Load(); last > 0 {
+		info.LeaseAgeMS = (time.Now().UnixNano() - last) / int64(time.Millisecond)
+	}
+	if c.wal != nil {
+		next, ckpt, segs := c.wal.seqs()
+		info.WAL = &WALStatus{NextSeq: next, CheckpointSeq: ckpt, Segments: segs}
+	}
+	return info
+}

@@ -1,0 +1,131 @@
+package distrib
+
+// WAL shipping: the wire between a serving coordinator and a hot
+// standby.  The standby polls
+//
+//	GET /cluster/wal?from=<seq>
+//
+// and gets back one of two payloads, distinguished by the
+// X-Consensus-Wal-Kind header:
+//
+//	records     raw WAL frames (the leader's own bytes, CRC intact) for
+//	            every record with sequence >= from, capped at about
+//	            maxWALFetchBytes per response; X-Consensus-Wal-Next is
+//	            the sequence to ask for next.
+//	checkpoint  the full durable state as a checkpoint JSON document,
+//	            freshly compacted; sent when from is 0 (bootstrap), has
+//	            been compacted past (the standby lagged behind
+//	            retention), or is ahead of the log (the standby's
+//	            history diverged — e.g. it used to be a leader).
+//	            X-Consensus-Wal-Next is the checkpoint's successor.
+//
+// Shipping frames verbatim (rather than re-encoding parsed records)
+// keeps the follower's log byte-identical to the leader's, so every
+// integrity property the WAL fuzz suite pins — CRC framing, torn-tail
+// recovery, idempotent replay — holds unchanged on the follower.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"consensus/internal/engine"
+)
+
+const (
+	// walKindHeader tells the follower how to interpret the body.
+	walKindHeader = "X-Consensus-Wal-Kind"
+	// walNextHeader is the next sequence number the follower should
+	// request.
+	walNextHeader = "X-Consensus-Wal-Next"
+
+	walKindRecords    = "records"
+	walKindCheckpoint = "checkpoint"
+
+	// maxWALFetchBytes caps one records response; a follower further
+	// behind than this simply polls again (or, past retention, gets a
+	// checkpoint).
+	maxWALFetchBytes = 1 << 20
+)
+
+// serveWAL answers one replication poll.
+func (c *Coordinator) serveWAL(w http.ResponseWriter, r *http.Request) {
+	if c.wal == nil {
+		writeAdminErrorCode(w, http.StatusNotFound, engine.CodeBadRequest,
+			fmt.Errorf("distrib: this coordinator runs without a data dir; there is no log to ship"))
+		return
+	}
+	from := uint64(0)
+	if s := r.URL.Query().Get("from"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeAdminErrorCode(w, http.StatusBadRequest, engine.CodeBadRequest,
+				fmt.Errorf("distrib: bad from=%q: %w", s, err))
+			return
+		}
+		from = n
+	}
+	data, next, err := c.wal.recordsFrom(from, maxWALFetchBytes)
+	if err == nil {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set(walKindHeader, walKindRecords)
+		w.Header().Set(walNextHeader, strconv.FormatUint(next, 10))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+		return
+	}
+	// Out of streaming range: force a fresh checkpoint (folding the
+	// whole live registry) and ship that instead.
+	if err := c.wal.compact(c.buildDurableState); err != nil {
+		writeAdminErrorCode(w, http.StatusInternalServerError, engine.CodeUnavailable,
+			fmt.Errorf("distrib: building bootstrap checkpoint: %w", err))
+		return
+	}
+	ckpt, seq, err := c.wal.checkpointBytes()
+	if err != nil {
+		writeAdminErrorCode(w, http.StatusInternalServerError, engine.CodeUnavailable, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(walKindHeader, walKindCheckpoint)
+	w.Header().Set(walNextHeader, strconv.FormatUint(seq+1, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ckpt)
+}
+
+// fetchWAL is the follower's side of one replication poll.
+func (w *wireClient) fetchWAL(ctx context.Context, base string, from uint64) (kind string, data []byte, next uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/cluster/wal?from=%d", base, from), nil)
+	if err != nil {
+		return "", nil, 0, &engine.Error{Code: engine.CodeBadRequest, Msg: err.Error()}
+	}
+	w.stamp(req)
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return "", nil, 0, &engine.Error{Code: engine.CodeUnavailable,
+			Msg: fmt.Sprintf("distrib: primary unreachable: %v", err)}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", nil, 0, &engine.Error{Code: engine.CodeUnavailable,
+			Msg: fmt.Sprintf("distrib: reading WAL response: %v", err)}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, 0, decodeErrorBody(resp.StatusCode, body)
+	}
+	kind = resp.Header.Get(walKindHeader)
+	if kind != walKindRecords && kind != walKindCheckpoint {
+		return "", nil, 0, &engine.Error{Code: engine.CodeUnavailable,
+			Msg: fmt.Sprintf("distrib: primary answered unknown WAL kind %q (not a coordinator?)", kind)}
+	}
+	next, err = strconv.ParseUint(resp.Header.Get(walNextHeader), 10, 64)
+	if err != nil {
+		return "", nil, 0, &engine.Error{Code: engine.CodeUnavailable,
+			Msg: fmt.Sprintf("distrib: primary answered bad %s header: %v", walNextHeader, err)}
+	}
+	return kind, body, next, nil
+}

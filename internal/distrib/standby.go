@@ -1,0 +1,535 @@
+package distrib
+
+// Hot standby and the failover supervisor.
+//
+// A Standby tails a primary coordinator's WAL (GET /cluster/wal, see
+// replicate.go) into its own data directory, folding every shipped
+// record into an in-memory shadow of the registry.  While following it
+// serves only health and status; everything else answers 503 so a load
+// balancer probing /healthz (or reading the role field) keeps traffic
+// on the leader.  The leadership lease rides in the log itself: as long
+// as lease records keep arriving the primary is alive and making
+// durable progress.  When no lease progress is observed for
+// LeaseTimeout — the primary crashed, hung, or is partitioned from the
+// standby — the standby promotes: it opens its shipped log as a durable
+// coordinator, which replays the state, bumps the persisted fencing
+// epoch past the old primary's, re-runs the recovery reconciliation
+// against the live workers, and serves.  From the first stamped RPC the
+// workers' fencing guard locks the old primary out (engine.CodeFenced),
+// so the handover is safe even if the old primary was merely slow: the
+// moment it touches a worker again it learns it has been superseded and
+// demotes itself.
+//
+// Node wraps the whole lifecycle into one process role state machine —
+// leading <-> following — so `consensusctl coordinator -standby
+// -primary <url>` needs no operator during a failover, in either
+// direction.  One boot rule prevents the symmetric restart hole: a
+// node that is *configured* to lead but finds its peer already leading
+// starts as a follower instead (its own log is by definition stale),
+// then re-syncs through the peer's checkpoints; without this, a
+// primary resurrected from its stale directory would compute the same
+// fencing epoch the standby took over with, and equal epochs fence
+// nobody.  The remaining split-brain window — both nodes *forced* to
+// lead simultaneously against the same workers — is an operator error
+// of the same class as running two coordinators over one data dir, and
+// is documented rather than defended.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"consensus/internal/engine"
+)
+
+const (
+	// DefaultStandbyPoll is how often a standby polls the primary's log.
+	DefaultStandbyPoll = 200 * time.Millisecond
+	// DefaultLeaseTimeout is how long a synced standby waits without
+	// observing lease progress before taking over.  Must comfortably
+	// exceed the primary's lease interval (DefaultLeaseInterval).
+	DefaultLeaseTimeout = 3 * time.Second
+)
+
+// StandbyOptions configures a Standby.
+type StandbyOptions struct {
+	// Primary is the leader's base URL (required).
+	Primary string
+	// DataDir is the standby's own data directory (required); the
+	// shipped log lands here, so promotion is a local recovery.
+	DataDir string
+	// PollInterval is the tailing period; 0 selects DefaultStandbyPoll.
+	PollInterval time.Duration
+	// LeaseTimeout is the takeover trigger; 0 selects
+	// DefaultLeaseTimeout.
+	LeaseTimeout time.Duration
+	// Coordinator is the Options template promotion starts the real
+	// coordinator with; its DataDir is overridden with the standby's.
+	Coordinator Options
+	// Client optionally overrides the HTTP client used to poll the
+	// primary.
+	Client *http.Client
+}
+
+// Standby tails a primary's WAL into a local data directory and decides
+// when the lease has expired.  It is driven either deterministically
+// (tests call syncOnce and Promote directly) or by a Node's follow loop.
+type Standby struct {
+	wc      wireClient
+	primary string
+	opts    StandbyOptions
+
+	mu        sync.Mutex
+	w         *wal
+	st        durableState
+	synced    bool      // caught up with the primary at least once
+	lastLease time.Time // last observed lease progress (zero before)
+}
+
+// NewStandby opens the standby's data directory and prepares to tail
+// the primary.  No network traffic happens until the first syncOnce.
+func NewStandby(opts StandbyOptions) (*Standby, error) {
+	if opts.DataDir == "" {
+		return nil, errors.New("distrib: a standby needs a data dir (the shipped log lands there)")
+	}
+	primary, err := normalizeAddr(opts.Primary)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: bad primary URL: %w", err)
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = DefaultStandbyPoll
+	}
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = DefaultLeaseTimeout
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	w, st, err := openWAL(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Standby{
+		wc:      wireClient{hc: hc},
+		primary: primary,
+		opts:    opts,
+		w:       w,
+		st:      st,
+	}, nil
+}
+
+// Close releases the standby's log (unless Promote already consumed
+// it).
+func (s *Standby) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		s.w.close()
+		s.w = nil
+	}
+}
+
+// syncOnce performs one tailing round against the primary.  The first
+// round (and any round after observed divergence) asks for a full
+// checkpoint bootstrap — the local directory's history may be stale in
+// ways sequence numbers alone cannot reveal, e.g. this process used to
+// be the leader — and later rounds stream raw frames from the local
+// log's head.  Observed lease progress (a lease or fence record, or a
+// checkpoint, which the primary just built) refreshes the lease clock.
+func (s *Standby) syncOnce(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return errors.New("distrib: standby already promoted or closed")
+	}
+	from := uint64(0)
+	if s.synced {
+		next, _, _ := s.w.seqs()
+		from = next
+	}
+	kind, body, _, err := s.wc.fetchWAL(ctx, s.primary, from)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case walKindCheckpoint:
+		st := newDurableState()
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("distrib: undecodable bootstrap checkpoint: %w", err)
+		}
+		if st.Shards == nil {
+			st.Shards = make(map[string]durableShard)
+		}
+		if err := s.w.reset(st); err != nil {
+			return err
+		}
+		s.st = st
+		s.synced = true
+		s.lastLease = time.Now()
+	case walKindRecords:
+		recs, frames, _ := replayFrames(body)
+		if err := s.w.appendReplicated(recs, frames); err != nil {
+			if errors.Is(err, errWALDiverged) {
+				// Histories disagree; rebuild from a checkpoint next round.
+				s.synced = false
+			}
+			return err
+		}
+		for i := range recs {
+			s.st.apply(recs[i])
+			if recs[i].Kind == recLease || recs[i].Kind == recFence {
+				s.lastLease = time.Now()
+			}
+		}
+	}
+	return nil
+}
+
+// leaseExpired reports whether a synced standby has gone LeaseTimeout
+// without observing lease progress.  An unsynced standby never expires
+// the lease: it has no evidence about the primary's log at all, and
+// taking over on ignorance is how split brains start.
+func (s *Standby) leaseExpired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.synced && !s.lastLease.IsZero() && time.Since(s.lastLease) > s.opts.LeaseTimeout
+}
+
+// Status reports the follower's view: its role, the primary it tails,
+// whether it has caught up, and the shadow registry's shape.
+func (s *Standby) Status() StatusInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := StatusInfo{
+		Role:         "following",
+		Primary:      s.primary,
+		Synced:       s.synced,
+		FencingEpoch: s.st.FencingEpoch,
+		Trees:        len(s.st.Shards),
+		Durable:      true,
+		LeaseAgeMS:   -1,
+	}
+	if !s.lastLease.IsZero() {
+		info.LeaseAgeMS = int64(time.Since(s.lastLease) / time.Millisecond)
+	}
+	if s.w != nil {
+		next, ckpt, segs := s.w.seqs()
+		info.WAL = &WALStatus{NextSeq: next, CheckpointSeq: ckpt, Segments: segs}
+	}
+	return info
+}
+
+// Promote consumes the standby and starts a real durable coordinator
+// over the shipped log: New replays the directory, bumps the persisted
+// fencing epoch past every epoch the log has seen (the old primary's
+// included), reconciles against the live workers, and serves.  The
+// first stamped RPC teaches each worker the new epoch; engine's fencing
+// guard locks the old primary out from then on.
+func (s *Standby) Promote() (*Coordinator, error) {
+	s.mu.Lock()
+	if s.w == nil {
+		s.mu.Unlock()
+		return nil, errors.New("distrib: standby already promoted or closed")
+	}
+	s.w.close()
+	s.w = nil
+	opts := s.opts.Coordinator
+	opts.DataDir = s.opts.DataDir
+	if opts.Client == nil {
+		opts.Client = s.opts.Client
+	}
+	s.mu.Unlock()
+	return New(opts)
+}
+
+// Handler serves the follower surface: health and status answer (a load
+// balancer needs them), everything else is 503 with the primary's URL
+// in the error.
+func (s *Standby) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, map[string]any{"status": "ok", "role": "following"})
+	})
+	mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, s.Status())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminErrorCode(w, http.StatusServiceUnavailable, engine.CodeUnavailable,
+			fmt.Errorf("distrib: this coordinator is a standby following %s", s.primary))
+	})
+	return mux
+}
+
+// ---------------------------------------------------------------------------
+// Node: the role state machine
+
+// NodeOptions configures a failover-capable coordinator process.
+type NodeOptions struct {
+	// Standby starts the node following Peer instead of leading.
+	Standby bool
+	// Peer is the other coordinator's base URL: the primary to follow
+	// (required when Standby), and the address a demoted leader falls
+	// back to following.  A leader with a Peer also applies the boot
+	// rule: if the peer is already leading at startup, this node starts
+	// as a follower regardless of Standby.
+	Peer string
+	// Coordinator is the Options template used whenever this node leads.
+	Coordinator Options
+	// PollInterval and LeaseTimeout drive the follow loop; zero selects
+	// the standby defaults.
+	PollInterval time.Duration
+	LeaseTimeout time.Duration
+	// Client optionally overrides the HTTP client used to poll the peer.
+	Client *http.Client
+	// Logf, if set, receives role-transition log lines.
+	Logf func(format string, args ...any)
+}
+
+// Node supervises one coordinator process through leadership changes:
+// it runs a Coordinator while leading, a Standby while following,
+// promotes on lease expiry, demotes on fencing, and swaps the HTTP
+// surface atomically on every transition so the listener never needs to
+// restart.
+type Node struct {
+	opts    NodeOptions
+	handler atomic.Value // http.Handler currently serving
+	role    atomic.Value // string: "leading" | "following" | "demoted"
+
+	mu    sync.Mutex
+	coord *Coordinator // non-nil while leading
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartNode boots the role state machine.  It returns once the node is
+// serving in its initial role; failovers happen in the background from
+// then on.
+func StartNode(opts NodeOptions) (*Node, error) {
+	if opts.Standby && opts.Peer == "" {
+		return nil, errors.New("distrib: a standby node needs -primary (the peer to follow)")
+	}
+	if opts.Peer != "" {
+		if _, err := normalizeAddr(opts.Peer); err != nil {
+			return nil, fmt.Errorf("distrib: bad peer URL: %w", err)
+		}
+	}
+	if opts.Coordinator.DataDir == "" {
+		return nil, errors.New("distrib: a failover node needs -data-dir (leases live in the log)")
+	}
+	n := &Node{opts: opts, stop: make(chan struct{})}
+
+	follow := opts.Standby
+	// Boot rule: never start leading next to a peer that already leads —
+	// this node's log is stale by definition, and leading from a stale
+	// log would mint the same fencing epoch the real leader owns.
+	if !follow && opts.Peer != "" && n.peerIsLeading() {
+		n.logf("node: peer %s is already leading; starting as standby", opts.Peer)
+		follow = true
+	}
+
+	if follow {
+		s, err := n.newStandby()
+		if err != nil {
+			return nil, err
+		}
+		n.setRole("following", s.Handler())
+		n.wg.Add(1)
+		go n.followLoop(s)
+		return n, nil
+	}
+
+	coord, err := New(opts.Coordinator)
+	if err != nil {
+		return nil, err
+	}
+	n.lead(coord)
+	return n, nil
+}
+
+// Close stops the node and whichever role it is currently running.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+	n.mu.Lock()
+	coord := n.coord
+	n.coord = nil
+	n.mu.Unlock()
+	if coord != nil {
+		coord.Close()
+	}
+}
+
+// Handler serves whatever the node's current role serves; it is safe to
+// hold across role transitions.
+func (n *Node) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.handler.Load().(http.Handler).ServeHTTP(w, r)
+	})
+}
+
+// Role reports "leading", "following", or "demoted".
+func (n *Node) Role() string { return n.role.Load().(string) }
+
+// Coordinator returns the currently leading coordinator, or nil while
+// following.
+func (n *Node) Coordinator() *Coordinator {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coord
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.opts.Logf != nil {
+		n.opts.Logf(format, args...)
+	}
+}
+
+func (n *Node) setRole(role string, h http.Handler) {
+	n.role.Store(role)
+	n.handler.Store(h)
+}
+
+func (n *Node) newStandby() (*Standby, error) {
+	return NewStandby(StandbyOptions{
+		Primary:      n.opts.Peer,
+		DataDir:      n.opts.Coordinator.DataDir,
+		PollInterval: n.opts.PollInterval,
+		LeaseTimeout: n.opts.LeaseTimeout,
+		Coordinator:  n.opts.Coordinator,
+		Client:       n.opts.Client,
+	})
+}
+
+// peerIsLeading asks the peer's /cluster/status; only a reachable peer
+// that says "leading" counts.
+func (n *Node) peerIsLeading() bool {
+	hc := n.opts.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Second}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.opts.Peer+"/cluster/status", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var info StatusInfo
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&info) != nil {
+		return false
+	}
+	return info.Role == "leading"
+}
+
+// lead installs a running coordinator as the serving role and watches
+// for its demotion.
+func (n *Node) lead(coord *Coordinator) {
+	n.mu.Lock()
+	n.coord = coord
+	n.mu.Unlock()
+	n.setRole("leading", coord.Handler())
+	n.logf("node: leading at fencing epoch %d", coord.FencingEpoch())
+	n.wg.Add(1)
+	go n.leadLoop(coord)
+}
+
+// leadLoop waits for the leader to learn it has been superseded, then
+// tears it down and falls back to following the peer (or parks demoted
+// if there is no peer to follow).
+func (n *Node) leadLoop(coord *Coordinator) {
+	defer n.wg.Done()
+	select {
+	case <-n.stop:
+		return
+	case <-coord.Demoted():
+	}
+	n.mu.Lock()
+	n.coord = nil
+	n.mu.Unlock()
+	coord.Close()
+	if n.opts.Peer == "" {
+		n.logf("node: fenced by a newer coordinator and no peer configured; parking demoted")
+		n.setRole("demoted", demotedHandler())
+		return
+	}
+	n.logf("node: fenced by a newer coordinator; demoting to standby of %s", n.opts.Peer)
+	s, err := n.newStandby()
+	if err != nil {
+		n.logf("node: cannot reopen data dir as standby: %v", err)
+		n.setRole("demoted", demotedHandler())
+		return
+	}
+	n.setRole("following", s.Handler())
+	n.wg.Add(1)
+	go n.followLoop(s)
+}
+
+// followLoop tails the peer until the lease expires, then promotes.
+func (n *Node) followLoop(s *Standby) {
+	defer n.wg.Done()
+	t := time.NewTicker(s.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			s.Close()
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.opts.PollInterval+2*time.Second)
+		// A sync error just means no progress was observed this round
+		// (unreachable primary); expiry is what acts on it.  A healthy
+		// round can expire the lease too: a hung primary's log answers
+		// polls but stops growing.
+		_ = s.syncOnce(ctx)
+		cancel()
+		if !s.leaseExpired() {
+			continue
+		}
+		n.logf("node: lease expired (no progress from %s for %v); taking over", s.primary, s.opts.LeaseTimeout)
+		coord, err := s.Promote()
+		if err != nil {
+			// The directory is closed but takeover failed (workers
+			// unreachable, disk error); retry promotion from a fresh
+			// standby rather than serving nothing forever.
+			n.logf("node: takeover failed: %v; re-following", err)
+			s2, serr := n.newStandby()
+			if serr != nil {
+				n.logf("node: cannot reopen data dir as standby: %v", serr)
+				n.setRole("demoted", demotedHandler())
+				return
+			}
+			s = s2
+			n.setRole("following", s.Handler())
+			continue
+		}
+		n.lead(coord)
+		return
+	}
+}
+
+// demotedHandler is the terminal surface of a fenced leader with no
+// peer: health says demoted, everything else is 503.
+func demotedHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, map[string]any{"status": "ok", "role": "demoted"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminErrorCode(w, http.StatusServiceUnavailable, engine.CodeUnavailable,
+			errors.New("distrib: this coordinator was fenced by a newer one and has no peer to follow"))
+	})
+	return mux
+}

@@ -3,10 +3,25 @@ package distrib
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+// activeSegmentPath returns the newest segment file in dir (the one
+// appends land in).
+func activeSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	starts, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) == 0 {
+		t.Fatal("no segments in data dir")
+	}
+	return segmentPath(dir, starts[len(starts)-1])
+}
 
 // TestWALRoundTrip pins the durability codec: events appended to a log
 // come back, in order and in full, when the directory is reopened.
@@ -44,6 +59,12 @@ func TestWALRoundTrip(t *testing.T) {
 	if st2.FencingEpoch != 1 {
 		t.Errorf("FencingEpoch = %d, want 1", st2.FencingEpoch)
 	}
+	if st2.Seq != uint64(len(events)) {
+		t.Errorf("Seq = %d after %d appends, want %d", st2.Seq, len(events), len(events))
+	}
+	if next, _, _ := w2.seqs(); next != uint64(len(events))+1 {
+		t.Errorf("nextSeq = %d, want %d", next, len(events)+1)
+	}
 	if got := st2.sortedMembers(); len(got) != 1 || got[0] != "http://w2" {
 		t.Errorf("Members = %v, want [http://w2]", got)
 	}
@@ -56,9 +77,9 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 }
 
-// TestWALTornTail pins crash tolerance: a log whose tail is truncated or
-// corrupted mid-record recovers every record before the tear, truncates
-// the garbage, and accepts new appends afterwards.
+// TestWALTornTail pins crash tolerance: a log whose active segment is
+// truncated or corrupted mid-record recovers every record before the
+// tear, truncates the garbage, and accepts new appends afterwards.
 func TestWALTornTail(t *testing.T) {
 	for _, tc := range []struct {
 		name   string
@@ -71,6 +92,7 @@ func TestWALTornTail(t *testing.T) {
 			return out
 		}},
 		{"garbage-appended", func(b []byte) []byte { return append(b, 0xde, 0xad, 0xbe, 0xef) }},
+		{"torn-next-header", func(b []byte) []byte { return append(b, 0x10, 0x00, 0x00, 0x00, 0x99) }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
@@ -86,7 +108,7 @@ func TestWALTornTail(t *testing.T) {
 			}
 			w.close()
 
-			logPath := filepath.Join(dir, walLogName)
+			logPath := activeSegmentPath(t, dir)
 			data, err := os.ReadFile(logPath)
 			if err != nil {
 				t.Fatal(err)
@@ -136,8 +158,8 @@ func TestWALTornTail(t *testing.T) {
 }
 
 // TestWALCompaction pins checkpointing: once compacted, the state lives
-// in checkpoint.json, the log resets, and recovery folds checkpoint plus
-// post-compaction appends together.
+// in checkpoint.json, the active segment rotates fresh, and recovery
+// folds checkpoint plus post-compaction appends together.
 func TestWALCompaction(t *testing.T) {
 	dir := t.TempDir()
 	w, _, err := openWAL(dir)
@@ -164,7 +186,10 @@ func TestWALCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	if w.size != 0 {
-		t.Fatalf("log size %d after compaction, want 0", w.size)
+		t.Fatalf("active segment size %d after compaction, want 0 (fresh rotation)", w.size)
+	}
+	if _, ckpt, _ := w.seqs(); ckpt != 3 {
+		t.Fatalf("checkpoint seq %d after 3 appends, want 3", ckpt)
 	}
 	if _, err := os.Stat(filepath.Join(dir, walCheckpointName)); err != nil {
 		t.Fatalf("no checkpoint after compaction: %v", err)
@@ -187,8 +212,9 @@ func TestWALCompaction(t *testing.T) {
 	}
 }
 
-// TestWALShouldCompact pins the trigger: the threshold is on accumulated
-// log bytes, and a fresh (or just-compacted) log does not compact.
+// TestWALShouldCompact pins the trigger: the threshold is on record
+// bytes accumulated since the last checkpoint, and a fresh (or
+// just-compacted) log does not compact.
 func TestWALShouldCompact(t *testing.T) {
 	dir := t.TempDir()
 	w, _, err := openWAL(dir)
@@ -206,13 +232,312 @@ func TestWALShouldCompact(t *testing.T) {
 		}
 	}
 	if !w.shouldCompact() {
-		t.Fatalf("log of %d bytes over a %d-byte threshold does not want compaction", w.size, w.compactBytes)
+		t.Fatalf("%d bytes past the checkpoint over a %d-byte threshold does not want compaction", w.sinceCkpt, w.compactBytes)
 	}
 	if err := w.compact(func() durableState { return newDurableState() }); err != nil {
 		t.Fatal(err)
 	}
 	if w.shouldCompact() {
 		t.Fatal("just-compacted log wants compaction")
+	}
+}
+
+// TestWALSegmentRotation pins rotation: appends past the segment size
+// seal the active file and open a new one named by its first sequence
+// number, and reopening replays across the whole chain.
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.segmentBytes = 128
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := w.append(walRecord{Kind: recJoin, Addr: "http://worker-with-a-long-name-" + string(rune('a'+i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+	starts, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 3 {
+		t.Fatalf("only %d segments after %d oversized appends, want rotation", len(starts), n)
+	}
+	if starts[0] != 1 {
+		t.Fatalf("first segment starts at seq %d, want 1", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			t.Fatalf("segment starts not ascending: %v", starts)
+		}
+	}
+	// Every segment's first record carries exactly the sequence number
+	// in its file name.
+	for _, start := range starts {
+		data, err := os.ReadFile(segmentPath(dir, start))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, _ := replayRecords(data)
+		if len(recs) == 0 || recs[0].Seq != start {
+			t.Fatalf("segment %s first record seq = %v, want %d", segmentName(start), recs, start)
+		}
+	}
+	_, st, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != n {
+		t.Fatalf("replay across %d segments recovered %d members, want %d", len(starts), len(st.Members), n)
+	}
+}
+
+// TestWALRetention pins the -wal-retain contract: compaction prunes
+// fully-checkpointed sealed segments down to the retention budget, and
+// replay after pruning still reconstructs the full state (from the
+// checkpoint plus the survivors).
+func TestWALRetention(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.segmentBytes = 128
+	w.retain = 1
+	for i := 0; i < 20; i++ {
+		if err := w.append(walRecord{Kind: recJoin, Addr: "http://worker-with-a-long-name-" + string(rune('a'+i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.compact(w1State(t, dir, w)); err != nil {
+		t.Fatal(err)
+	}
+	starts, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// retain=1 covered segment + the fresh active one.
+	if len(starts) != 2 {
+		t.Fatalf("%d segments after compaction with retain=1, want 2 (one retained + active): %v", len(starts), starts)
+	}
+	w.close()
+	_, st, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 20 {
+		t.Fatalf("state after pruning recovered %d members, want 20", len(st.Members))
+	}
+}
+
+// w1State returns a build function capturing the replayed state of dir's
+// log as the checkpoint payload (tests have no coordinator to build it).
+func w1State(t *testing.T, dir string, w *wal) func() durableState {
+	t.Helper()
+	st := newDurableState()
+	starts := append([]uint64(nil), w.segStarts...)
+	return func() durableState {
+		for _, start := range starts {
+			data, err := os.ReadFile(segmentPath(dir, start))
+			if err != nil {
+				continue
+			}
+			recs, _ := replayRecords(data)
+			for _, rec := range recs {
+				st.apply(rec)
+			}
+		}
+		return st
+	}
+}
+
+// TestWALReplaySkipsCoveredSegments pins the retention bugfix: a sealed
+// segment every record of which the checkpoint covers is never read on
+// reopen — corrupting it wholesale cannot block recovery.
+func TestWALReplaySkipsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.segmentBytes = 128
+	for i := 0; i < 12; i++ {
+		if err := w.append(walRecord{Kind: recJoin, Addr: "http://worker-with-a-long-name-" + string(rune('a'+i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.compact(w1State(t, dir, w)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walRecord{Kind: recFence, Epoch: 7}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	starts, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 3 {
+		t.Fatalf("want at least 3 segments (>=2 retained covered + active), got %v", starts)
+	}
+	// Obliterate every retained covered segment (all but the last).
+	for _, start := range starts[:len(starts)-1] {
+		if err := os.WriteFile(segmentPath(dir, start), bytes.Repeat([]byte{0xff}, 64), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, st, err := openWAL(dir)
+	if err != nil {
+		t.Fatalf("reopen with corrupted covered segments failed: %v", err)
+	}
+	if len(st.Members) != 12 {
+		t.Errorf("recovered %d members, want 12 from the checkpoint", len(st.Members))
+	}
+	if st.FencingEpoch != 7 {
+		t.Errorf("post-checkpoint append lost: epoch %d, want 7", st.FencingEpoch)
+	}
+}
+
+// TestWALRecordsFrom pins the shipping read: frames stream back from any
+// retained sequence number, and out-of-range requests (compacted away,
+// ahead of the log, or the bootstrap sentinel 0) signal a checkpoint
+// bootstrap instead.
+func TestWALRecordsFrom(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	for i := 0; i < 5; i++ {
+		if err := w.append(walRecord{Kind: recJoin, Addr: "http://w" + string(rune('0'+i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, next, err := w.recordsFrom(3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 6 {
+		t.Errorf("next = %d, want 6", next)
+	}
+	recs, valid := replayRecords(data)
+	if valid != len(data) || len(recs) != 3 {
+		t.Fatalf("streamed %d records (%d/%d bytes valid), want 3 whole frames", len(recs), valid, len(data))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(3+i) {
+			t.Errorf("streamed record %d has seq %d, want %d", i, rec.Seq, 3+i)
+		}
+	}
+	// Tail request: from == nextSeq is an empty, valid response.
+	if data, next, err := w.recordsFrom(6, 1<<20); err != nil || len(data) != 0 || next != 6 {
+		t.Errorf("recordsFrom(nextSeq) = %d bytes, next %d, err %v; want empty/6/nil", len(data), next, err)
+	}
+	// Out of range: bootstrap sentinel, beyond the log.
+	if _, _, err := w.recordsFrom(0, 1<<20); !errors.Is(err, errWALOutOfRange) {
+		t.Errorf("recordsFrom(0) err = %v, want errWALOutOfRange", err)
+	}
+	if _, _, err := w.recordsFrom(7, 1<<20); !errors.Is(err, errWALOutOfRange) {
+		t.Errorf("recordsFrom(beyond) err = %v, want errWALOutOfRange", err)
+	}
+}
+
+// TestWALAppendReplicated pins log shipping: a follower applying the
+// leader's frames verbatim ends up with a byte-identical log and the
+// same replayed state, and a frame that does not chain onto the local
+// log is rejected as divergence.
+func TestWALAppendReplicated(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	leader, _, err := openWAL(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.close()
+	follower, _, err := openWAL(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.close()
+
+	for i := 0; i < 4; i++ {
+		if err := leader.append(walRecord{Kind: recJoin, Addr: "http://w" + string(rune('0'+i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _, err := leader.recordsFrom(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, frames, _ := replayFrames(data)
+	if err := follower.appendReplicated(recs, frames); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderBytes, err := os.ReadFile(activeSegmentPath(t, leaderDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	followerBytes, err := os.ReadFile(activeSegmentPath(t, followerDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(leaderBytes, followerBytes) {
+		t.Fatal("replicated log is not byte-identical to the leader's")
+	}
+
+	// A replayed frame that skips a sequence number is divergence.
+	if err := follower.appendReplicated(
+		[]walRecord{{Seq: 99, Kind: recFence, Epoch: 1}},
+		[][]byte{encodeRecord([]byte(`{"seq":99,"kind":"fence","epoch":1}`))},
+	); !errors.Is(err, errWALDiverged) {
+		t.Fatalf("gap append err = %v, want errWALDiverged", err)
+	}
+
+	follower.close()
+	_, st, err := openWAL(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 4 || st.Seq != 4 {
+		t.Fatalf("follower replayed state %+v, want 4 members through seq 4", st)
+	}
+}
+
+// TestWALReset pins the bootstrap path: installing a shipped checkpoint
+// wipes local history, and appends continue from the checkpoint's
+// successor sequence.
+func TestWALReset(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.append(walRecord{Kind: recJoin, Addr: "http://stale"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shipped := durableState{Seq: 41, FencingEpoch: 5, Members: []string{"http://w1"}, Shards: map[string]durableShard{}}
+	if err := w.reset(shipped); err != nil {
+		t.Fatal(err)
+	}
+	if next, ckpt, segs := w.seqs(); next != 42 || ckpt != 41 || segs != 1 {
+		t.Fatalf("after reset: next=%d ckpt=%d segments=%d, want 42/41/1", next, ckpt, segs)
+	}
+	if err := w.append(walRecord{Kind: recFence, Epoch: 6}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	_, st, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 42 || st.FencingEpoch != 6 || len(st.Members) != 1 || st.Members[0] != "http://w1" {
+		t.Fatalf("reset+append recovered %+v, want shipped state through seq 42 at epoch 6", st)
 	}
 }
 
@@ -230,11 +555,30 @@ func FuzzWALReplay(f *testing.F) {
 	corrupt := append([]byte(nil), valid...)
 	corrupt[len(corrupt)-1] ^= 0xff
 	f.Add(corrupt)
+	// A segment-boundary stream: sequence numbers that start mid-log, as
+	// every segment after the first does.
+	boundary := encodeRecord([]byte(`{"seq":41,"kind":"lease","addr":"http://primary","epoch":2}`))
+	boundary = append(boundary, encodeRecord([]byte(`{"seq":42,"kind":"snapshot","name":"db","epoch":7,"tree":{"kind":"and"}}`))...)
+	f.Add(boundary)
+	// A torn segment header: a whole record followed by the first five
+	// bytes of the next frame (a crash exactly during the header write).
+	tornHeader := append(append([]byte(nil), boundary...), 0x1a, 0x00, 0x00, 0x00, 0x3f)
+	f.Add(tornHeader)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		recs, valid := replayRecords(data)
+		recs, frames, valid := replayFrames(data)
 		if valid < 0 || valid > len(data) {
 			t.Fatalf("valid offset %d out of bounds [0,%d]", valid, len(data))
+		}
+		if len(frames) != len(recs) {
+			t.Fatalf("%d frames for %d records", len(frames), len(recs))
+		}
+		total := 0
+		for _, fr := range frames {
+			total += len(fr)
+		}
+		if total != valid {
+			t.Fatalf("frames cover %d bytes, valid prefix is %d", total, valid)
 		}
 		recs2, valid2 := replayRecords(data[:valid])
 		if valid2 != valid || len(recs2) != len(recs) {
